@@ -1,0 +1,70 @@
+// Command snapbench regenerates every table and figure of the paper's
+// evaluation (Section 10) plus the §9 ablations, over the synthetic
+// stand-in datasets documented in DESIGN.md:
+//
+//	snapbench -exp fig1       Figure 1(b,c): running-example results
+//	snapbench -exp table1     Table 1: measured bug taxonomy per approach
+//	snapbench -exp fig5       Figure 5: coalescing runtime vs input size
+//	snapbench -exp table2     Table 2: result row counts per query
+//	snapbench -exp table3emp  Table 3 (Employee): Seq vs Nat runtimes
+//	snapbench -exp table3tpc  Table 3 (TPC-BiH): Seq vs Nat at two scales
+//	snapbench -exp ablation   §9 ablations (E7, E8, E9)
+//	snapbench -exp all        everything above
+//
+// -quick shrinks datasets for a fast smoke run; -runs sets the number of
+// repetitions per measurement (the median is reported).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snapk/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|all")
+	quick := flag.Bool("quick", false, "use small datasets (smoke run)")
+	runs := flag.Int("runs", 0, "repetitions per measurement (0 = scale default)")
+	flag.Parse()
+
+	sc := harness.Full
+	if *quick {
+		sc = harness.Quick
+	}
+	if *runs > 0 {
+		sc.Runs = *runs
+	}
+
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	all := []experiment{
+		{"fig1", func() error { return harness.Fig1(os.Stdout) }},
+		{"table1", func() error { return harness.Table1(os.Stdout) }},
+		{"fig5", func() error { return harness.Fig5(os.Stdout, sc) }},
+		{"table2", func() error { return harness.Table2(os.Stdout, sc) }},
+		{"table3emp", func() error { return harness.Table3Employees(os.Stdout, sc) }},
+		{"table3tpc", func() error { return harness.Table3TPC(os.Stdout, sc) }},
+		{"ablation", func() error { return harness.Ablations(os.Stdout, sc) }},
+	}
+	ran := false
+	for _, e := range all {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("==== %s (scale: %s) ====\n", e.name, sc.Name)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "snapbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

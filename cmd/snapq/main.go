@@ -1,0 +1,180 @@
+// Command snapq is the interactive face of the middleware: it loads one
+// of the built-in temporal datasets and evaluates a snapshot SQL query
+// against it, printing the period-encoded result.
+//
+//	snapq -data factory -sql "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')"
+//	snapq -data employees -query agg-1 -approach seq
+//	snapq -data tpcbih -query Q5 -limit 20
+//	snapq -data employees -query diff-2 -approach nat-ip   # observe the BD bug
+//	snapq -data factory -explain -sql "SEQ VT (SELECT count(*) AS cnt FROM works)"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snapk/internal/algebra"
+	"snapk/internal/csvio"
+	"snapk/internal/dataset"
+	"snapk/internal/engine"
+	"snapk/internal/harness"
+	"snapk/internal/interval"
+	"snapk/internal/rewrite"
+	"snapk/internal/sqlfe"
+	"snapk/internal/workload"
+)
+
+func main() {
+	data := flag.String("data", "factory", "dataset: factory|employees|tpcbih|csv")
+	scale := flag.Float64("scale", 1, "dataset scale multiplier")
+	load := flag.String("load", "", "with -data csv: comma-separated name=path.csv table sources")
+	domain := flag.String("domain", "0,1000000", "with -data csv: time domain min,max")
+	sql := flag.String("sql", "", "snapshot SQL to run (SEQ VT optional)")
+	queryID := flag.String("query", "", "run a named workload query (join-1..diff-2, Q1..Q19)")
+	approach := flag.String("approach", "seq", "seq|seq-naive|nat-ip|nat-align")
+	limit := flag.Int("limit", 50, "maximum rows to print (0 = all)")
+	explain := flag.Bool("explain", false, "print the rewritten plan instead of executing")
+	out := flag.String("out", "", "write the result as CSV to this file instead of printing")
+	flag.Parse()
+
+	var db *engine.DB
+	var defaultWorkload []workload.Query
+	if *data == "csv" {
+		db = loadCSVTables(*load, *domain)
+	} else {
+		db, defaultWorkload = loadDataset(*data, *scale)
+	}
+
+	var q algebra.Query
+	var err error
+	switch {
+	case *sql != "":
+		q, err = sqlfe.ParseAndTranslate(*sql, db)
+	case *queryID != "":
+		wq, ok := workload.ByID(defaultWorkload, *queryID)
+		if !ok {
+			fail(fmt.Errorf("unknown workload query %q for dataset %s", *queryID, *data))
+		}
+		fmt.Printf("-- %s: %s\n", wq.ID, wq.Description)
+		q, err = wq.Translate(db)
+	default:
+		fail(fmt.Errorf("provide -sql or -query; see -help"))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *explain {
+		p, err := rewrite.Rewrite(q, db, rewrite.Options{Mode: rewrite.ModeOptimized})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(p)
+		return
+	}
+
+	ap, err := parseApproach(*approach)
+	if err != nil {
+		fail(err)
+	}
+	res, err := harness.Run(db, q, ap)
+	if err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := csvio.WriteTable(f, res); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d rows to %s\n", res.Len(), *out)
+		return
+	}
+	printTable(res, *limit)
+}
+
+// loadCSVTables builds a database from name=path.csv pairs.
+func loadCSVTables(load, domain string) *engine.DB {
+	var minT, maxT int64
+	if _, err := fmt.Sscanf(domain, "%d,%d", &minT, &maxT); err != nil || minT >= maxT {
+		fail(fmt.Errorf("bad -domain %q (want min,max)", domain))
+	}
+	db := engine.NewDB(interval.NewDomain(minT, maxT))
+	if load == "" {
+		fail(fmt.Errorf("-data csv requires -load name=path[,name=path...]"))
+	}
+	for _, spec := range strings.Split(load, ",") {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail(fmt.Errorf("bad -load entry %q (want name=path)", spec))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		t, err := csvio.ReadTable(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		db.AddTable(name, t)
+	}
+	return db
+}
+
+func loadDataset(name string, scale float64) (*engine.DB, []workload.Query) {
+	switch name {
+	case "factory":
+		return harness.RunningExample(), nil
+	case "employees":
+		cfg := dataset.DefaultEmployees
+		cfg.NumEmployees = int(float64(cfg.NumEmployees) * scale)
+		return dataset.Employees(cfg), workload.Employees()
+	case "tpcbih":
+		cfg := dataset.DefaultTPCBiH
+		cfg.ScaleFactor *= scale
+		return dataset.TPCBiH(cfg), workload.TPCH()
+	default:
+		fail(fmt.Errorf("unknown dataset %q", name))
+		return nil, nil
+	}
+}
+
+func parseApproach(s string) (harness.Approach, error) {
+	switch s {
+	case "seq":
+		return harness.Seq, nil
+	case "seq-naive":
+		return harness.SeqNaive, nil
+	case "nat-ip":
+		return harness.NatIP, nil
+	case "nat-align":
+		return harness.NatAlign, nil
+	default:
+		return 0, fmt.Errorf("unknown approach %q", s)
+	}
+}
+
+func printTable(t *engine.Table, limit int) {
+	c := t.Clone()
+	c.Sort()
+	fmt.Printf("%s\n", c.Schema)
+	for i, row := range c.Rows {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... (%d more rows)\n", len(c.Rows)-limit)
+			return
+		}
+		fmt.Printf("%v\n", row)
+	}
+	fmt.Printf("(%d rows)\n", len(c.Rows))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "snapq: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command factory is a larger safety-monitoring scenario in the spirit of
+// the paper's introduction: a factory runs a week of shifts (time domain
+// in hours, [0, 168)) and must always have enough certified operators on
+// the floor. Snapshot semantics answers "when was the requirement
+// violated?" directly — including during periods with *no* staff at all,
+// which is exactly what the aggregation-gap bug hides in other systems.
+//
+// Run with: go run ./examples/factory
+package main
+
+import (
+	"fmt"
+	"log"
+
+	snapk "snapk"
+)
+
+func main() {
+	const week = 168 // hours
+	db := snapk.New(0, week)
+
+	shifts, err := db.CreateTable("shifts", "worker", "cert", "site")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A repeating weekday pattern with deliberate holes: nobody staffs the
+	// night hours on Wednesday, and the weekend is thin.
+	type shift struct {
+		day    int64
+		from   int64
+		to     int64
+		worker string
+		cert   string
+		site   string
+	}
+	var plan []shift
+	for day := int64(0); day < 5; day++ {
+		plan = append(plan,
+			shift{day, 6, 14, "ann", "welder", "north"},
+			shift{day, 6, 14, "bob", "welder", "north"},
+			shift{day, 14, 22, "cho", "welder", "north"},
+			shift{day, 8, 16, "dee", "inspector", "north"},
+			shift{day, 6, 14, "eli", "welder", "south"},
+		)
+		if day != 2 { // Wednesday night goes unstaffed
+			plan = append(plan, shift{day, 22, 24, "fay", "welder", "north"})
+		}
+	}
+	plan = append(plan,
+		shift{5, 8, 12, "ann", "welder", "north"},
+		shift{6, 10, 12, "cho", "welder", "north"},
+	)
+	for _, s := range plan {
+		base := s.day * 24
+		if err := shifts.Insert(base+s.from, base+s.to, s.worker, s.cert, s.site); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	demand, err := db.CreateTable("demand", "cert", "site")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The north site needs two welders around the clock and one
+	// inspector during the working week; multiplicity encodes headcount.
+	for i := 0; i < 2; i++ {
+		must(demand.Insert(0, week, "welder", "north"))
+	}
+	must(demand.Insert(0, 120, "inspector", "north"))
+
+	// 1. Staffing level over time at the north site.
+	fmt.Println("== welders on duty at north, over the week ==")
+	res, err := db.Query(`SEQ VT (
+		SELECT count(*) AS welders
+		FROM shifts
+		WHERE cert = 'welder' AND site = 'north'
+	)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+
+	// 2. Unmet demand: for each certification/site, the open positions at
+	// each time — bag difference subtracts available heads from demand.
+	fmt.Println("== unmet demand (open positions) ==")
+	res, err = db.Query(`SEQ VT (
+		SELECT cert, site FROM demand
+		EXCEPT ALL
+		SELECT cert, site FROM shifts
+	)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+
+	// 3. Per-site coverage summary: min/max staffing per site over time.
+	fmt.Println("== staffing per site (count per snapshot) ==")
+	res, err = db.Query(`SEQ VT (
+		SELECT site, count(*) AS staffed
+		FROM shifts
+		GROUP BY site
+	)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d result rows; first hours of the plan:\n", res.Len())
+	fmt.Println(trim(res, 12))
+
+	// 4. Count how many hours the north site had zero welders — readable
+	// straight off the coalesced count result.
+	res, err = db.Query(`SEQ VT (
+		SELECT count(*) AS welders
+		FROM shifts
+		WHERE cert = 'welder' AND site = 'north'
+	)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var uncovered int64
+	for _, row := range res.Rows {
+		if row.Values[0].(int64) == 0 {
+			uncovered += row.End - row.Begin
+		}
+	}
+	fmt.Printf("hours with ZERO welders at north: %d of %d\n", uncovered, week)
+}
+
+func trim(r *snapk.Result, n int) *snapk.Result {
+	if len(r.Rows) <= n {
+		return r
+	}
+	return &snapk.Result{Columns: r.Columns, Rows: r.Rows[:n]}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

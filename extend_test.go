@@ -1,0 +1,218 @@
+package snapk_test
+
+import (
+	"testing"
+
+	snapk "snapk"
+)
+
+func TestQueryAt(t *testing.T) {
+	db := factoryDB(t)
+	q := `SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')`
+	snap, err := db.QueryAt(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || snap[0][0].(int64) != 2 {
+		t.Fatalf("QueryAt(8) = %v", snap)
+	}
+	snap, err = db.QueryAt(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || snap[0][0].(int64) != 0 {
+		t.Fatalf("QueryAt(0) = %v (gap must report 0)", snap)
+	}
+	if _, err := db.QueryAt(q, 99); err == nil {
+		t.Fatal("out-of-domain time must error")
+	}
+	if _, err := db.QueryAt(`bad`, 5); err == nil {
+		t.Fatal("parse error must propagate")
+	}
+}
+
+func TestQuerySetSemantics(t *testing.T) {
+	db := factoryDB(t)
+	// Under bag semantics SP has multiplicity 2 during [8,10); under set
+	// semantics the projection coalesces to one maximal interval [3,16).
+	res, err := db.QuerySet(`SEQ VT (SELECT skill FROM works)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spRows []snapk.Row
+	for _, r := range res.Rows {
+		if r.Values[0] == "SP" {
+			spRows = append(spRows, r)
+		}
+	}
+	if len(spRows) != 2 {
+		t.Fatalf("SP set-semantics rows = %v", spRows)
+	}
+	// Sorted by construction of period entries: [3,16) and [18,20).
+	found := map[[2]int64]bool{}
+	for _, r := range spRows {
+		found[[2]int64{r.Begin, r.End}] = true
+	}
+	if !found[[2]int64{3, 16}] || !found[[2]int64{18, 20}] {
+		t.Fatalf("SP intervals = %v, want [3,16) and [18,20)", spRows)
+	}
+}
+
+func TestQuerySetDifference(t *testing.T) {
+	db := factoryDB(t)
+	// Set difference: SP vanishes wherever any SP worker exists.
+	res, err := db.QuerySet(`SEQ VT (
+		SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works
+	)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Values[0] == "SP" {
+			t.Fatalf("set semantics should remove SP entirely: %v", res.Rows)
+		}
+	}
+	// NS remains only during [3,8).
+	if len(res.Rows) != 1 || res.Rows[0].Begin != 3 || res.Rows[0].End != 8 {
+		t.Fatalf("set difference rows = %v", res.Rows)
+	}
+}
+
+func TestQuerySetRejectsAggregation(t *testing.T) {
+	db := factoryDB(t)
+	if _, err := db.QuerySet(`SEQ VT (SELECT count(*) AS c FROM works)`); err == nil {
+		t.Fatal("aggregation under set semantics must error")
+	}
+	if _, err := db.QuerySet(`bad`); err == nil {
+		t.Fatal("parse error must propagate")
+	}
+	if _, err := db.QuerySet(`SELECT x FROM nope`); err == nil {
+		t.Fatal("unknown table must error")
+	}
+}
+
+func TestDeleteSequenced(t *testing.T) {
+	db := snapk.New(0, 24)
+	tb, _ := db.CreateTable("t", "name")
+	must(t, tb.Insert(3, 10, "Ann"))
+	must(t, tb.Insert(8, 16, "Joe"))
+	// Delete Ann during [5, 8): her row splits into [3,5) and [8,10).
+	n, err := tb.Delete(5, 8, `name = 'Ann'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("affected = %d", n)
+	}
+	res, err := db.Query(`SELECT name FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := map[[2]int64]bool{}
+	for _, r := range res.Rows {
+		if r.Values[0] == "Ann" {
+			ann[[2]int64{r.Begin, r.End}] = true
+		}
+	}
+	if !ann[[2]int64{3, 5}] || !ann[[2]int64{8, 10}] || len(ann) != 2 {
+		t.Fatalf("Ann periods after delete = %v", ann)
+	}
+	// Full containment removes the row entirely.
+	if _, err := tb.Delete(0, 24, `name = 'Joe'`); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Query(`SELECT name FROM t WHERE name = 'Joe'`)
+	if res.Len() != 0 {
+		t.Fatalf("Joe should be gone: %v", res.Rows)
+	}
+	// Empty condition deletes everything in the window.
+	if _, err := tb.Delete(0, 24, ""); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 0 {
+		t.Fatalf("table should be empty, has %d rows", tb.Rows())
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	db := snapk.New(0, 24)
+	tb, _ := db.CreateTable("t", "name")
+	if _, err := tb.Delete(5, 5, ""); err == nil {
+		t.Error("empty window must error")
+	}
+	if _, err := tb.Delete(0, 5, "zzz ="); err == nil {
+		t.Error("bad condition must error")
+	}
+	if _, err := tb.Delete(0, 5, "zzz = 1"); err == nil {
+		t.Error("unknown column must error")
+	}
+}
+
+func TestUpdateSequenced(t *testing.T) {
+	db := snapk.New(0, 24)
+	tb, _ := db.CreateTable("sal", "emp", "amount")
+	must(t, tb.Insert(0, 20, "ann", 50000))
+	// Raise Ann to 60000 during [10, 15): the row splits in three.
+	n, err := tb.Update(10, 15, "amount", 60000, `emp = 'ann'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("affected = %d", n)
+	}
+	res, err := db.Query(`SELECT emp, amount FROM sal`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]int64]int64{}
+	for _, r := range res.Rows {
+		got[[2]int64{r.Begin, r.End}] = r.Values[1].(int64)
+	}
+	want := map[[2]int64]int64{{0, 10}: 50000, {10, 15}: 60000, {15, 20}: 50000}
+	if len(got) != len(want) {
+		t.Fatalf("periods = %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("period %v = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	db := snapk.New(0, 24)
+	tb, _ := db.CreateTable("t", "a")
+	if _, err := tb.Update(5, 5, "a", 1, ""); err == nil {
+		t.Error("empty window must error")
+	}
+	if _, err := tb.Update(0, 5, "zzz", 1, ""); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, err := tb.Update(0, 5, "a", struct{}{}, ""); err == nil {
+		t.Error("bad value must error")
+	}
+	if _, err := tb.Update(0, 5, "a", 1, "zzz = 1"); err == nil {
+		t.Error("bad condition must error")
+	}
+}
+
+func TestCoalescedInspection(t *testing.T) {
+	db := snapk.New(0, 24)
+	tb, _ := db.CreateTable("t", "a")
+	must(t, tb.Insert(0, 5, 1))
+	must(t, tb.Insert(5, 9, 1))
+	ok, n := tb.Coalesced()
+	if ok {
+		t.Error("adjacent equal rows are not coalesced storage")
+	}
+	if n != 1 {
+		t.Errorf("coalesced count = %d, want 1", n)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

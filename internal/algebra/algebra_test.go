@@ -1,0 +1,286 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"snapk/internal/krel"
+	"snapk/internal/tuple"
+)
+
+var testSchema = tuple.NewSchema("a", "b", "s")
+
+func evalOn(t *testing.T, e Expr, tup tuple.Tuple) tuple.Value {
+	t.Helper()
+	c, err := Compile(e, testSchema)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", e, err)
+	}
+	return c(tup)
+}
+
+func TestCompileColAndConst(t *testing.T) {
+	tup := tuple.Tuple{tuple.Int(3), tuple.Int(7), tuple.String_("x")}
+	if got := evalOn(t, Col("b"), tup); got.AsInt() != 7 {
+		t.Errorf("Col = %v", got)
+	}
+	if got := evalOn(t, IntC(42), tup); got.AsInt() != 42 {
+		t.Errorf("IntC = %v", got)
+	}
+	if got := evalOn(t, StrC("hi"), tup); got.AsString() != "hi" {
+		t.Errorf("StrC = %v", got)
+	}
+	if got := evalOn(t, FloatC(1.5), tup); got.AsFloat() != 1.5 {
+		t.Errorf("FloatC = %v", got)
+	}
+	if got := evalOn(t, BoolC(true), tup); !got.AsBool() {
+		t.Errorf("BoolC = %v", got)
+	}
+	if got := evalOn(t, NullC(), tup); !got.IsNull() {
+		t.Errorf("NullC = %v", got)
+	}
+}
+
+func TestCompileUnknownColumn(t *testing.T) {
+	if _, err := Compile(Col("zzz"), testSchema); err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+	if _, err := Compile(Eq(Col("zzz"), IntC(1)), testSchema); err == nil {
+		t.Fatal("expected nested error for unknown column")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tup := tuple.Tuple{tuple.Int(3), tuple.Int(7), tuple.String_("x")}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Eq(Col("a"), IntC(3)), true},
+		{Ne(Col("a"), IntC(3)), false},
+		{Lt(Col("a"), Col("b")), true},
+		{Le(Col("a"), IntC(3)), true},
+		{Gt(Col("b"), IntC(10)), false},
+		{Ge(Col("b"), IntC(7)), true},
+		{Eq(Col("s"), StrC("x")), true},
+	}
+	for _, c := range cases {
+		if got := evalOn(t, c.e, tup); got.AsBool() != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestNullComparisonIsUnknown(t *testing.T) {
+	tup := tuple.Tuple{tuple.Null, tuple.Int(7), tuple.String_("x")}
+	got := evalOn(t, Eq(Col("a"), IntC(3)), tup)
+	if !got.IsNull() {
+		t.Errorf("NULL = 3 should be NULL, got %v", got)
+	}
+	if Truthy(got) {
+		t.Error("unknown must not be truthy")
+	}
+	if !Truthy(tuple.Bool(true)) || Truthy(tuple.Bool(false)) {
+		t.Error("Truthy broken")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	tup := tuple.Tuple{tuple.Null, tuple.Int(7), tuple.String_("x")}
+	null := Eq(Col("a"), IntC(1)) // unknown
+	// false AND unknown = false; true OR unknown = true.
+	if got := evalOn(t, And(BoolC(false), null), tup); got.IsNull() || got.AsBool() {
+		t.Errorf("false AND unknown = %v", got)
+	}
+	if got := evalOn(t, Or(BoolC(true), null), tup); got.IsNull() || !got.AsBool() {
+		t.Errorf("true OR unknown = %v", got)
+	}
+	if got := evalOn(t, And(BoolC(true), null), tup); !got.IsNull() {
+		t.Errorf("true AND unknown = %v", got)
+	}
+	if got := evalOn(t, Or(BoolC(false), null), tup); !got.IsNull() {
+		t.Errorf("false OR unknown = %v", got)
+	}
+	if got := evalOn(t, Not{E: null}, tup); !got.IsNull() {
+		t.Errorf("NOT unknown = %v", got)
+	}
+	if got := evalOn(t, Not{E: BoolC(true)}, tup); got.AsBool() {
+		t.Errorf("NOT true = %v", got)
+	}
+	if got := evalOn(t, IsNullExpr{E: Col("a")}, tup); !got.AsBool() {
+		t.Errorf("a IS NULL = %v", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tup := tuple.Tuple{tuple.Int(6), tuple.Int(4), tuple.String_("x")}
+	if got := evalOn(t, Add(Col("a"), Col("b")), tup); got.AsInt() != 10 {
+		t.Errorf("6+4 = %v", got)
+	}
+	if got := evalOn(t, Sub(Col("a"), Col("b")), tup); got.AsInt() != 2 {
+		t.Errorf("6-4 = %v", got)
+	}
+	if got := evalOn(t, Mul(Col("a"), Col("b")), tup); got.AsInt() != 24 {
+		t.Errorf("6*4 = %v", got)
+	}
+	if got := evalOn(t, Div(Col("a"), Col("b")), tup); got.AsFloat() != 1.5 {
+		t.Errorf("6/4 = %v", got)
+	}
+	if got := evalOn(t, Div(Col("a"), IntC(0)), tup); !got.IsNull() {
+		t.Errorf("6/0 = %v, want NULL", got)
+	}
+	if got := evalOn(t, Add(Col("a"), NullC()), tup); !got.IsNull() {
+		t.Errorf("6+NULL = %v, want NULL", got)
+	}
+	if got := evalOn(t, Mul(FloatC(0.5), Col("a")), tup); got.AsFloat() != 3.0 {
+		t.Errorf("0.5*6 = %v", got)
+	}
+}
+
+func TestAndOrEmpty(t *testing.T) {
+	tup := tuple.Tuple{tuple.Int(1), tuple.Int(2), tuple.String_("x")}
+	if got := evalOn(t, And(), tup); !got.AsBool() {
+		t.Error("empty And should be true")
+	}
+	if got := evalOn(t, Or(), tup); got.AsBool() {
+		t.Error("empty Or should be false")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := And(Eq(Col("skill"), StrC("SP")), Gt(Col("a"), IntC(3)))
+	s := e.String()
+	if !strings.Contains(s, "skill = 'SP'") || !strings.Contains(s, "AND") {
+		t.Errorf("String = %q", s)
+	}
+	if got := (Not{E: Col("a")}).String(); got != "NOT (a)" {
+		t.Errorf("Not String = %q", got)
+	}
+	if got := (IsNullExpr{E: Col("a")}).String(); got != "(a IS NULL)" {
+		t.Errorf("IsNull String = %q", got)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile should panic on unknown column")
+		}
+	}()
+	MustCompile(Col("nope"), testSchema)
+}
+
+var cat = MapCatalog{
+	"works":  tuple.NewSchema("name", "skill"),
+	"assign": tuple.NewSchema("mach", "skill"),
+}
+
+func TestOutSchemaRelSelectProject(t *testing.T) {
+	s, err := OutSchema(Select{Pred: Eq(Col("skill"), StrC("SP")), In: Rel{Name: "works"}}, cat)
+	if err != nil || !s.Equal(tuple.NewSchema("name", "skill")) {
+		t.Fatalf("schema = %v, err %v", s, err)
+	}
+	p, err := OutSchema(ProjectCols(Rel{Name: "works"}, "skill"), cat)
+	if err != nil || !p.Equal(tuple.NewSchema("skill")) {
+		t.Fatalf("schema = %v, err %v", p, err)
+	}
+	if _, err := OutSchema(Rel{Name: "nope"}, cat); err == nil {
+		t.Fatal("unknown relation must error")
+	}
+	if _, err := OutSchema(Select{Pred: Col("zzz"), In: Rel{Name: "works"}}, cat); err == nil {
+		t.Fatal("bad predicate must error")
+	}
+}
+
+func TestOutSchemaJoinRenamesCollisions(t *testing.T) {
+	j := Join{L: Rel{Name: "works"}, R: Rel{Name: "assign"}, Pred: Eq(Col("skill"), Col("r.skill"))}
+	s, err := OutSchema(j, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(tuple.NewSchema("name", "skill", "mach", "r.skill")) {
+		t.Fatalf("schema = %v", s)
+	}
+}
+
+func TestOutSchemaUnionDiff(t *testing.T) {
+	u := Union{L: ProjectCols(Rel{Name: "works"}, "skill"), R: ProjectCols(Rel{Name: "assign"}, "skill")}
+	if _, err := OutSchema(u, cat); err != nil {
+		t.Fatal(err)
+	}
+	bad := Diff{L: Rel{Name: "works"}, R: ProjectCols(Rel{Name: "assign"}, "skill")}
+	if _, err := OutSchema(bad, cat); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+}
+
+func TestOutSchemaAgg(t *testing.T) {
+	a := Agg{
+		GroupBy: []string{"skill"},
+		Aggs:    []AggSpec{{Fn: krel.CountStar, As: "cnt"}, {Fn: krel.Min, Arg: "name", As: "first"}},
+		In:      Rel{Name: "works"},
+	}
+	s, err := OutSchema(a, cat)
+	if err != nil || !s.Equal(tuple.NewSchema("skill", "cnt", "first")) {
+		t.Fatalf("schema = %v, err %v", s, err)
+	}
+	bad := Agg{GroupBy: []string{"zzz"}, Aggs: []AggSpec{{Fn: krel.CountStar, As: "c"}}, In: Rel{Name: "works"}}
+	if _, err := OutSchema(bad, cat); err == nil {
+		t.Fatal("unknown group-by column must error")
+	}
+	bad2 := Agg{Aggs: []AggSpec{{Fn: krel.Sum, Arg: "zzz", As: "s"}}, In: Rel{Name: "works"}}
+	if _, err := OutSchema(bad2, cat); err == nil {
+		t.Fatal("unknown agg column must error")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Agg{
+		Aggs: []AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+		In:   Select{Pred: Eq(Col("skill"), StrC("SP")), In: Rel{Name: "works"}},
+	}
+	s := q.String()
+	for _, frag := range []string{"γ", "count(*)→cnt", "σ", "works"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String %q missing %q", s, frag)
+		}
+	}
+	j := Join{L: Rel{Name: "a"}, R: Rel{Name: "b"}, Pred: BoolC(true)}
+	if !strings.Contains(j.String(), "⋈") {
+		t.Errorf("Join String = %q", j.String())
+	}
+	u := Union{L: Rel{Name: "a"}, R: Rel{Name: "b"}}
+	if u.String() != "(a ∪ b)" {
+		t.Errorf("Union String = %q", u.String())
+	}
+	d := Diff{L: Rel{Name: "a"}, R: Rel{Name: "b"}}
+	if d.String() != "(a − b)" {
+		t.Errorf("Diff String = %q", d.String())
+	}
+	p := ProjectCols(Rel{Name: "a"}, "x")
+	if !strings.Contains(p.String(), "Π") {
+		t.Errorf("Project String = %q", p.String())
+	}
+}
+
+func TestWalkAndBaseRelations(t *testing.T) {
+	q := Diff{
+		L: ProjectCols(Rel{Name: "assign"}, "skill"),
+		R: Union{L: ProjectCols(Rel{Name: "works"}, "skill"), R: ProjectCols(Rel{Name: "works"}, "skill")},
+	}
+	names := BaseRelations(q)
+	if len(names) != 2 || names[0] != "assign" || names[1] != "works" {
+		t.Fatalf("BaseRelations = %v", names)
+	}
+	count := 0
+	Walk(q, func(Query) { count++ })
+	if count != 8 {
+		t.Fatalf("Walk visited %d nodes, want 8", count)
+	}
+	// Agg node walk.
+	count = 0
+	Walk(Agg{Aggs: []AggSpec{{Fn: krel.CountStar, As: "c"}}, In: Rel{Name: "works"}}, func(Query) { count++ })
+	if count != 2 {
+		t.Fatalf("Agg walk visited %d", count)
+	}
+}

@@ -1,0 +1,197 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"snapk/internal/krel"
+	"snapk/internal/tuple"
+)
+
+var optCat = MapCatalog{
+	"works":  tuple.NewSchema("name", "skill"),
+	"assign": tuple.NewSchema("mach", "skill"),
+}
+
+func TestOptimizeMergesCascadingSelects(t *testing.T) {
+	q := Select{
+		Pred: Eq(Col("skill"), StrC("SP")),
+		In:   Select{Pred: Ne(Col("name"), StrC("Joe")), In: Rel{Name: "works"}},
+	}
+	opt, err := Optimize(q, optCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := opt.(Select)
+	if !ok {
+		t.Fatalf("optimized = %s", opt)
+	}
+	if _, nested := sel.In.(Select); nested {
+		t.Fatalf("selections not merged: %s", opt)
+	}
+	if !strings.Contains(sel.Pred.String(), "AND") {
+		t.Fatalf("predicates not conjoined: %s", sel.Pred)
+	}
+}
+
+func TestOptimizePushesThroughJoin(t *testing.T) {
+	// σ(name<>'Joe' ∧ mach='M1')(works ⋈ assign): the first conjunct goes
+	// left, the second right, nothing remains above.
+	q := Select{
+		Pred: And(Ne(Col("name"), StrC("Joe")), Eq(Col("mach"), StrC("M1"))),
+		In: Join{
+			L:    Rel{Name: "works"},
+			R:    Rel{Name: "assign"},
+			Pred: Eq(Col("skill"), Col("r.skill")),
+		},
+	}
+	opt, err := Optimize(q, optCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stillAbove := opt.(Select); stillAbove {
+		t.Fatalf("selection not fully pushed: %s", opt)
+	}
+	if got := CountSelectsBelowJoins(opt); got != 2 {
+		t.Fatalf("selects below joins = %d, want 2: %s", got, opt)
+	}
+	// Schema must be unchanged.
+	s1, err := OutSchema(q, optCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OutSchema(opt, optCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Fatalf("schema changed: %v vs %v", s1, s2)
+	}
+}
+
+func TestOptimizePushesRenamedRightColumns(t *testing.T) {
+	// The right side's skill column is renamed to r.skill in the join
+	// output; a conjunct over r.skill must be rewritten back to skill.
+	q := Select{
+		Pred: Eq(Col("r.skill"), StrC("SP")),
+		In:   Join{L: Rel{Name: "works"}, R: Rel{Name: "assign"}, Pred: BoolC(true)},
+	}
+	opt, err := Optimize(q, optCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := opt.(Join)
+	if !ok {
+		t.Fatalf("optimized = %s", opt)
+	}
+	rs, ok := j.R.(Select)
+	if !ok {
+		t.Fatalf("right side = %s", j.R)
+	}
+	if !strings.Contains(rs.Pred.String(), "skill = 'SP'") || strings.Contains(rs.Pred.String(), "r.skill") {
+		t.Fatalf("right predicate = %s", rs.Pred)
+	}
+}
+
+func TestOptimizePushesThroughUnionAndDiff(t *testing.T) {
+	base := ProjectCols(Rel{Name: "works"}, "skill")
+	q := Select{
+		Pred: Eq(Col("skill"), StrC("SP")),
+		In:   Diff{L: Union{L: base, R: base}, R: base},
+	}
+	opt, err := Optimize(q, optCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stillAbove := opt.(Select); stillAbove {
+		t.Fatalf("selection not distributed: %s", opt)
+	}
+	// The selection must now sit below the projections (substituted).
+	found := 0
+	Walk(opt, func(n Query) {
+		if _, ok := n.(Select); ok {
+			found++
+		}
+	})
+	if found != 3 {
+		t.Fatalf("expected 3 pushed selections, got %d: %s", found, opt)
+	}
+}
+
+func TestOptimizePushesThroughProjectionSubstitution(t *testing.T) {
+	// σ(v > 5)(Π(v := a+1)) becomes Π(σ(a+1 > 5)).
+	q := Select{
+		Pred: Gt(Col("v"), IntC(5)),
+		In: Project{
+			Exprs: []NamedExpr{{Name: "v", E: Add(Col("mach"), IntC(1))}},
+			In:    Rel{Name: "assign"},
+		},
+	}
+	opt, err := Optimize(q, optCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := opt.(Project)
+	if !ok {
+		t.Fatalf("optimized = %s", opt)
+	}
+	s, ok := p.In.(Select)
+	if !ok {
+		t.Fatalf("projection input = %s", p.In)
+	}
+	if !strings.Contains(s.Pred.String(), "mach + 1") {
+		t.Fatalf("substituted predicate = %s", s.Pred)
+	}
+}
+
+func TestOptimizeAggGroupColumnPushdown(t *testing.T) {
+	agg := Agg{
+		GroupBy: []string{"skill"},
+		Aggs:    []AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+		In:      Rel{Name: "works"},
+	}
+	// skill is a grouping column: pushable. cnt is computed: not pushable.
+	q := Select{Pred: And(Eq(Col("skill"), StrC("SP")), Gt(Col("cnt"), IntC(0))), In: agg}
+	opt, err := Optimize(q, optCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := opt.(Select)
+	if !ok {
+		t.Fatalf("optimized = %s", opt)
+	}
+	if !strings.Contains(top.Pred.String(), "cnt") || strings.Contains(top.Pred.String(), "skill") {
+		t.Fatalf("top predicate = %s", top.Pred)
+	}
+	inner, ok := top.In.(Agg)
+	if !ok {
+		t.Fatalf("below top = %s", top.In)
+	}
+	if _, ok := inner.In.(Select); !ok {
+		t.Fatalf("group predicate not pushed below agg: %s", inner.In)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	if _, err := Optimize(Rel{Name: "nope"}, optCat); err == nil {
+		t.Fatal("unknown relation must error")
+	}
+	bad := Select{Pred: Col("zzz"), In: Rel{Name: "works"}}
+	if _, err := Optimize(bad, optCat); err == nil {
+		t.Fatal("bad predicate must error")
+	}
+}
+
+func TestCountSelectsBelowJoins(t *testing.T) {
+	q := Join{
+		L:    Select{Pred: BoolC(true), In: Rel{Name: "works"}},
+		R:    Rel{Name: "assign"},
+		Pred: BoolC(true),
+	}
+	if got := CountSelectsBelowJoins(q); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := CountSelectsBelowJoins(Select{Pred: BoolC(true), In: Rel{Name: "works"}}); got != 0 {
+		t.Fatalf("count above joins = %d", got)
+	}
+}

@@ -1,0 +1,289 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"snapk/internal/algebra"
+	"snapk/internal/baseline"
+	"snapk/internal/engine"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/qgen"
+	"snapk/internal/rewrite"
+	"snapk/internal/semiring"
+	"snapk/internal/telement"
+	"snapk/internal/tuple"
+)
+
+var dom = interval.NewDomain(0, 24)
+var alg = telement.NewMAlgebra[int64](semiring.N, dom)
+
+func str(s string) tuple.Value { return tuple.String_(s) }
+
+func exampleDB() *engine.DB {
+	db := engine.NewDB(dom)
+	works := db.CreateTable("works", tuple.NewSchema("name", "skill"))
+	works.Append(tuple.Tuple{str("Ann"), str("SP")}, interval.New(3, 10), 1)
+	works.Append(tuple.Tuple{str("Joe"), str("NS")}, interval.New(8, 16), 1)
+	works.Append(tuple.Tuple{str("Sam"), str("SP")}, interval.New(8, 16), 1)
+	works.Append(tuple.Tuple{str("Ann"), str("SP")}, interval.New(18, 20), 1)
+	assign := db.CreateTable("assign", tuple.NewSchema("mach", "skill"))
+	assign.Append(tuple.Tuple{str("M1"), str("SP")}, interval.New(3, 12), 1)
+	assign.Append(tuple.Tuple{str("M2"), str("SP")}, interval.New(6, 14), 1)
+	assign.Append(tuple.Tuple{str("M3"), str("NS")}, interval.New(3, 16), 1)
+	return db
+}
+
+func qOnduty() algebra.Query {
+	return algebra.Agg{
+		Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+		In:   algebra.Select{Pred: algebra.Eq(algebra.Col("skill"), algebra.StrC("SP")), In: algebra.Rel{Name: "works"}},
+	}
+}
+
+func qSkillreq() algebra.Query {
+	return algebra.Diff{
+		L: algebra.ProjectCols(algebra.Rel{Name: "assign"}, "skill"),
+		R: algebra.ProjectCols(algebra.Rel{Name: "works"}, "skill"),
+	}
+}
+
+// TestAGBug demonstrates the aggregation gap bug of Table 1/Figure 1b:
+// both legacy approaches omit the count-0 rows during gaps that the
+// paper-faithful middleware produces.
+func TestAGBug(t *testing.T) {
+	db := exampleDB()
+	correct, err := rewrite.Run(db, qOnduty(), rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correctRel := correct.ToPeriodRelation(alg)
+	zero := tuple.Tuple{tuple.Int(0)}
+	if correctRel.Annotation(zero).IsZero() {
+		t.Fatal("middleware must report gap rows")
+	}
+	for _, ap := range []baseline.Approach{baseline.IntervalPreservation, baseline.Alignment} {
+		got, err := baseline.Eval(db, qOnduty(), ap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := got.ToPeriodRelation(alg)
+		if !rel.Annotation(zero).IsZero() {
+			t.Errorf("%v unexpectedly reports gap rows (AG bug should be present)", ap)
+		}
+		// Non-gap counts still agree with the correct result.
+		for _, cnt := range []int64{1, 2} {
+			want := correctRel.Annotation(tuple.Tuple{tuple.Int(cnt)})
+			gotAnn := rel.Annotation(tuple.Tuple{tuple.Int(cnt)})
+			if !gotAnn.Equal(want) {
+				t.Errorf("%v: cnt=%d annotation = %v, want %v", ap, cnt, gotAnn, want)
+			}
+		}
+	}
+}
+
+// TestBDBug demonstrates the bag difference bug of Table 1/Figure 1c: the
+// interval-preservation approach treats EXCEPT ALL as NOT EXISTS and
+// drops the SP rows entirely; the alignment approach applies set
+// difference with the same visible effect on this query.
+func TestBDBug(t *testing.T) {
+	db := exampleDB()
+	sp := tuple.Tuple{str("SP")}
+	ns := tuple.Tuple{str("NS")}
+	for _, ap := range []baseline.Approach{baseline.IntervalPreservation, baseline.Alignment} {
+		got, err := baseline.Eval(db, qSkillreq(), ap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := got.ToPeriodRelation(alg)
+		if !rel.Annotation(sp).IsZero() {
+			t.Errorf("%v returned SP rows; the BD bug should drop them: %v", ap, rel.Annotation(sp))
+		}
+		// NS is only in assign from [3,16) and in works from [8,16):
+		// NOT EXISTS / set difference still yields [3,8).
+		want := alg.Singleton(interval.New(3, 8), 1)
+		if gotNS := rel.Annotation(ns); !gotNS.Equal(want) {
+			t.Errorf("%v: NS = %v, want %v", ap, gotNS, want)
+		}
+	}
+}
+
+// TestBDBugMultiplicities: where multiplicities differ (2 on the left, 1
+// on the right), correct bag difference leaves 1 while NOT EXISTS leaves
+// 0 — the precise failure of Example 1.2.
+func TestBDBugMultiplicities(t *testing.T) {
+	db := engine.NewDB(dom)
+	l := db.CreateTable("l", tuple.NewSchema("x"))
+	l.Append(tuple.Tuple{tuple.Int(1)}, interval.New(0, 10), 2)
+	r := db.CreateTable("r", tuple.NewSchema("x"))
+	r.Append(tuple.Tuple{tuple.Int(1)}, interval.New(0, 10), 1)
+	q := algebra.Diff{L: algebra.Rel{Name: "l"}, R: algebra.Rel{Name: "r"}}
+
+	correct, err := rewrite.Run(db, q, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := tuple.Tuple{tuple.Int(1)}
+	if got := correct.ToPeriodRelation(alg).Annotation(one); !got.Equal(alg.Singleton(interval.New(0, 10), 1)) {
+		t.Fatalf("middleware bag difference = %v, want multiplicity 1 on [0,10)", got)
+	}
+	buggy, err := baseline.Eval(db, q, baseline.IntervalPreservation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buggy.ToPeriodRelation(alg).Annotation(one); !got.IsZero() {
+		t.Fatalf("NOT EXISTS difference should drop the tuple, got %v", got)
+	}
+}
+
+// TestSetDifferenceCollapsesDuplicates: the alignment approach applies
+// set semantics, collapsing left multiplicities even where the right side
+// is empty.
+func TestSetDifferenceCollapsesDuplicates(t *testing.T) {
+	db := engine.NewDB(dom)
+	l := db.CreateTable("l", tuple.NewSchema("x"))
+	l.Append(tuple.Tuple{tuple.Int(1)}, interval.New(0, 10), 3)
+	db.CreateTable("r", tuple.NewSchema("x"))
+	q := algebra.Diff{L: algebra.Rel{Name: "l"}, R: algebra.Rel{Name: "r"}}
+	got, err := baseline.Eval(db, q, baseline.Alignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("set difference should collapse duplicates, got %d rows", got.Len())
+	}
+}
+
+// TestNonUniqueEncoding demonstrates the "unique encoding" column of
+// Table 1: equivalent inputs produce different row sets under the
+// baselines but identical rows under the middleware.
+func TestNonUniqueEncoding(t *testing.T) {
+	// The same temporal relation written two ways.
+	mk := func(split bool) *engine.DB {
+		db := engine.NewDB(dom)
+		tbl := db.CreateTable("t", tuple.NewSchema("x"))
+		if split {
+			tbl.Append(tuple.Tuple{tuple.Int(1)}, interval.New(0, 5), 1)
+			tbl.Append(tuple.Tuple{tuple.Int(1)}, interval.New(5, 10), 1)
+		} else {
+			tbl.Append(tuple.Tuple{tuple.Int(1)}, interval.New(0, 10), 1)
+		}
+		return db
+	}
+	q := algebra.Select{Pred: algebra.BoolC(true), In: algebra.Rel{Name: "t"}}
+	baseRows := func(tb *engine.Table) []string {
+		c := tb.Clone()
+		c.Sort()
+		keys := make([]string, len(c.Rows))
+		for i, r := range c.Rows {
+			keys[i] = r.Key()
+		}
+		return keys
+	}
+	bA, err := baseline.Eval(mk(false), q, baseline.IntervalPreservation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bB, err := baseline.Eval(mk(true), q, baseline.IntervalPreservation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseRows(bA)) == len(baseRows(bB)) {
+		t.Error("interval preservation should produce different encodings for equivalent inputs")
+	}
+	mA, err := rewrite.Run(mk(false), q, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB, err := rewrite.Run(mk(true), q, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := baseRows(mA), baseRows(mB)
+	if len(ra) != len(rb) {
+		t.Fatal("middleware encodings differ in size")
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatal("middleware must produce the unique encoding for equivalent inputs")
+		}
+	}
+}
+
+// TestBaselinesCorrectForPositiveAlgebra: for RA+ (no aggregation, no
+// difference) both baselines are snapshot-reducible — they agree with the
+// middleware up to snapshot equivalence (though not on the encoding).
+func TestBaselinesCorrectForPositiveAlgebra(t *testing.T) {
+	g := qgen.New(211)
+	for i := 0; i < 60; i++ {
+		spec := g.GenDB()
+		q := g.GenPositiveQuery()
+		edb := spec.ToEngineDB()
+		want, err := rewrite.Run(edb, q, rewrite.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		algSpec := telement.NewMAlgebra[int64](semiring.N, spec.Dom)
+		for _, ap := range []baseline.Approach{baseline.IntervalPreservation, baseline.Alignment} {
+			got, err := baseline.Eval(edb, q, ap)
+			if err != nil {
+				t.Fatalf("%v: %v (%s)", ap, err, q)
+			}
+			if !engine.EqualAsPeriodRelations(got, want, algSpec) {
+				t.Fatalf("iteration %d: %v disagrees on RA+ query %s\ngot  %v\nwant %v",
+					i, ap, q, got.ToPeriodRelation(algSpec), want.ToPeriodRelation(algSpec))
+			}
+		}
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	db := exampleDB()
+	if _, err := baseline.Eval(db, algebra.Rel{Name: "nope"}, baseline.IntervalPreservation); err == nil {
+		t.Fatal("unknown relation must error")
+	}
+	bad := algebra.Agg{GroupBy: []string{"zzz"}, Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "c"}}, In: algebra.Rel{Name: "works"}}
+	if _, err := baseline.Eval(db, bad, baseline.IntervalPreservation); err == nil {
+		t.Fatal("bad group-by must error")
+	}
+	bad2 := algebra.Agg{Aggs: []algebra.AggSpec{{Fn: krel.Sum, Arg: "zzz", As: "s"}}, In: algebra.Rel{Name: "works"}}
+	if _, err := baseline.Eval(db, bad2, baseline.Alignment); err == nil {
+		t.Fatal("bad agg arg must error")
+	}
+}
+
+func TestApproachString(t *testing.T) {
+	if baseline.IntervalPreservation.String() != "interval-preservation" {
+		t.Error("String broken")
+	}
+	if baseline.Alignment.String() != "alignment" {
+		t.Error("String broken")
+	}
+}
+
+// TestGroupedAggregationAgreesOnLiveGroups: away from gaps, the buggy
+// aggregation agrees with the correct one (it is only the gaps that
+// differ), which is what makes the bug easy to miss in practice.
+func TestGroupedAggregationAgreesOnLiveGroups(t *testing.T) {
+	db := exampleDB()
+	q := algebra.Agg{
+		GroupBy: []string{"skill"},
+		Aggs:    []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+		In:      algebra.Rel{Name: "works"},
+	}
+	want, err := rewrite.Run(db, q, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range []baseline.Approach{baseline.IntervalPreservation, baseline.Alignment} {
+		got, err := baseline.Eval(db, q, ap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grouped aggregation has no gaps on this data: results agree.
+		if !engine.EqualAsPeriodRelations(got, want, alg) {
+			t.Fatalf("%v grouped aggregation disagrees:\n%v\nvs\n%v",
+				ap, got.ToPeriodRelation(alg), want.ToPeriodRelation(alg))
+		}
+	}
+}

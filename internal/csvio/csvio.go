@@ -1,0 +1,130 @@
+// Package csvio reads and writes period relations as CSV files, the
+// interchange format of the snapq CLI. The expected layout is a header
+// row naming the data columns followed by the two period columns
+// (by convention "begin" and "end" — the last two columns are always
+// interpreted as the period), then one row per fact:
+//
+//	name,skill,begin,end
+//	Ann,SP,3,10
+//	Joe,NS,8,16
+//
+// Values are inferred per cell: integers, then floats, then booleans,
+// with the empty string as NULL and anything else as text.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"snapk/internal/engine"
+	"snapk/internal/interval"
+	"snapk/internal/tuple"
+)
+
+// ReadTable parses a period relation from CSV.
+func ReadTable(r io.Reader) (*engine.Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	if len(header) < 3 {
+		return nil, fmt.Errorf("csvio: need at least one data column plus begin/end, got %d columns", len(header))
+	}
+	dataCols := header[:len(header)-2]
+	schema, err := safeSchema(dataCols)
+	if err != nil {
+		return nil, err
+	}
+	t := engine.NewTable(schema)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("csvio: line %d: %d fields, want %d", line, len(rec), len(header))
+		}
+		begin, err := strconv.ParseInt(rec[len(rec)-2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: bad begin %q", line, rec[len(rec)-2])
+		}
+		end, err := strconv.ParseInt(rec[len(rec)-1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: bad end %q", line, rec[len(rec)-1])
+		}
+		iv, ok := interval.TryNew(begin, end)
+		if !ok {
+			return nil, fmt.Errorf("csvio: line %d: empty period [%d, %d)", line, begin, end)
+		}
+		row := make(tuple.Tuple, len(dataCols))
+		for i := range dataCols {
+			row[i] = inferValue(rec[i])
+		}
+		t.Append(row, iv, 1)
+	}
+	return t, nil
+}
+
+func safeSchema(cols []string) (s tuple.Schema, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("csvio: %v", r)
+		}
+	}()
+	return tuple.NewSchema(cols...), nil
+}
+
+// inferValue guesses the kind of a CSV cell.
+func inferValue(s string) tuple.Value {
+	if s == "" {
+		return tuple.Null
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return tuple.Int(n)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return tuple.Float(f)
+	}
+	if s == "true" || s == "false" {
+		return tuple.Bool(s == "true")
+	}
+	return tuple.String_(s)
+}
+
+// WriteTable renders a period relation as CSV in canonical row order.
+func WriteTable(w io.Writer, t *engine.Table) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, t.DataSchema().Cols...), "begin", "end")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	c := t.Clone()
+	c.Sort()
+	n := t.DataArity()
+	for _, row := range c.Rows {
+		rec := make([]string, 0, len(row))
+		for i := 0; i < n; i++ {
+			if row[i].IsNull() {
+				rec = append(rec, "")
+				continue
+			}
+			rec = append(rec, row[i].String())
+		}
+		iv := t.Interval(row)
+		rec = append(rec, strconv.FormatInt(iv.Begin, 10), strconv.FormatInt(iv.End, 10))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,115 @@
+package csvio
+
+import (
+	"strings"
+	"testing"
+
+	"snapk/internal/engine"
+	"snapk/internal/interval"
+	"snapk/internal/tuple"
+)
+
+const worksCSV = `name,skill,begin,end
+Ann,SP,3,10
+Joe,NS,8,16
+Sam,SP,8,16
+Ann,SP,18,20
+`
+
+func TestReadTable(t *testing.T) {
+	tbl, err := ReadTable(strings.NewReader(worksCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	if !tbl.DataSchema().Equal(tuple.NewSchema("name", "skill")) {
+		t.Fatalf("schema = %v", tbl.DataSchema())
+	}
+	if got := tbl.Interval(tbl.Rows[0]); got != interval.New(3, 10) {
+		t.Fatalf("interval = %v", got)
+	}
+	if tbl.Rows[0][0].AsString() != "Ann" {
+		t.Fatalf("row = %v", tbl.Rows[0])
+	}
+}
+
+func TestValueInference(t *testing.T) {
+	csv := "a,b,c,d,e,begin,end\n42,1.5,true,hello,,0,5\n"
+	tbl, err := ReadTable(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	if row[0].AsInt() != 42 {
+		t.Error("int inference")
+	}
+	if row[1].AsFloat() != 1.5 {
+		t.Error("float inference")
+	}
+	if !row[2].AsBool() {
+		t.Error("bool inference")
+	}
+	if row[3].AsString() != "hello" {
+		t.Error("string inference")
+	}
+	if !row[4].IsNull() {
+		t.Error("null inference")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"",                         // no header
+		"a,begin\n",                // too few columns
+		"a,begin,end\n1,2\n",       // short record
+		"a,begin,end\n1,x,5\n",     // bad begin
+		"a,begin,end\n1,0,x\n",     // bad end
+		"a,begin,end\n1,5,5\n",     // empty period
+		"a,a,begin,end\n1,2,0,5\n", // duplicate column
+	}
+	for i, s := range bad {
+		if _, err := ReadTable(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	tbl, err := ReadTable(strings.NewReader(worksCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTable(&b, tbl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTable(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("reading back: %v\n%s", err, b.String())
+	}
+	if back.Len() != tbl.Len() {
+		t.Fatalf("roundtrip lost rows: %d vs %d", back.Len(), tbl.Len())
+	}
+	a, c := tbl.Clone(), back.Clone()
+	a.Sort()
+	c.Sort()
+	for i := range a.Rows {
+		if a.Rows[i].Key() != c.Rows[i].Key() {
+			t.Fatalf("row %d differs after roundtrip", i)
+		}
+	}
+}
+
+func TestWriteNulls(t *testing.T) {
+	tbl := engine.NewTable(tuple.NewSchema("x"))
+	tbl.Append(tuple.Tuple{tuple.Null}, interval.New(0, 5), 1)
+	var b strings.Builder
+	if err := WriteTable(&b, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), ",0,5") {
+		t.Fatalf("output = %q", b.String())
+	}
+}

@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snapk/internal/engine"
+	"snapk/internal/interval"
+	"snapk/internal/tuple"
+)
+
+// TPCBiHDomain is the valid-time domain of the TPC-BiH stand-in.
+var TPCBiHDomain = interval.NewDomain(0, 2000)
+
+// TPCBiHConfig scales the TPC-BiH generator. ScaleFactor 1.0 roughly
+// corresponds to 6k orders / 24k lineitems in this scaled-down stand-in;
+// the paper's SF1 is ~1.5M orders (we reproduce shapes, not sizes).
+type TPCBiHConfig struct {
+	ScaleFactor float64
+	Seed        int64
+}
+
+// DefaultTPCBiH is the configuration used by tests and the quick harness.
+var DefaultTPCBiH = TPCBiHConfig{ScaleFactor: 0.5, Seed: 7}
+
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nationNames = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	partTypes   = []string{"ECONOMY ANODIZED STEEL", "STANDARD BRUSHED COPPER", "PROMO BURNISHED NICKEL", "SMALL PLATED BRASS", "MEDIUM POLISHED TIN"}
+	partCats    = []string{"PROMO", "STANDARD", "ECONOMY", "SMALL", "MEDIUM"}
+	containers  = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX"}
+	brands      = []string{"Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#55"}
+	shipModes   = []string{"MAIL", "SHIP", "AIR", "TRUCK", "RAIL", "FOB"}
+	returnFlags = []string{"A", "N", "R"}
+	lineStati   = []string{"O", "F"}
+	priorities  = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	instructs   = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+)
+
+// TPCBiH generates the valid-time TPC-H-shaped database: region, nation,
+// customer, supplier, part, partsupp, orders and lineitem period tables.
+// Every row carries a validity period within TPCBiHDomain; reference data
+// (region, nation) is valid over the whole domain, as in TPC-BiH's valid
+// time dimension.
+func TPCBiH(cfg TPCBiHConfig) *engine.DB {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	dom := TPCBiHDomain
+	db := engine.NewDB(dom)
+	sf := cfg.ScaleFactor
+	if sf <= 0 {
+		sf = 0.1
+	}
+	nCust := max(10, int(300*sf))
+	nSupp := max(5, int(20*sf))
+	nPart := max(10, int(400*sf))
+	nOrders := max(20, int(6000*sf))
+
+	region := db.CreateTable("region", tuple.NewSchema("r_regionkey", "r_name"))
+	for i, name := range regionNames {
+		region.Append(tuple.Tuple{tuple.Int(int64(i)), tuple.String_(name)}, dom.All(), 1)
+	}
+	nation := db.CreateTable("nation", tuple.NewSchema("n_nationkey", "n_name", "n_regionkey"))
+	for i, name := range nationNames {
+		nation.Append(tuple.Tuple{
+			tuple.Int(int64(i)), tuple.String_(name), tuple.Int(int64(i % len(regionNames))),
+		}, dom.All(), 1)
+	}
+
+	randPeriod := func(minLen int64) interval.Interval {
+		b := dom.Min + int64(r.Intn(int(dom.Size()-minLen)))
+		e := b + minLen + int64(r.Intn(int(dom.Max-b-minLen)+1))
+		if e > dom.Max {
+			e = dom.Max
+		}
+		return interval.New(b, e)
+	}
+
+	customer := db.CreateTable("customer", tuple.NewSchema("c_custkey", "c_nationkey"))
+	for c := 0; c < nCust; c++ {
+		customer.Append(tuple.Tuple{
+			tuple.Int(int64(c)), tuple.Int(int64(r.Intn(len(nationNames)))),
+		}, randPeriod(500), 1)
+	}
+	supplier := db.CreateTable("supplier", tuple.NewSchema("s_suppkey", "s_nationkey"))
+	for s := 0; s < nSupp; s++ {
+		supplier.Append(tuple.Tuple{
+			tuple.Int(int64(s)), tuple.Int(int64(r.Intn(len(nationNames)))),
+		}, randPeriod(800), 1)
+	}
+	part := db.CreateTable("part", tuple.NewSchema("p_partkey", "p_type", "p_category", "p_brand", "p_size", "p_container"))
+	for p := 0; p < nPart; p++ {
+		ti := r.Intn(len(partTypes))
+		part.Append(tuple.Tuple{
+			tuple.Int(int64(p)),
+			tuple.String_(partTypes[ti]),
+			tuple.String_(partCats[ti]),
+			tuple.String_(brands[r.Intn(len(brands))]),
+			tuple.Int(int64(1 + r.Intn(50))),
+			tuple.String_(containers[r.Intn(len(containers))]),
+		}, randPeriod(700), 1)
+	}
+	partsupp := db.CreateTable("partsupp", tuple.NewSchema("ps_partkey", "ps_suppkey", "ps_supplycost"))
+	for p := 0; p < nPart; p++ {
+		for k := 0; k < 2; k++ {
+			partsupp.Append(tuple.Tuple{
+				tuple.Int(int64(p)),
+				tuple.Int(int64((p + k) % nSupp)),
+				tuple.Float(float64(10 + r.Intn(900))),
+			}, randPeriod(600), 1)
+		}
+	}
+	orders := db.CreateTable("orders", tuple.NewSchema("o_orderkey", "o_custkey", "o_orderpriority"))
+	lineitem := db.CreateTable("lineitem", tuple.NewSchema(
+		"l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice",
+		"l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_shipmode", "l_shipinstruct"))
+	for o := 0; o < nOrders; o++ {
+		op := randPeriod(30)
+		orders.Append(tuple.Tuple{
+			tuple.Int(int64(o)), tuple.Int(int64(r.Intn(nCust))),
+			tuple.String_(priorities[r.Intn(len(priorities))]),
+		}, op, 1)
+		nLines := 1 + r.Intn(6)
+		for l := 0; l < nLines; l++ {
+			// Line items live within their order's period.
+			lb := op.Begin + int64(r.Intn(int(op.End-op.Begin)))
+			le := lb + 1 + int64(r.Intn(int(op.End-lb)))
+			lineitem.Append(tuple.Tuple{
+				tuple.Int(int64(o)),
+				tuple.Int(int64(r.Intn(nPart))),
+				tuple.Int(int64(r.Intn(nSupp))),
+				tuple.Int(int64(1 + r.Intn(50))),
+				tuple.Float(float64(1000 + r.Intn(90000))),
+				tuple.Float(float64(r.Intn(11)) / 100.0),
+				tuple.Float(float64(r.Intn(9)) / 100.0),
+				tuple.String_(returnFlags[r.Intn(len(returnFlags))]),
+				tuple.String_(lineStati[r.Intn(len(lineStati))]),
+				tuple.String_(shipModes[r.Intn(len(shipModes))]),
+				tuple.String_(instructs[r.Intn(len(instructs))]),
+			}, interval.New(lb, le), 1)
+		}
+	}
+	return db
+}
+
+// TableRowCounts reports the row count of every table in db, for the
+// dataset summaries printed by the harness.
+func TableRowCounts(db *engine.DB, names []string) map[string]int {
+	out := make(map[string]int, len(names))
+	for _, n := range names {
+		t, err := db.Table(n)
+		if err != nil {
+			out[n] = -1
+			continue
+		}
+		out[n] = t.Len()
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String summarizes a config for harness output.
+func (c TPCBiHConfig) String() string {
+	return fmt.Sprintf("TPC-BiH(sf=%.2g, seed=%d)", c.ScaleFactor, c.Seed)
+}
+
+// String summarizes a config for harness output.
+func (c EmployeesConfig) String() string {
+	return fmt.Sprintf("Employees(n=%d, depts=%d, seed=%d)", c.NumEmployees, c.NumDepartments, c.Seed)
+}

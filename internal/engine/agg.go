@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"snapk/internal/algebra"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/tuple"
+)
+
+// TemporalAggregate implements the REWR aggregation pattern (Fig 4):
+// split the input on the grouping columns so that aggregates are constant
+// per resulting interval, then aggregate per (group, interval). Without
+// grouping, a virtual neutral row spanning the whole domain is unioned in
+// first (the Fig 4 pattern REWR(γf(A)) with {(null, Tmin, Tmax)}), so
+// gaps produce rows (count 0 / NULL aggregate) — this is what fixes the
+// AG bug.
+//
+// With preAgg (the §9 optimization) the split is fused with the
+// aggregation into one endpoint sweep per group using incremental
+// accumulators, so the sort runs over group endpoints instead of
+// materialized split rows. With preAgg false, the operator materializes
+// Split (Def 8.3) output and hash-aggregates it — the naive plan used as
+// the ablation baseline.
+func TemporalAggregate(in *Table, groupBy []string, aggs []algebra.AggSpec, preAgg bool, dom interval.Domain) (*Table, error) {
+	data := in.DataSchema()
+	groupIdx := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		idx := data.Index(g)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: unknown group-by column %q", g)
+		}
+		groupIdx[i] = idx
+	}
+	argIdx := make([]int, len(aggs))
+	outCols := append([]string{}, groupBy...)
+	for i, a := range aggs {
+		argIdx[i] = -1
+		if a.Fn != krel.CountStar {
+			idx := data.Index(a.Arg)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: unknown aggregation column %q", a.Arg)
+			}
+			argIdx[i] = idx
+		}
+		outCols = append(outCols, a.As)
+	}
+	out := NewTable(tuple.NewSchema(outCols...))
+	if preAgg {
+		aggregateSweep(in, out, groupIdx, aggs, argIdx, dom)
+		return out, nil
+	}
+	aggregateNaive(in, out, groupIdx, aggs, argIdx, dom)
+	return out, nil
+}
+
+// aggregateSweep is the pre-aggregated implementation: one endpoint sweep
+// per group with incremental accumulators.
+func aggregateSweep(in *Table, out *Table, groupIdx []int, aggs []algebra.AggSpec, argIdx []int, dom interval.Domain) {
+	type rowEvent struct {
+		t     interval.Time
+		row   tuple.Tuple
+		enter bool
+	}
+	type grp struct {
+		group  tuple.Tuple
+		events []rowEvent
+	}
+	global := len(groupIdx) == 0
+	groups := make(map[string]*grp)
+	for _, row := range in.Rows {
+		g := row.Project(groupIdx)
+		key := g.Key()
+		acc, ok := groups[key]
+		if !ok {
+			acc = &grp{group: g}
+			groups[key] = acc
+		}
+		iv := in.Interval(row)
+		acc.events = append(acc.events,
+			rowEvent{t: iv.Begin, row: row, enter: true},
+			rowEvent{t: iv.End, row: row, enter: false})
+	}
+	if global && len(groups) == 0 {
+		groups[""] = &grp{group: tuple.Tuple{}}
+	}
+	for _, g := range groups {
+		sort.SliceStable(g.events, func(i, j int) bool { return g.events[i].t < g.events[j].t })
+		sweepers := make([]*aggSweeper, len(aggs))
+		for i, a := range aggs {
+			sweepers[i] = newAggSweeper(a.Fn)
+		}
+		var alive int64
+		emit := func(seg interval.Interval) {
+			if !seg.Valid() {
+				return
+			}
+			if alive == 0 && !global {
+				return
+			}
+			row := g.group.Clone()
+			for _, sw := range sweepers {
+				row = append(row, sw.result())
+			}
+			row = append(row, tuple.Int(seg.Begin), tuple.Int(seg.End))
+			out.Rows = append(out.Rows, row)
+		}
+		segStart := dom.Min
+		i := 0
+		if !global && len(g.events) > 0 {
+			segStart = g.events[0].t
+		}
+		for i < len(g.events) {
+			t := g.events[i].t
+			emit(interval.Interval{Begin: segStart, End: t})
+			for i < len(g.events) && g.events[i].t == t {
+				ev := g.events[i]
+				if ev.enter {
+					alive++
+				} else {
+					alive--
+				}
+				for j, sw := range sweepers {
+					var arg tuple.Value
+					if argIdx[j] >= 0 {
+						arg = ev.row[argIdx[j]]
+					}
+					sw.update(arg, ev.enter)
+				}
+				i++
+			}
+			segStart = t
+		}
+		if global {
+			emit(interval.Interval{Begin: segStart, End: dom.Max})
+		}
+	}
+}
+
+// aggregateNaive materializes the split (Def 8.3) and hash-aggregates.
+// For global aggregation it additionally emits neutral rows (count 0,
+// NULL aggregates) over the uncovered segments of the domain, which is
+// the effect of Fig 4's union with {(null, Tmin, Tmax)}.
+func aggregateNaive(in *Table, out *Table, groupIdx []int, aggs []algebra.AggSpec, argIdx []int, dom interval.Domain) {
+	global := len(groupIdx) == 0
+	split := Split(in, in, groupIdx)
+	type acc struct {
+		group  tuple.Tuple
+		seg    interval.Interval
+		states []*krel.AggState
+	}
+	newAcc := func(g tuple.Tuple, iv interval.Interval) *acc {
+		a := &acc{group: g, seg: iv, states: make([]*krel.AggState, len(aggs))}
+		for i, sp := range aggs {
+			a.states[i] = krel.NewAggState(sp.Fn)
+		}
+		return a
+	}
+	groups := make(map[string]*acc)
+	for _, row := range split.Rows {
+		g := row.Project(groupIdx)
+		iv := split.Interval(row)
+		key := g.Key() + "@" + tuple.Tuple{tuple.Int(iv.Begin), tuple.Int(iv.End)}.Key()
+		a, ok := groups[key]
+		if !ok {
+			a = newAcc(g, iv)
+			groups[key] = a
+		}
+		for i := range aggs {
+			var arg tuple.Value
+			if argIdx[i] >= 0 {
+				arg = row[argIdx[i]]
+			}
+			a.states[i].AddValue(arg, 1)
+		}
+	}
+	if global {
+		// Gap segments: elementary intervals of the domain not covered by
+		// any input row still produce a (0 / NULL) result row.
+		pts := []interval.Time{dom.Min, dom.Max}
+		for _, row := range in.Rows {
+			iv := in.Interval(row)
+			pts = append(pts, iv.Begin, iv.End)
+		}
+		pts = interval.DedupTimes(pts)
+		for i := 0; i+1 < len(pts); i++ {
+			seg := interval.Interval{Begin: pts[i], End: pts[i+1]}
+			key := "@" + tuple.Tuple{tuple.Int(seg.Begin), tuple.Int(seg.End)}.Key()
+			if _, covered := groups[key]; !covered {
+				groups[key] = newAcc(tuple.Tuple{}, seg)
+			}
+		}
+	}
+	for _, a := range groups {
+		row := a.group.Clone()
+		for _, st := range a.states {
+			row = append(row, st.Result())
+		}
+		row = append(row, tuple.Int(a.seg.Begin), tuple.Int(a.seg.End))
+		out.Rows = append(out.Rows, row)
+	}
+}
+
+// aggSweeper incrementally maintains one aggregation function under row
+// insertions and deletions — the per-segment evaluation of the
+// pre-aggregated split (§9).
+type aggSweeper struct {
+	fn        krel.AggFunc
+	count     int64   // non-null rows (all rows for CountStar)
+	sumI      int64   // integer part of the running sum
+	sumF      float64 // float part of the running sum
+	seenFloat bool    // a float value ever contributed to the sum
+	// vals maintains the multiset of current values for min/max, as a
+	// sorted slice of distinct values with counts.
+	vals   []tuple.Value
+	counts []int64
+}
+
+func newAggSweeper(fn krel.AggFunc) *aggSweeper { return &aggSweeper{fn: fn} }
+
+func (a *aggSweeper) update(v tuple.Value, enter bool) {
+	sign := int64(1)
+	if !enter {
+		sign = -1
+	}
+	if a.fn == krel.CountStar {
+		a.count += sign
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.count += sign
+	switch a.fn {
+	case krel.Sum, krel.Avg:
+		if v.Kind() == tuple.KindFloat {
+			a.seenFloat = true
+			a.sumF += float64(sign) * v.AsFloat()
+		} else {
+			a.sumI += sign * v.AsInt()
+		}
+	case krel.Min, krel.Max:
+		i := sort.Search(len(a.vals), func(i int) bool { return tuple.Compare(a.vals[i], v) >= 0 })
+		if i < len(a.vals) && tuple.Compare(a.vals[i], v) == 0 {
+			a.counts[i] += sign
+			if a.counts[i] == 0 {
+				a.vals = append(a.vals[:i], a.vals[i+1:]...)
+				a.counts = append(a.counts[:i], a.counts[i+1:]...)
+			}
+			return
+		}
+		a.vals = append(a.vals, tuple.Null)
+		copy(a.vals[i+1:], a.vals[i:])
+		a.vals[i] = v
+		a.counts = append(a.counts, 0)
+		copy(a.counts[i+1:], a.counts[i:])
+		a.counts[i] = 1
+	}
+}
+
+func (a *aggSweeper) result() tuple.Value {
+	switch a.fn {
+	case krel.CountStar, krel.Count:
+		return tuple.Int(a.count)
+	case krel.Sum:
+		if a.count == 0 {
+			return tuple.Null
+		}
+		if a.seenFloat {
+			return tuple.Float(krel.QuantizeFloat(a.sumF + float64(a.sumI)))
+		}
+		return tuple.Int(a.sumI)
+	case krel.Avg:
+		if a.count == 0 {
+			return tuple.Null
+		}
+		return tuple.Float(krel.QuantizeFloat((a.sumF + float64(a.sumI)) / float64(a.count)))
+	case krel.Min:
+		if len(a.vals) == 0 {
+			return tuple.Null
+		}
+		return a.vals[0]
+	case krel.Max:
+		if len(a.vals) == 0 {
+			return tuple.Null
+		}
+		return a.vals[len(a.vals)-1]
+	default:
+		panic("engine: unknown aggregation function")
+	}
+}

@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"fmt"
+
+	"snapk/internal/algebra"
+	"snapk/internal/interval"
+	"snapk/internal/tuple"
+)
+
+// Filter returns the rows of in satisfying pred, which is compiled
+// against the full period schema (so predicates may inspect the period
+// attributes too, although REWR never generates such predicates).
+func Filter(in *Table, pred algebra.Expr) (*Table, error) {
+	c, err := algebra.Compile(pred, in.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{Schema: in.Schema}
+	for _, row := range in.Rows {
+		if algebra.Truthy(c(row)) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Project evaluates the projection expressions over the data columns and
+// carries the period attributes through unchanged — the REWR projection
+// pattern Π_{A, Abegin, Aend} (Fig 4).
+func Project(in *Table, exprs []algebra.NamedExpr) (*Table, error) {
+	fns := make([]algebra.Compiled, len(exprs))
+	cols := make([]string, len(exprs))
+	for i, ne := range exprs {
+		c, err := algebra.Compile(ne.E, in.Schema)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = c
+		cols[i] = ne.Name
+	}
+	out := NewTable(tuple.NewSchema(cols...))
+	n := len(in.Schema.Cols)
+	for _, row := range in.Rows {
+		res := make(tuple.Tuple, len(fns)+2)
+		for i, f := range fns {
+			res[i] = f(row)
+		}
+		res[len(fns)] = row[n-2]
+		res[len(fns)+1] = row[n-1]
+		out.Rows = append(out.Rows, res)
+	}
+	return out, nil
+}
+
+// UnionAll concatenates two union-compatible period relations.
+func UnionAll(l, r *Table) (*Table, error) {
+	if l.Schema.Arity() != r.Schema.Arity() {
+		return nil, fmt.Errorf("engine: union-incompatible arities %d and %d", l.Schema.Arity(), r.Schema.Arity())
+	}
+	out := &Table{Schema: l.Schema, Rows: make([]tuple.Tuple, 0, len(l.Rows)+len(r.Rows))}
+	out.Rows = append(out.Rows, l.Rows...)
+	out.Rows = append(out.Rows, r.Rows...)
+	return out, nil
+}
+
+// equiKey describes one extracted equality conjunct l = r usable as a
+// hash-join key (l from the left input, r from the right input).
+type equiKey struct {
+	l, r int
+}
+
+// extractEquiKeys pulls conjuncts of the form leftCol = rightCol out of
+// pred; residual returns the remaining predicate (TRUE if none).
+func extractEquiKeys(pred algebra.Expr, lSchema, joined tuple.Schema, lArity int) (keys []equiKey, residual algebra.Expr) {
+	var rest []algebra.Expr
+	var walk func(e algebra.Expr)
+	walk = func(e algebra.Expr) {
+		if b, ok := e.(algebra.BinOp); ok {
+			if b.Op == algebra.OpAnd {
+				walk(b.L)
+				walk(b.R)
+				return
+			}
+			if b.Op == algebra.OpEq {
+				lc, lok := b.L.(algebra.ColRef)
+				rc, rok := b.R.(algebra.ColRef)
+				if lok && rok {
+					li, ri := joined.Index(lc.Name), joined.Index(rc.Name)
+					if li >= 0 && ri >= 0 {
+						if li < lArity && ri >= lArity {
+							keys = append(keys, equiKey{l: li, r: ri - lArity})
+							return
+						}
+						if ri < lArity && li >= lArity {
+							keys = append(keys, equiKey{l: ri, r: li - lArity})
+							return
+						}
+					}
+				}
+			}
+		}
+		rest = append(rest, e)
+	}
+	walk(pred)
+	_ = lSchema
+	return keys, algebra.And(rest...)
+}
+
+// TemporalJoin implements the REWR join pattern (Fig 4): an inner join on
+// the non-temporal predicate conjoined with interval overlap, emitting the
+// intersection of the input periods as the output period. Equality
+// conjuncts between the two sides are executed as a hash join; remaining
+// conjuncts are evaluated as residual predicates.
+func TemporalJoin(l, r *Table, pred algebra.Expr) (*Table, error) {
+	lData, rData := l.DataSchema(), r.DataSchema()
+	joined := lData.Concat(rData, "r.")
+	keys, residual := extractEquiKeys(pred, lData, joined, lData.Arity())
+	res, err := algebra.Compile(residual, joined)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(joined)
+	lA, rA := lData.Arity(), rData.Arity()
+
+	// Build hash table on the smaller input's key columns.
+	hashKeyOf := func(row tuple.Tuple, idx []int) string {
+		return row.Project(idx).Key()
+	}
+	lIdx := make([]int, len(keys))
+	rIdx := make([]int, len(keys))
+	for i, k := range keys {
+		lIdx[i], rIdx[i] = k.l, k.r
+	}
+	// SQL comparison semantics: a NULL in any join key compares unknown,
+	// so such rows can never match and are excluded from the hash table.
+	hasNullKey := func(row tuple.Tuple, idx []int) bool {
+		for _, i := range idx {
+			if row[i].IsNull() {
+				return true
+			}
+		}
+		return false
+	}
+	build := make(map[string][]tuple.Tuple, len(r.Rows))
+	for _, row := range r.Rows {
+		if hasNullKey(row, rIdx) {
+			continue
+		}
+		k := hashKeyOf(row, rIdx)
+		build[k] = append(build[k], row)
+	}
+	for _, lrow := range l.Rows {
+		if hasNullKey(lrow, lIdx) {
+			continue
+		}
+		liv := l.Interval(lrow)
+		for _, rrow := range build[hashKeyOf(lrow, lIdx)] {
+			riv := r.Interval(rrow)
+			iv, ok := liv.Intersect(riv) // the overlaps() condition of Fig 4
+			if !ok {
+				continue
+			}
+			data := make(tuple.Tuple, 0, lA+rA+2)
+			data = append(data, lrow[:lA]...)
+			data = append(data, rrow[:rA]...)
+			if !algebra.Truthy(res(data)) {
+				continue
+			}
+			data = append(data, tuple.Int(iv.Begin), tuple.Int(iv.End))
+			out.Rows = append(out.Rows, data)
+		}
+	}
+	return out, nil
+}
+
+// Split implements the split operator N_G (Def 8.3): every row of r1 is
+// split at the interval end points of all rows in r1 ∪ r2 that agree with
+// it on the grouping columns, so that any two result intervals within a
+// group are either equal or disjoint. groupIdx indexes data columns of
+// the (union-compatible) inputs.
+func Split(r1, r2 *Table, groupIdx []int) *Table {
+	eps := make(map[string][]interval.Time)
+	collect := func(t *Table) {
+		for _, row := range t.Rows {
+			key := row.Project(groupIdx).Key()
+			iv := t.Interval(row)
+			eps[key] = append(eps[key], iv.Begin, iv.End)
+		}
+	}
+	collect(r1)
+	collect(r2)
+	for k, ts := range eps {
+		eps[k] = interval.DedupTimes(ts)
+	}
+	out := &Table{Schema: r1.Schema}
+	n := r1.DataArity()
+	for _, row := range r1.Rows {
+		key := row.Project(groupIdx).Key()
+		for _, seg := range r1.Interval(row).Segments(eps[key]) {
+			nr := row[:n].Clone()
+			nr = append(nr, tuple.Int(seg.Begin), tuple.Int(seg.End))
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out
+}
+
+// TemporalDiff implements snapshot-reducible EXCEPT ALL: the REWR pattern
+// N_SCH(Q1)(R1,R2) − N_SCH(Q2)(R2,R1) (Fig 4), fused into one endpoint
+// sweep per value-equivalent row group with pre-aggregated counts (the §9
+// optimization applied to difference). For every elementary segment the
+// output multiplicity is max(0, |left| − |right|) — the ℕ monus.
+func TemporalDiff(l, r *Table) (*Table, error) {
+	if l.Schema.Arity() != r.Schema.Arity() {
+		return nil, fmt.Errorf("engine: difference-incompatible arities %d and %d", l.Schema.Arity(), r.Schema.Arity())
+	}
+	n := l.DataArity()
+	type grp struct {
+		data   tuple.Tuple
+		deltas map[interval.Time]int64 // +left −right multiplicity change
+	}
+	groups := make(map[string]*grp)
+	add := func(t *Table, sign int64) {
+		for _, row := range t.Rows {
+			data := row[:n]
+			key := data.Key()
+			g, ok := groups[key]
+			if !ok {
+				g = &grp{data: data, deltas: make(map[interval.Time]int64)}
+				groups[key] = g
+			}
+			iv := t.Interval(row)
+			g.deltas[iv.Begin] += sign
+			g.deltas[iv.End] -= sign
+		}
+	}
+	add(l, 1)
+	add(r, -1)
+	out := &Table{Schema: l.Schema}
+	for _, g := range groups {
+		times := make([]interval.Time, 0, len(g.deltas))
+		for t := range g.deltas {
+			times = append(times, t)
+		}
+		times = interval.DedupTimes(times)
+		var cur int64
+		segStart := interval.Time(0)
+		emitting := int64(0)
+		for _, t := range times {
+			if emitting > 0 && t > segStart {
+				seg := interval.New(segStart, t)
+				nr := g.data.Clone()
+				nr = append(nr, tuple.Int(seg.Begin), tuple.Int(seg.End))
+				for i := int64(0); i < emitting; i++ {
+					out.Rows = append(out.Rows, nr)
+				}
+			}
+			cur += g.deltas[t]
+			emitting = cur
+			if emitting < 0 {
+				emitting = 0 // ℕ monus truncates
+			}
+			segStart = t
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"snapk/internal/algebra"
+	"snapk/internal/interval"
+	"snapk/internal/tuple"
+)
+
+// Plan is a physical plan node over period relations. Plans are produced
+// from snapshot-semantics queries by the REWR rewriting (package rewrite)
+// and executed by DB.Exec.
+type Plan interface {
+	planNode()
+	String() string
+}
+
+// ScanP scans a stored period relation.
+type ScanP struct{ Name string }
+
+// FilterP filters rows by a predicate over the data columns.
+type FilterP struct {
+	Pred algebra.Expr
+	In   Plan
+}
+
+// ProjectP projects the data columns (periods carried through), the
+// Π_{A, Abegin, Aend} pattern of Fig 4.
+type ProjectP struct {
+	Exprs []algebra.NamedExpr
+	In    Plan
+}
+
+// JoinP is the temporal join pattern of Fig 4: predicate ∧ overlap with
+// period intersection.
+type JoinP struct {
+	L, R Plan
+	Pred algebra.Expr
+}
+
+// UnionP is UNION ALL.
+type UnionP struct{ L, R Plan }
+
+// DiffP is snapshot-reducible EXCEPT ALL via split (Fig 4).
+type DiffP struct{ L, R Plan }
+
+// AggP is snapshot-reducible aggregation via split (Fig 4); PreAgg
+// selects the §9 pre-aggregation optimization.
+type AggP struct {
+	GroupBy []string
+	Aggs    []algebra.AggSpec
+	PreAgg  bool
+	In      Plan
+}
+
+// CoalesceP applies the coalesce operator C (Def 8.2).
+type CoalesceP struct {
+	Impl CoalesceImpl
+	In   Plan
+}
+
+func (ScanP) planNode()     {}
+func (FilterP) planNode()   {}
+func (ProjectP) planNode()  {}
+func (JoinP) planNode()     {}
+func (UnionP) planNode()    {}
+func (DiffP) planNode()     {}
+func (AggP) planNode()      {}
+func (CoalesceP) planNode() {}
+
+func (p ScanP) String() string   { return p.Name }
+func (p FilterP) String() string { return fmt.Sprintf("Filter[%s](%s)", p.Pred, p.In) }
+func (p ProjectP) String() string {
+	parts := make([]string, len(p.Exprs))
+	for i, ne := range p.Exprs {
+		parts[i] = fmt.Sprintf("%s→%s", ne.E, ne.Name)
+	}
+	return fmt.Sprintf("Project[%s](%s)", strings.Join(parts, ","), p.In)
+}
+func (p JoinP) String() string  { return fmt.Sprintf("TJoin[%s](%s, %s)", p.Pred, p.L, p.R) }
+func (p UnionP) String() string { return fmt.Sprintf("UnionAll(%s, %s)", p.L, p.R) }
+func (p DiffP) String() string  { return fmt.Sprintf("TDiff(%s, %s)", p.L, p.R) }
+func (p AggP) String() string {
+	mode := "naive"
+	if p.PreAgg {
+		mode = "preagg"
+	}
+	return fmt.Sprintf("TAgg[%v;%s](%s)", p.GroupBy, mode, p.In)
+}
+func (p CoalesceP) String() string { return fmt.Sprintf("Coalesce(%s)", p.In) }
+
+// CountCoalesce returns the number of coalesce operators in the plan,
+// used by the §9 ablation to report plan shape.
+func CountCoalesce(p Plan) int {
+	switch n := p.(type) {
+	case ScanP:
+		return 0
+	case FilterP:
+		return CountCoalesce(n.In)
+	case ProjectP:
+		return CountCoalesce(n.In)
+	case JoinP:
+		return CountCoalesce(n.L) + CountCoalesce(n.R)
+	case UnionP:
+		return CountCoalesce(n.L) + CountCoalesce(n.R)
+	case DiffP:
+		return CountCoalesce(n.L) + CountCoalesce(n.R)
+	case AggP:
+		return CountCoalesce(n.In)
+	case CoalesceP:
+		return 1 + CountCoalesce(n.In)
+	default:
+		return 0
+	}
+}
+
+// DB is an in-memory temporal database: named period relations plus a
+// plan executor. It stands in for the backend DBMS of the paper's
+// middleware architecture.
+type DB struct {
+	dom    interval.Domain
+	tables map[string]*Table
+}
+
+// NewDB returns an empty engine database over the given time domain.
+func NewDB(dom interval.Domain) *DB {
+	return &DB{dom: dom, tables: make(map[string]*Table)}
+}
+
+// Domain returns the database's time domain.
+func (db *DB) Domain() interval.Domain { return db.dom }
+
+// CreateTable registers an empty period relation with the given data
+// schema and returns it for loading.
+func (db *DB) CreateTable(name string, data tuple.Schema) *Table {
+	t := NewTable(data)
+	db.tables[name] = t
+	return t
+}
+
+// AddTable registers an existing table under name.
+func (db *DB) AddTable(name string, t *Table) { db.tables[name] = t }
+
+// Table returns the period relation registered under name.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// RelationSchema implements algebra.Catalog, exposing the data schema
+// (without period attributes) of stored tables.
+func (db *DB) RelationSchema(name string) (tuple.Schema, error) {
+	t, err := db.Table(name)
+	if err != nil {
+		return tuple.Schema{}, err
+	}
+	return t.DataSchema(), nil
+}
+
+// Exec evaluates a physical plan to a period relation.
+func (db *DB) Exec(p Plan) (*Table, error) {
+	switch n := p.(type) {
+	case ScanP:
+		return db.Table(n.Name)
+	case FilterP:
+		in, err := db.Exec(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return Filter(in, n.Pred)
+	case ProjectP:
+		in, err := db.Exec(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return Project(in, n.Exprs)
+	case JoinP:
+		l, err := db.Exec(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.Exec(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return TemporalJoin(l, r, n.Pred)
+	case UnionP:
+		l, err := db.Exec(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.Exec(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return UnionAll(l, r)
+	case DiffP:
+		l, err := db.Exec(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.Exec(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return TemporalDiff(l, r)
+	case AggP:
+		in, err := db.Exec(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return TemporalAggregate(in, n.GroupBy, n.Aggs, n.PreAgg, db.dom)
+	case CoalesceP:
+		in, err := db.Exec(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return Coalesce(in, n.Impl), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown plan node %T", p)
+	}
+}

@@ -1,0 +1,166 @@
+// Package engine is the implementation substrate of the framework: an
+// in-memory multiset relational executor over SQL period relations
+// (Section 8 of Dignös et al., PVLDB 2019). It plays the role the paper
+// assigns to the backend DBMS (Postgres/DBX/DBY): executing the
+// non-temporal multiset plans produced by the REWR rewriting (package
+// rewrite), including the two auxiliary operators the rewriting needs —
+// coalesce (Def 8.2) and split (Def 8.3) — plus the §9 optimizations
+// (pre-aggregation intertwined with split).
+//
+// A SQL period relation is a plain multiset of rows whose last two
+// columns, named by BeginCol and EndCol, hold the validity interval
+// [begin, end) of each row (PERIODENC, Def 8.1). Row multiplicity is
+// represented by duplicate rows, exactly as in SQL.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snapk/internal/interval"
+	"snapk/internal/period"
+	"snapk/internal/telement"
+	"snapk/internal/tuple"
+)
+
+// BeginCol and EndCol are the reserved names of the period attributes
+// Abegin and Aend appended to every period-encoded schema.
+const (
+	BeginCol = "_begin"
+	EndCol   = "_end"
+)
+
+// PeriodSchema appends the period attributes to a data schema.
+func PeriodSchema(data tuple.Schema) tuple.Schema {
+	cols := make([]string, 0, data.Arity()+2)
+	cols = append(cols, data.Cols...)
+	cols = append(cols, BeginCol, EndCol)
+	return tuple.NewSchema(cols...)
+}
+
+// Table is a SQL period relation: a multiset of period-encoded rows.
+// The last two schema columns must be BeginCol and EndCol.
+type Table struct {
+	Schema tuple.Schema
+	Rows   []tuple.Tuple
+}
+
+// NewTable returns an empty period relation for the given data schema.
+func NewTable(data tuple.Schema) *Table {
+	return &Table{Schema: PeriodSchema(data)}
+}
+
+// DataArity returns the number of non-period columns.
+func (t *Table) DataArity() int { return t.Schema.Arity() - 2 }
+
+// DataSchema returns the schema without the period attributes.
+func (t *Table) DataSchema() tuple.Schema {
+	return tuple.Schema{Cols: t.Schema.Cols[:t.DataArity()]}
+}
+
+// Interval returns the validity interval of row.
+func (t *Table) Interval(row tuple.Tuple) interval.Interval {
+	n := len(row)
+	return interval.Interval{Begin: row[n-2].AsInt(), End: row[n-1].AsInt()}
+}
+
+// Append adds a row for tuple data valid during iv, repeated mult times.
+func (t *Table) Append(data tuple.Tuple, iv interval.Interval, mult int64) {
+	if !iv.Valid() || mult <= 0 {
+		return
+	}
+	row := make(tuple.Tuple, 0, len(data)+2)
+	row = append(row, data...)
+	row = append(row, tuple.Int(iv.Begin), tuple.Int(iv.End))
+	for i := int64(0); i < mult; i++ {
+		t.Rows = append(t.Rows, row)
+	}
+}
+
+// Len returns the number of rows (counting duplicates).
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Clone returns a shallow copy of the table (rows are shared; rows are
+// treated as immutable by all operators).
+func (t *Table) Clone() *Table {
+	rows := make([]tuple.Tuple, len(t.Rows))
+	copy(rows, t.Rows)
+	return &Table{Schema: t.Schema, Rows: rows}
+}
+
+// Sort orders rows by data key, then begin, then end — the canonical
+// display and comparison order.
+func (t *Table) Sort() {
+	n := t.DataArity()
+	sort.Slice(t.Rows, func(i, j int) bool {
+		a, b := t.Rows[i], t.Rows[j]
+		for c := 0; c < n; c++ {
+			if cmp := tuple.Compare(a[c], b[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		if a[n] != b[n] {
+			return a[n].AsInt() < b[n].AsInt()
+		}
+		return a[n+1].AsInt() < b[n+1].AsInt()
+	})
+}
+
+// String renders the table with a header row.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Schema)
+	c := t.Clone()
+	c.Sort()
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "%v\n", r)
+	}
+	return b.String()
+}
+
+// ToPeriodRelation applies PERIODENC⁻¹ (Def 8.1): it decodes the table
+// into the period ℕ-relation it represents, coalescing per data tuple.
+func (t *Table) ToPeriodRelation(alg telement.MAlgebra[int64]) *period.Relation[int64] {
+	rel := period.NewRelation(alg, t.DataSchema())
+	type acc struct {
+		data  tuple.Tuple
+		pairs []telement.Seg[int64]
+	}
+	byTuple := make(map[string]*acc)
+	n := t.DataArity()
+	for _, row := range t.Rows {
+		data := row[:n]
+		key := data.Key()
+		a, ok := byTuple[key]
+		if !ok {
+			a = &acc{data: data}
+			byTuple[key] = a
+		}
+		a.pairs = append(a.pairs, telement.Seg[int64]{Iv: t.Interval(row), Val: 1})
+	}
+	for _, a := range byTuple {
+		rel.Add(a.data, alg.Coalesce(a.pairs))
+	}
+	return rel
+}
+
+// FromPeriodRelation applies PERIODENC (Def 8.1): it encodes a period
+// ℕ-relation as a table, emitting one row per interval-annotation pair,
+// duplicated per multiplicity.
+func FromPeriodRelation(rel *period.Relation[int64]) *Table {
+	t := NewTable(rel.Schema())
+	for _, e := range rel.Entries() {
+		for _, s := range e.Ann.Segs() {
+			t.Append(e.Tuple, s.Iv, s.Val)
+		}
+	}
+	return t
+}
+
+// EqualAsPeriodRelations reports whether two tables encode
+// snapshot-equivalent temporal relations, by decoding both and comparing
+// the unique normalized encodings.
+func EqualAsPeriodRelations(a, b *Table, alg telement.MAlgebra[int64]) bool {
+	return a.ToPeriodRelation(alg).Equal(b.ToPeriodRelation(alg))
+}

@@ -1,0 +1,181 @@
+// Package harness contains the shared machinery of the experiment
+// drivers (cmd/snapbench and the root bench_test.go): dataset scales,
+// approach dispatch, timing and table formatting. Each experiment in
+// DESIGN.md's per-experiment index is regenerated through this package.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"snapk/internal/algebra"
+	"snapk/internal/baseline"
+	"snapk/internal/dataset"
+	"snapk/internal/engine"
+	"snapk/internal/rewrite"
+	"snapk/internal/workload"
+)
+
+// Approach identifies an evaluation strategy in experiment output, in
+// the paper's naming: Seq is the middleware, Nat-* are the native
+// comparators.
+type Approach int
+
+// The approaches compared by Table 3.
+const (
+	Seq Approach = iota
+	SeqNaive
+	NatIP
+	NatAlign
+)
+
+// String returns the label used in experiment tables.
+func (a Approach) String() string {
+	switch a {
+	case Seq:
+		return "Seq"
+	case SeqNaive:
+		return "Seq-naive"
+	case NatIP:
+		return "Nat-ip"
+	case NatAlign:
+		return "Nat-align"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Run evaluates q over db under the given approach and returns the
+// result table.
+func Run(db *engine.DB, q algebra.Query, ap Approach) (*engine.Table, error) {
+	switch ap {
+	case Seq:
+		return rewrite.Run(db, q, rewrite.Options{Mode: rewrite.ModeOptimized})
+	case SeqNaive:
+		return rewrite.Run(db, q, rewrite.Options{Mode: rewrite.ModeNaive})
+	case NatIP:
+		return baseline.Eval(db, q, baseline.IntervalPreservation)
+	case NatAlign:
+		return baseline.Eval(db, q, baseline.Alignment)
+	default:
+		return nil, fmt.Errorf("harness: unknown approach %d", ap)
+	}
+}
+
+// RunWorkload translates and evaluates a workload query.
+func RunWorkload(db *engine.DB, wq workload.Query, ap Approach) (*engine.Table, error) {
+	q, err := wq.Translate(db)
+	if err != nil {
+		return nil, err
+	}
+	return Run(db, q, ap)
+}
+
+// Scale bundles the dataset sizes of one harness configuration.
+type Scale struct {
+	Name      string
+	Employees dataset.EmployeesConfig
+	TPCSmall  dataset.TPCBiHConfig
+	TPCLarge  dataset.TPCBiHConfig
+	Fig5Sizes []int
+	Runs      int
+}
+
+// Quick is the scale used by tests and `snapbench -quick`: seconds, not
+// minutes.
+var Quick = Scale{
+	Name:      "quick",
+	Employees: dataset.EmployeesConfig{NumEmployees: 1000, NumDepartments: 9, Seed: 42},
+	TPCSmall:  dataset.TPCBiHConfig{ScaleFactor: 0.1, Seed: 7},
+	TPCLarge:  dataset.TPCBiHConfig{ScaleFactor: 0.2, Seed: 7},
+	Fig5Sizes: []int{1000, 5000, 20000, 50000},
+	Runs:      2,
+}
+
+// Full is the default `snapbench` scale; it mirrors the paper's relative
+// dataset proportions (Employees ≈ 15× TPC-small rows; TPC-large = 3×
+// TPC-small, standing in for the paper's SF1 → SF10 step).
+var Full = Scale{
+	Name:      "full",
+	Employees: dataset.EmployeesConfig{NumEmployees: 10000, NumDepartments: 9, Seed: 42},
+	TPCSmall:  dataset.TPCBiHConfig{ScaleFactor: 0.5, Seed: 7},
+	TPCLarge:  dataset.TPCBiHConfig{ScaleFactor: 1.5, Seed: 7},
+	Fig5Sizes: []int{1000, 10000, 100000, 300000, 500000, 1000000},
+	Runs:      3,
+}
+
+// Median times f over runs executions and returns the median duration.
+// The error of any run aborts timing.
+func Median(runs int, f func() error) (time.Duration, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	ds := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		ds = append(ds, time.Since(start))
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2], nil
+}
+
+// TableWriter accumulates aligned experiment tables.
+type TableWriter struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given header.
+func NewTable(header ...string) *TableWriter { return &TableWriter{header: header} }
+
+// AddRow appends one formatted row.
+func (t *TableWriter) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// WriteTo renders the table.
+func (t *TableWriter) WriteTo(w io.Writer) (int64, error) {
+	all := append([][]string{t.header}, t.rows...)
+	widths := make([]int, 0, len(t.header))
+	for _, row := range all {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range all {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, wd := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", wd))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// FormatDuration renders a duration the way the paper's tables do
+// (seconds with two to three significant decimals).
+func FormatDuration(d time.Duration) string {
+	return fmt.Sprintf("%.4f", d.Seconds())
+}

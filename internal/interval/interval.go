@@ -1,0 +1,198 @@
+// Package interval provides the time domain and half-open time intervals
+// used throughout the library.
+//
+// Time points are int64 values drawn from a finite, totally ordered domain
+// 𝕋 = [Min, Max). An interval I = [Begin, End) with Begin < End represents
+// the contiguous set of time points {T | Begin <= T < End}. This mirrors
+// Section 5.1 of "Snapshot Semantics for Temporal Multiset Relations"
+// (Dignös et al., PVLDB 2019).
+package interval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is a point in the time domain.
+type Time = int64
+
+// Domain is a finite, totally ordered time domain [Min, Max).
+// Min is the smallest time point (Tmin); Max is the exclusive maximum
+// (Tmax); every interval handled under this domain must be contained in
+// [Min, Max).
+type Domain struct {
+	Min Time
+	Max Time
+}
+
+// NewDomain returns the domain [min, max). It panics if min >= max, since
+// an empty time domain admits no temporal database at all.
+func NewDomain(min, max Time) Domain {
+	if min >= max {
+		panic(fmt.Sprintf("interval: invalid domain [%d, %d)", min, max))
+	}
+	return Domain{Min: min, Max: max}
+}
+
+// Contains reports whether t lies in the domain.
+func (d Domain) Contains(t Time) bool { return d.Min <= t && t < d.Max }
+
+// ContainsInterval reports whether iv is fully contained in the domain.
+func (d Domain) ContainsInterval(iv Interval) bool {
+	return d.Min <= iv.Begin && iv.End <= d.Max
+}
+
+// All returns the interval covering the whole domain.
+func (d Domain) All() Interval { return Interval{Begin: d.Min, End: d.Max} }
+
+// Size returns the number of time points in the domain.
+func (d Domain) Size() int64 { return d.Max - d.Min }
+
+// String renders the domain as [Min, Max).
+func (d Domain) String() string { return fmt.Sprintf("[%d, %d)", d.Min, d.Max) }
+
+// Interval is a half-open interval [Begin, End) of time points.
+// The zero value is the empty (invalid) interval.
+type Interval struct {
+	Begin Time
+	End   Time
+}
+
+// New returns the interval [begin, end). It panics if begin >= end;
+// callers that may construct empty intervals should use TryNew.
+func New(begin, end Time) Interval {
+	if begin >= end {
+		panic(fmt.Sprintf("interval: invalid interval [%d, %d)", begin, end))
+	}
+	return Interval{Begin: begin, End: end}
+}
+
+// TryNew returns the interval [begin, end) and true, or the zero Interval
+// and false if begin >= end.
+func TryNew(begin, end Time) (Interval, bool) {
+	if begin >= end {
+		return Interval{}, false
+	}
+	return Interval{Begin: begin, End: end}, true
+}
+
+// Point returns the singleton interval [t, t+1).
+func Point(t Time) Interval { return Interval{Begin: t, End: t + 1} }
+
+// Valid reports whether the interval is non-empty (Begin < End).
+func (iv Interval) Valid() bool { return iv.Begin < iv.End }
+
+// Len returns the number of time points covered by the interval.
+func (iv Interval) Len() int64 {
+	if !iv.Valid() {
+		return 0
+	}
+	return iv.End - iv.Begin
+}
+
+// Contains reports whether time point t lies in the interval.
+func (iv Interval) Contains(t Time) bool { return iv.Begin <= t && t < iv.End }
+
+// ContainsInterval reports whether other ⊆ iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Begin <= other.Begin && other.End <= iv.End
+}
+
+// Overlaps reports whether the two intervals share at least one time point.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Begin < other.End && other.Begin < iv.End
+}
+
+// Adjacent reports whether the two intervals touch without overlapping,
+// i.e. one ends exactly where the other begins (relation adj of §5.1).
+func (iv Interval) Adjacent(other Interval) bool {
+	return iv.End == other.Begin || other.End == iv.Begin
+}
+
+// Intersect returns the interval covering exactly the time points common
+// to both inputs, and false if they do not overlap.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	b := max(iv.Begin, other.Begin)
+	e := min(iv.End, other.End)
+	if b >= e {
+		return Interval{}, false
+	}
+	return Interval{Begin: b, End: e}, true
+}
+
+// Union returns the interval covering the union of the two inputs. Per the
+// paper's convention, the union is defined only if the inputs overlap or
+// are adjacent; otherwise Union returns false.
+func (iv Interval) Union(other Interval) (Interval, bool) {
+	if !iv.Overlaps(other) && !iv.Adjacent(other) {
+		return Interval{}, false
+	}
+	return Interval{Begin: min(iv.Begin, other.Begin), End: max(iv.End, other.End)}, true
+}
+
+// String renders the interval as [Begin, End).
+func (iv Interval) String() string { return fmt.Sprintf("[%d, %d)", iv.Begin, iv.End) }
+
+// Less orders intervals by Begin, then End. It defines the canonical order
+// used for normalized temporal elements.
+func (iv Interval) Less(other Interval) bool {
+	if iv.Begin != other.Begin {
+		return iv.Begin < other.Begin
+	}
+	return iv.End < other.End
+}
+
+// Sort sorts intervals in canonical (Begin, End) order.
+func Sort(ivs []Interval) {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Less(ivs[j]) })
+}
+
+// Endpoints collects the distinct begin/end points of the given intervals
+// in ascending order. It is the EP helper underlying the split operator
+// (Def 8.3).
+func Endpoints(ivs []Interval) []Time {
+	if len(ivs) == 0 {
+		return nil
+	}
+	pts := make([]Time, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		pts = append(pts, iv.Begin, iv.End)
+	}
+	return DedupTimes(pts)
+}
+
+// DedupTimes sorts ts ascending and removes duplicates in place.
+func DedupTimes(ts []Time) []Time {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Segments slices the interval iv at the given ascending cut points,
+// returning maximal sub-intervals of iv whose interiors contain no cut
+// point. Cut points outside iv are ignored. This is the elementary-segment
+// computation shared by split (Def 8.3) and the temporal-element sweeps.
+func (iv Interval) Segments(cuts []Time) []Interval {
+	if !iv.Valid() {
+		return nil
+	}
+	segs := make([]Interval, 0, 4)
+	cur := iv.Begin
+	for _, c := range cuts {
+		if c <= cur {
+			continue
+		}
+		if c >= iv.End {
+			break
+		}
+		segs = append(segs, Interval{Begin: cur, End: c})
+		cur = c
+	}
+	segs = append(segs, Interval{Begin: cur, End: iv.End})
+	return segs
+}

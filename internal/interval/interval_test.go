@@ -1,0 +1,289 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDomainPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDomain(5,5) did not panic")
+		}
+	}()
+	NewDomain(5, 5)
+}
+
+func TestDomainContains(t *testing.T) {
+	d := NewDomain(0, 24)
+	cases := []struct {
+		t    Time
+		want bool
+	}{{0, true}, {23, true}, {24, false}, {-1, false}, {12, true}}
+	for _, c := range cases {
+		if got := d.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDomainContainsInterval(t *testing.T) {
+	d := NewDomain(0, 24)
+	if !d.ContainsInterval(New(0, 24)) {
+		t.Error("domain should contain its own All() interval")
+	}
+	if d.ContainsInterval(Interval{Begin: -1, End: 3}) {
+		t.Error("domain should not contain [-1,3)")
+	}
+	if d.ContainsInterval(Interval{Begin: 20, End: 25}) {
+		t.Error("domain should not contain [20,25)")
+	}
+}
+
+func TestDomainAllAndSize(t *testing.T) {
+	d := NewDomain(3, 10)
+	if got := d.All(); got != New(3, 10) {
+		t.Errorf("All() = %v", got)
+	}
+	if got := d.Size(); got != 7 {
+		t.Errorf("Size() = %d, want 7", got)
+	}
+	if got := d.String(); got != "[3, 10)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNewPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(8,3) did not panic")
+		}
+	}()
+	New(8, 3)
+}
+
+func TestTryNew(t *testing.T) {
+	if _, ok := TryNew(5, 5); ok {
+		t.Error("TryNew(5,5) should fail")
+	}
+	iv, ok := TryNew(1, 4)
+	if !ok || iv != New(1, 4) {
+		t.Errorf("TryNew(1,4) = %v, %v", iv, ok)
+	}
+}
+
+func TestPoint(t *testing.T) {
+	p := Point(7)
+	if p.Begin != 7 || p.End != 8 || p.Len() != 1 {
+		t.Errorf("Point(7) = %v", p)
+	}
+}
+
+func TestValidAndLen(t *testing.T) {
+	if (Interval{}).Valid() {
+		t.Error("zero interval must be invalid")
+	}
+	if got := (Interval{Begin: 4, End: 2}).Len(); got != 0 {
+		t.Errorf("invalid interval Len = %d, want 0", got)
+	}
+	if got := New(3, 10).Len(); got != 7 {
+		t.Errorf("Len = %d, want 7", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	iv := New(3, 10)
+	for _, c := range []struct {
+		t    Time
+		want bool
+	}{{2, false}, {3, true}, {9, true}, {10, false}} {
+		if got := iv.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	iv := New(3, 10)
+	if !iv.ContainsInterval(New(3, 10)) || !iv.ContainsInterval(New(4, 9)) {
+		t.Error("expected containment")
+	}
+	if iv.ContainsInterval(New(2, 5)) || iv.ContainsInterval(New(8, 11)) {
+		t.Error("unexpected containment")
+	}
+}
+
+func TestOverlapsAndAdjacent(t *testing.T) {
+	a := New(3, 10)
+	cases := []struct {
+		b        Interval
+		overlaps bool
+		adjacent bool
+	}{
+		{New(10, 12), false, true},
+		{New(1, 3), false, true},
+		{New(9, 12), true, false},
+		{New(1, 4), true, false},
+		{New(11, 12), false, false},
+		{New(3, 10), true, false},
+		{New(5, 6), true, false},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.overlaps {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.overlaps)
+		}
+		if got := a.Adjacent(c.b); got != c.adjacent {
+			t.Errorf("%v.Adjacent(%v) = %v, want %v", a, c.b, got, c.adjacent)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := New(3, 10)
+	if got, ok := a.Intersect(New(8, 16)); !ok || got != New(8, 10) {
+		t.Errorf("Intersect = %v, %v", got, ok)
+	}
+	if _, ok := a.Intersect(New(10, 16)); ok {
+		t.Error("adjacent intervals must not intersect")
+	}
+	if got, ok := a.Intersect(a); !ok || got != a {
+		t.Errorf("self-intersection = %v, %v", got, ok)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(3, 10)
+	if got, ok := a.Union(New(10, 16)); !ok || got != New(3, 16) {
+		t.Errorf("union of adjacent = %v, %v", got, ok)
+	}
+	if got, ok := a.Union(New(5, 16)); !ok || got != New(3, 16) {
+		t.Errorf("union of overlapping = %v, %v", got, ok)
+	}
+	if _, ok := a.Union(New(12, 16)); ok {
+		t.Error("union of disjoint non-adjacent intervals must be undefined")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(3, 10).String(); got != "[3, 10)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestLessAndSort(t *testing.T) {
+	ivs := []Interval{New(5, 9), New(3, 10), New(3, 4)}
+	Sort(ivs)
+	want := []Interval{New(3, 4), New(3, 10), New(5, 9)}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Fatalf("Sort = %v, want %v", ivs, want)
+		}
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	got := Endpoints([]Interval{New(3, 10), New(8, 16), New(3, 12)})
+	want := []Time{3, 10, 8, 16, 12}
+	want = DedupTimes(want)
+	if len(got) != len(want) {
+		t.Fatalf("Endpoints = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Endpoints = %v, want %v", got, want)
+		}
+	}
+	if Endpoints(nil) != nil {
+		t.Error("Endpoints(nil) should be nil")
+	}
+}
+
+func TestDedupTimes(t *testing.T) {
+	got := DedupTimes([]Time{5, 1, 5, 3, 1})
+	want := []Time{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("DedupTimes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DedupTimes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSegments(t *testing.T) {
+	iv := New(3, 16)
+	segs := iv.Segments([]Time{0, 3, 8, 10, 16, 20})
+	want := []Interval{New(3, 8), New(8, 10), New(10, 16)}
+	if len(segs) != len(want) {
+		t.Fatalf("Segments = %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("Segments = %v, want %v", segs, want)
+		}
+	}
+	// No cuts inside: interval returned whole.
+	segs = iv.Segments([]Time{0, 20})
+	if len(segs) != 1 || segs[0] != iv {
+		t.Fatalf("Segments no-cut = %v", segs)
+	}
+	if (Interval{}).Segments([]Time{1}) != nil {
+		t.Error("Segments of invalid interval should be nil")
+	}
+}
+
+// Property: segments of an interval partition it exactly.
+func TestSegmentsPartitionProperty(t *testing.T) {
+	f := func(begin int16, lenRaw uint8, cutsRaw []int16) bool {
+		length := int64(lenRaw%40) + 1
+		iv := New(Time(begin), Time(begin)+length)
+		cuts := make([]Time, 0, len(cutsRaw))
+		for _, c := range cutsRaw {
+			cuts = append(cuts, Time(c))
+		}
+		cuts = DedupTimes(cuts)
+		segs := iv.Segments(cuts)
+		// Segments must tile iv: first begins at iv.Begin, each is adjacent
+		// to the next, last ends at iv.End, all valid.
+		if len(segs) == 0 || segs[0].Begin != iv.Begin || segs[len(segs)-1].End != iv.End {
+			return false
+		}
+		for i, s := range segs {
+			if !s.Valid() {
+				return false
+			}
+			if i > 0 && segs[i-1].End != s.Begin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intersect is commutative and contained in both inputs.
+func TestIntersectProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int8) bool {
+		a, okA := TryNew(Time(min(a1, a2)), Time(max(a1, a2))+1)
+		b, okB := TryNew(Time(min(b1, b2)), Time(max(b1, b2))+1)
+		if !okA || !okB {
+			return true
+		}
+		i1, ok1 := a.Intersect(b)
+		i2, ok2 := b.Intersect(a)
+		if ok1 != ok2 || (ok1 && i1 != i2) {
+			return false
+		}
+		if ok1 && (!a.ContainsInterval(i1) || !b.ContainsInterval(i1)) {
+			return false
+		}
+		// ok1 must agree with Overlaps.
+		return ok1 == a.Overlaps(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

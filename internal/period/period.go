@@ -1,0 +1,466 @@
+// Package period implements the paper's logical model (Sections 5–7):
+// period K-relations, in which every tuple is annotated with a temporal
+// K-element in K-coalesced normal form, i.e. an element of the period
+// semiring Kᵀ. Queries are evaluated directly in Kᵀ with the semiring
+// operations of Def 6.1, the monus of Thm 7.1 and the snapshot-reducible
+// aggregation of Def 7.1 (computed over aligned intervals rather than
+// single snapshots).
+//
+// Together with the encoding ENC_K of Def 6.3 and the timeslice operator
+// of Def 6.2, the types here form a representation system for snapshot
+// K-relations (Thm 6.6/7.3): the encoding is unique, snapshot-preserving,
+// and queries commute with timeslice.
+package period
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snapk/internal/algebra"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/semiring"
+	"snapk/internal/snapshot"
+	"snapk/internal/telement"
+	"snapk/internal/tuple"
+)
+
+// Entry is one tuple of a period K-relation together with its temporal
+// K-element annotation.
+type Entry[K comparable] struct {
+	Tuple tuple.Tuple
+	Ann   telement.Element[K]
+}
+
+// Relation is a period K-relation: a finite-support map from tuples to
+// normalized temporal K-elements. Tuples whose annotation is 0Kᵀ are not
+// stored, so the representation of every snapshot K-relation is unique
+// (Lemma 6.4).
+type Relation[K comparable] struct {
+	alg    telement.MAlgebra[K]
+	schema tuple.Schema
+	ann    map[string]Entry[K]
+}
+
+// NewRelation returns an empty period K-relation.
+func NewRelation[K comparable](alg telement.MAlgebra[K], schema tuple.Schema) *Relation[K] {
+	return &Relation[K]{alg: alg, schema: schema, ann: make(map[string]Entry[K])}
+}
+
+// Schema returns the relation schema.
+func (r *Relation[K]) Schema() tuple.Schema { return r.schema }
+
+// Len returns the number of tuples with non-zero annotation.
+func (r *Relation[K]) Len() int { return len(r.ann) }
+
+// Annotation returns the temporal K-element of t (0Kᵀ if absent).
+func (r *Relation[K]) Annotation(t tuple.Tuple) telement.Element[K] {
+	if e, ok := r.ann[t.Key()]; ok {
+		return e.Ann
+	}
+	return r.alg.Zero()
+}
+
+// Add merges ann into the annotation of t with +Kᵀ.
+func (r *Relation[K]) Add(t tuple.Tuple, ann telement.Element[K]) {
+	if ann.IsZero() {
+		return
+	}
+	key := t.Key()
+	if e, ok := r.ann[key]; ok {
+		ann = r.alg.Plus(e.Ann, ann)
+	}
+	r.set(key, t, ann)
+}
+
+// AddPeriod merges the singleton element {iv ↦ k} into tuple t; it is the
+// natural way to load interval-timestamped facts.
+func (r *Relation[K]) AddPeriod(t tuple.Tuple, iv interval.Interval, k K) {
+	r.Add(t, r.alg.Singleton(iv, k))
+}
+
+func (r *Relation[K]) set(key string, t tuple.Tuple, ann telement.Element[K]) {
+	if ann.IsZero() {
+		delete(r.ann, key)
+		return
+	}
+	r.ann[key] = Entry[K]{Tuple: t, Ann: ann}
+}
+
+// Entries returns the support in deterministic (tuple-key) order.
+func (r *Relation[K]) Entries() []Entry[K] {
+	keys := make([]string, 0, len(r.ann))
+	for k := range r.ann {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Entry[K], len(keys))
+	for i, k := range keys {
+		out[i] = r.ann[k]
+	}
+	return out
+}
+
+// Equal reports schema and annotation-wise equality. Because annotations
+// are normalized, Equal decides snapshot-equivalence of the encoded
+// snapshot relations (uniqueness, Def 4.5 condition 1).
+func (r *Relation[K]) Equal(other *Relation[K]) bool {
+	if !r.schema.Equal(other.schema) || len(r.ann) != len(other.ann) {
+		return false
+	}
+	for key, e := range r.ann {
+		oe, ok := other.ann[key]
+		if !ok || !oe.Ann.Equal(e.Ann) {
+			return false
+		}
+	}
+	return true
+}
+
+// Timeslice returns τ_T(R) as a plain K-relation (Def 6.2).
+func (r *Relation[K]) Timeslice(t interval.Time) *krel.Relation[K] {
+	out := krel.New[K](r.alg.MK, r.schema)
+	for _, e := range r.ann {
+		out.Set(e.Tuple, r.alg.Timeslice(e.Ann, t))
+	}
+	return out
+}
+
+// String renders the relation, one "tuple -> element" line per tuple.
+func (r *Relation[K]) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%sT%v {\n", r.alg.K.Name(), r.schema)
+	for _, e := range r.Entries() {
+		fmt.Fprintf(&b, "  %v -> %v\n", e.Tuple, e.Ann)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Enc implements ENC_K (Def 6.3): it encodes a snapshot K-relation as a
+// period K-relation by collecting, per tuple, the per-time-point
+// annotations into singleton intervals and coalescing them.
+func Enc[K comparable](alg telement.MAlgebra[K], r *snapshot.Relation[K]) *Relation[K] {
+	out := NewRelation(alg, r.Schema())
+	pairsPerTuple := make(map[string][]telement.Seg[K])
+	tuples := make(map[string]tuple.Tuple)
+	dom := r.Domain()
+	for t := dom.Min; t < dom.Max; t++ {
+		for _, e := range r.Timeslice(t).Entries() {
+			key := e.Tuple.Key()
+			if _, ok := tuples[key]; !ok {
+				tuples[key] = e.Tuple
+			}
+			pairsPerTuple[key] = append(pairsPerTuple[key], telement.Seg[K]{Iv: interval.Point(t), Val: e.Ann})
+		}
+	}
+	for key, pairs := range pairsPerTuple {
+		out.set(key, tuples[key], alg.Coalesce(pairs))
+	}
+	return out
+}
+
+// Dec implements ENC_K⁻¹: it expands a period K-relation back into the
+// snapshot K-relation it encodes.
+func Dec[K comparable](r *Relation[K], dom interval.Domain) *snapshot.Relation[K] {
+	out := snapshot.NewRelation(r.alg.MK, dom, r.schema)
+	for _, e := range r.ann {
+		for _, s := range e.Ann.Segs() {
+			for t := s.Iv.Begin; t < s.Iv.End; t++ {
+				out.AddAt(t, e.Tuple, s.Val)
+			}
+		}
+	}
+	return out
+}
+
+// Hom applies a semiring homomorphism to every annotation segment-wise
+// and re-coalesces, producing a period K2-relation. Because τ commutes
+// with homomorphisms, the result encodes the homomorphic image of the
+// encoded snapshot relation.
+func Hom[K1, K2 comparable](r *Relation[K1], target telement.MAlgebra[K2], h semiring.Hom[K1, K2]) *Relation[K2] {
+	out := NewRelation(target, r.schema)
+	for _, e := range r.ann {
+		segs := e.Ann.Segs()
+		pairs := make([]telement.Seg[K2], 0, len(segs))
+		for _, s := range segs {
+			pairs = append(pairs, telement.Seg[K2]{Iv: s.Iv, Val: h(s.Val)})
+		}
+		out.Add(e.Tuple, target.Coalesce(pairs))
+	}
+	return out
+}
+
+// DB is a period K-database with a query evaluator over Kᵀ.
+type DB[K comparable] struct {
+	alg  telement.MAlgebra[K]
+	rels map[string]*Relation[K]
+}
+
+// NewDB returns an empty period K-database for the m-semiring sr over dom.
+func NewDB[K comparable](sr semiring.MSemiring[K], dom interval.Domain) *DB[K] {
+	return &DB[K]{alg: telement.NewMAlgebra(sr, dom), rels: make(map[string]*Relation[K])}
+}
+
+// Algebra returns the temporal-element algebra of the database.
+func (db *DB[K]) Algebra() telement.MAlgebra[K] { return db.alg }
+
+// Domain returns the time domain.
+func (db *DB[K]) Domain() interval.Domain { return db.alg.Dom }
+
+// CreateRelation registers an empty period relation under name.
+func (db *DB[K]) CreateRelation(name string, schema tuple.Schema) *Relation[K] {
+	r := NewRelation(db.alg, schema)
+	db.rels[name] = r
+	return r
+}
+
+// AddRelation registers an existing relation under name.
+func (db *DB[K]) AddRelation(name string, r *Relation[K]) { db.rels[name] = r }
+
+// Relation returns the relation registered under name.
+func (db *DB[K]) Relation(name string) (*Relation[K], error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("period: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// RelationSchema implements algebra.Catalog.
+func (db *DB[K]) RelationSchema(name string) (tuple.Schema, error) {
+	r, err := db.Relation(name)
+	if err != nil {
+		return tuple.Schema{}, err
+	}
+	return r.schema, nil
+}
+
+// Eval evaluates q over the period K-database with Kᵀ semantics. Because
+// τ_T is an m-semiring homomorphism (Thm 6.3/7.2) and aggregation is
+// defined snapshot-reducibly (Def 7.1), Dec(Eval(q)) equals evaluating q
+// under snapshot semantics in the abstract model.
+func (db *DB[K]) Eval(q algebra.Query) (*Relation[K], error) {
+	switch n := q.(type) {
+	case algebra.Rel:
+		return db.Relation(n.Name)
+	case algebra.Select:
+		in, err := db.Eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := algebra.Compile(n.Pred, in.schema)
+		if err != nil {
+			return nil, err
+		}
+		out := NewRelation(db.alg, in.schema)
+		for _, e := range in.ann {
+			if algebra.Truthy(pred(e.Tuple)) {
+				out.Add(e.Tuple, e.Ann)
+			}
+		}
+		return out, nil
+	case algebra.Project:
+		in, err := db.Eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]string, len(n.Exprs))
+		fns := make([]algebra.Compiled, len(n.Exprs))
+		for i, ne := range n.Exprs {
+			c, err := algebra.Compile(ne.E, in.schema)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = ne.Name
+			fns[i] = c
+		}
+		out := NewRelation(db.alg, tuple.NewSchema(cols...))
+		for _, e := range in.ann {
+			res := make(tuple.Tuple, len(fns))
+			for i, f := range fns {
+				res[i] = f(e.Tuple)
+			}
+			out.Add(res, e.Ann)
+		}
+		return out, nil
+	case algebra.Join:
+		l, err := db.Eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.Eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		schema := l.schema.Concat(r.schema, "r.")
+		pred, err := algebra.Compile(n.Pred, schema)
+		if err != nil {
+			return nil, err
+		}
+		out := NewRelation(db.alg, schema)
+		for _, le := range l.ann {
+			for _, re := range r.ann {
+				prod := db.alg.Times(le.Ann, re.Ann)
+				if prod.IsZero() {
+					continue
+				}
+				t := tuple.Concat(le.Tuple, re.Tuple)
+				if algebra.Truthy(pred(t)) {
+					out.Add(t, prod)
+				}
+			}
+		}
+		return out, nil
+	case algebra.Union:
+		l, err := db.Eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.Eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		out := NewRelation(db.alg, l.schema)
+		for _, e := range l.ann {
+			out.Add(e.Tuple, e.Ann)
+		}
+		for _, e := range r.ann {
+			out.Add(e.Tuple, e.Ann)
+		}
+		return out, nil
+	case algebra.Diff:
+		l, err := db.Eval(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.Eval(n.R)
+		if err != nil {
+			return nil, err
+		}
+		out := NewRelation(db.alg, l.schema)
+		for key, e := range l.ann {
+			out.set(key, e.Tuple, db.alg.Monus(e.Ann, r.Annotation(e.Tuple)))
+		}
+		return out, nil
+	case algebra.Agg:
+		in, err := db.Eval(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return db.aggregate(in, n)
+	default:
+		return nil, fmt.Errorf("period: unknown query node %T", q)
+	}
+}
+
+// aggregate evaluates an Agg node in the logical model. It implements
+// Def 7.1 over intervals: per group, the union of the annotation
+// changepoints of the group's tuples partitions time into segments on
+// which every aggregate is constant; the segment results are summed in
+// Kᵀ and therefore coalesced. Only the ℕ instantiation is defined.
+func (db *DB[K]) aggregate(in *Relation[K], n algebra.Agg) (*Relation[K], error) {
+	nin, ok := any(in).(*Relation[int64])
+	if !ok {
+		return nil, fmt.Errorf("period: aggregation requires the ℕ semiring, have %s", db.alg.K.Name())
+	}
+	res, err := aggregateN(nin, n)
+	if err != nil {
+		return nil, err
+	}
+	return any(res).(*Relation[K]), nil
+}
+
+func aggregateN(in *Relation[int64], n algebra.Agg) (*Relation[int64], error) {
+	schema := in.schema
+	groupIdx := make([]int, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		idx := schema.Index(g)
+		if idx < 0 {
+			return nil, fmt.Errorf("period: unknown group-by column %q", g)
+		}
+		groupIdx[i] = idx
+	}
+	cols := append([]string{}, n.GroupBy...)
+	argIdx := make([]int, len(n.Aggs))
+	for i, a := range n.Aggs {
+		cols = append(cols, a.As)
+		argIdx[i] = -1
+		if a.Fn != krel.CountStar {
+			idx := schema.Index(a.Arg)
+			if idx < 0 {
+				return nil, fmt.Errorf("period: unknown aggregation column %q", a.Arg)
+			}
+			argIdx[i] = idx
+		}
+	}
+	alg := in.alg
+	out := NewRelation(alg, tuple.NewSchema(cols...))
+
+	type member struct {
+		tuple tuple.Tuple
+		ann   telement.Element[int64]
+	}
+	groups := make(map[string][]member)
+	groupTuples := make(map[string]tuple.Tuple)
+	for _, e := range in.ann {
+		g := e.Tuple.Project(groupIdx)
+		key := g.Key()
+		if _, ok := groupTuples[key]; !ok {
+			groupTuples[key] = g
+		}
+		groups[key] = append(groups[key], member{tuple: e.Tuple, ann: e.Ann})
+	}
+	global := len(n.GroupBy) == 0
+	if global && len(groups) == 0 {
+		groups[""] = nil
+		groupTuples[""] = tuple.Tuple{}
+	}
+	for key, members := range groups {
+		// Endpoints at which any member's annotation can change.
+		pts := make([]interval.Time, 0, 2*len(members)+2)
+		if global {
+			// The whole domain must be covered so gaps produce rows
+			// (count 0 / NULL) — avoiding the AG bug by construction.
+			pts = append(pts, alg.Dom.Min, alg.Dom.Max)
+		}
+		for _, m := range members {
+			for _, s := range m.ann.Segs() {
+				pts = append(pts, s.Iv.Begin, s.Iv.End)
+			}
+		}
+		pts = interval.DedupTimes(pts)
+		for i := 0; i+1 < len(pts); i++ {
+			seg := interval.Interval{Begin: pts[i], End: pts[i+1]}
+			states := make([]*krel.AggState, len(n.Aggs))
+			for j, a := range n.Aggs {
+				states[j] = krel.NewAggState(a.Fn)
+			}
+			alive := false
+			for _, m := range members {
+				mult := alg.Timeslice(m.ann, seg.Begin)
+				if mult == 0 {
+					continue
+				}
+				alive = true
+				for j := range n.Aggs {
+					var arg tuple.Value
+					if argIdx[j] >= 0 {
+						arg = m.tuple[argIdx[j]]
+					}
+					states[j].AddValue(arg, mult)
+				}
+			}
+			if !alive && !global {
+				continue // no group at these snapshots
+			}
+			row := groupTuples[key].Clone()
+			for _, st := range states {
+				row = append(row, st.Result())
+			}
+			out.Add(row, alg.Singleton(seg, 1))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,351 @@
+package period_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"snapk/internal/algebra"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/period"
+	"snapk/internal/qgen"
+	"snapk/internal/semiring"
+	"snapk/internal/telement"
+	"snapk/internal/tuple"
+)
+
+var dom = interval.NewDomain(0, 24)
+
+func str(s string) tuple.Value { return tuple.String_(s) }
+
+// runningExample builds the period ℕ-database of Figure 2 (middle).
+func runningExample() *period.DB[int64] {
+	db := period.NewDB[int64](semiring.N, dom)
+	works := db.CreateRelation("works", tuple.NewSchema("name", "skill"))
+	works.AddPeriod(tuple.Tuple{str("Ann"), str("SP")}, interval.New(3, 10), 1)
+	works.AddPeriod(tuple.Tuple{str("Joe"), str("NS")}, interval.New(8, 16), 1)
+	works.AddPeriod(tuple.Tuple{str("Sam"), str("SP")}, interval.New(8, 16), 1)
+	works.AddPeriod(tuple.Tuple{str("Ann"), str("SP")}, interval.New(18, 20), 1)
+	assign := db.CreateRelation("assign", tuple.NewSchema("mach", "skill"))
+	assign.AddPeriod(tuple.Tuple{str("M1"), str("SP")}, interval.New(3, 12), 1)
+	assign.AddPeriod(tuple.Tuple{str("M2"), str("SP")}, interval.New(6, 14), 1)
+	assign.AddPeriod(tuple.Tuple{str("M3"), str("NS")}, interval.New(3, 16), 1)
+	return db
+}
+
+func qOnduty() algebra.Query {
+	return algebra.Agg{
+		Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+		In:   algebra.Select{Pred: algebra.Eq(algebra.Col("skill"), algebra.StrC("SP")), In: algebra.Rel{Name: "works"}},
+	}
+}
+
+func qSkillreq() algebra.Query {
+	return algebra.Diff{
+		L: algebra.ProjectCols(algebra.Rel{Name: "assign"}, "skill"),
+		R: algebra.ProjectCols(algebra.Rel{Name: "works"}, "skill"),
+	}
+}
+
+// elem builds a normalized element from (begin, end, value) triples.
+func elem(alg telement.MAlgebra[int64], triples ...[3]int64) telement.Element[int64] {
+	pairs := make([]telement.Seg[int64], len(triples))
+	for i, tr := range triples {
+		pairs[i] = telement.Seg[int64]{Iv: interval.New(tr[0], tr[1]), Val: tr[2]}
+	}
+	return alg.Coalesce(pairs)
+}
+
+// TestFigure2WorksEncoding checks that loading the running example
+// produces exactly the period ℕ-relation of Figure 2 (middle, left):
+// (Ann, SP) has the two-interval annotation, merged from two facts.
+func TestFigure2WorksEncoding(t *testing.T) {
+	db := runningExample()
+	works, _ := db.Relation("works")
+	if works.Len() != 3 {
+		t.Fatalf("works has %d tuples, want 3 (Ann's facts merged)", works.Len())
+	}
+	ann := works.Annotation(tuple.Tuple{str("Ann"), str("SP")})
+	want := elem(db.Algebra(), [3]int64{3, 10, 1}, [3]int64{18, 20, 1})
+	if !ann.Equal(want) {
+		t.Fatalf("Ann annotation = %v, want %v", ann, want)
+	}
+}
+
+// TestFigure2QondutyLogicalResult checks the Qonduty result in the
+// logical model (Figure 2 middle, right).
+func TestFigure2QondutyLogicalResult(t *testing.T) {
+	db := runningExample()
+	res, err := db.Eval(qOnduty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := db.Algebra()
+	want := map[int64]telement.Element[int64]{
+		0: elem(alg, [3]int64{0, 3, 1}, [3]int64{16, 18, 1}, [3]int64{20, 24, 1}),
+		1: elem(alg, [3]int64{3, 8, 1}, [3]int64{10, 16, 1}, [3]int64{18, 20, 1}),
+		2: elem(alg, [3]int64{8, 10, 1}),
+	}
+	if res.Len() != len(want) {
+		t.Fatalf("result has %d tuples: %v", res.Len(), res)
+	}
+	for cnt, w := range want {
+		got := res.Annotation(tuple.Tuple{tuple.Int(cnt)})
+		if !got.Equal(w) {
+			t.Errorf("cnt=%d annotation = %v, want %v", cnt, got, w)
+		}
+	}
+}
+
+// TestFigure1cSkillreqLogicalResult checks snapshot bag difference in the
+// logical model against Figure 1c.
+func TestFigure1cSkillreqLogicalResult(t *testing.T) {
+	db := runningExample()
+	res, err := db.Eval(qSkillreq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := db.Algebra()
+	gotSP := res.Annotation(tuple.Tuple{str("SP")})
+	wantSP := elem(alg, [3]int64{6, 8, 1}, [3]int64{10, 12, 1})
+	if !gotSP.Equal(wantSP) {
+		t.Errorf("SP = %v, want %v", gotSP, wantSP)
+	}
+	gotNS := res.Annotation(tuple.Tuple{str("NS")})
+	wantNS := elem(alg, [3]int64{3, 8, 1})
+	if !gotNS.Equal(wantNS) {
+		t.Errorf("NS = %v, want %v", gotNS, wantNS)
+	}
+}
+
+// TestEncDecRoundtrip checks Lemma 6.4 (bijectivity) and Lemma 6.5
+// (snapshot preservation) on the running example and random databases.
+func TestEncDecRoundtrip(t *testing.T) {
+	g := qgen.New(41)
+	for i := 0; i < 30; i++ {
+		spec := g.GenDB()
+		sdb := spec.ToSnapshotDB()
+		pdb := spec.ToPeriodDB()
+		for _, tbl := range spec.Tables {
+			srel, err := sdb.Relation(tbl.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prel, err := pdb.Relation(tbl.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := period.Enc(pdb.Algebra(), srel)
+			if !enc.Equal(prel) {
+				t.Fatalf("ENC(snapshot load) != period load for %s:\n%v\n%v", tbl.Name, enc, prel)
+			}
+			dec := period.Dec(prel, spec.Dom)
+			if !dec.Equal(srel) {
+				t.Fatalf("DEC(period load) != snapshot load for %s", tbl.Name)
+			}
+			// Snapshot preservation: τ_T(ENC⁻¹ ∘ ENC) = τ_T.
+			for tp := spec.Dom.Min; tp < spec.Dom.Max; tp++ {
+				if !prel.Timeslice(tp).Equal(srel.Timeslice(tp)) {
+					t.Fatalf("timeslice mismatch at %d for %s", tp, tbl.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestRepresentationSystem is the central property test of the logical
+// model (Thm 6.6/7.3): for random databases and random RA_agg queries,
+// evaluating in Kᵀ and decoding equals evaluating under snapshot
+// semantics in the abstract model.
+func TestRepresentationSystem(t *testing.T) {
+	g := qgen.New(97)
+	for i := 0; i < 120; i++ {
+		spec := g.GenDB()
+		q := g.GenQuery()
+		sdb := spec.ToSnapshotDB()
+		pdb := spec.ToPeriodDB()
+		want, err := sdb.Eval(q)
+		if err != nil {
+			t.Fatalf("oracle eval: %v (query %s)", err, q)
+		}
+		got, err := pdb.Eval(q)
+		if err != nil {
+			t.Fatalf("period eval: %v (query %s)", err, q)
+		}
+		if !period.Dec(got, spec.Dom).Equal(want) {
+			t.Fatalf("iteration %d: logical model disagrees with oracle\nquery: %s\nperiod result: %v", i, q, got)
+		}
+	}
+}
+
+// TestResultsAreCoalesced checks condition 1 of Def 4.5 on query outputs:
+// annotations in results are always in K-coalesced normal form.
+func TestResultsAreCoalesced(t *testing.T) {
+	g := qgen.New(7)
+	for i := 0; i < 60; i++ {
+		spec := g.GenDB()
+		q := g.GenQuery()
+		pdb := spec.ToPeriodDB()
+		res, err := pdb.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := pdb.Algebra()
+		for _, e := range res.Entries() {
+			if !e.Ann.Equal(alg.Coalesce(e.Ann.Segs())) {
+				t.Fatalf("non-coalesced annotation %v for %v (query %s)", e.Ann, e.Tuple, q)
+			}
+		}
+	}
+}
+
+func TestTimesliceOperator(t *testing.T) {
+	db := runningExample()
+	works, _ := db.Relation("works")
+	snap := works.Timeslice(8)
+	if snap.Len() != 3 {
+		t.Fatalf("snapshot at 8 has %d tuples", snap.Len())
+	}
+	if snap.Annotation(tuple.Tuple{str("Ann"), str("SP")}) != 1 {
+		t.Error("Ann missing at 8")
+	}
+	snap0 := works.Timeslice(0)
+	if snap0.Len() != 0 {
+		t.Fatalf("snapshot at 0 has %d tuples", snap0.Len())
+	}
+}
+
+func TestHomToSetSemantics(t *testing.T) {
+	db := runningExample()
+	works, _ := db.Relation("works")
+	bAlg := telement.NewMAlgebra[bool](semiring.B, dom)
+	bWorks := period.Hom[int64, bool](works, bAlg, semiring.NToB)
+	ann := bWorks.Annotation(tuple.Tuple{str("Ann"), str("SP")})
+	if ann.NumSegs() != 2 {
+		t.Fatalf("Ann B-annotation = %v", ann)
+	}
+	// A multiplicity change invisible to 𝔹 must coalesce away.
+	n := period.NewRelation(db.Algebra(), tuple.NewSchema("x"))
+	n.AddPeriod(tuple.Tuple{tuple.Int(1)}, interval.New(0, 5), 2)
+	n.AddPeriod(tuple.Tuple{tuple.Int(1)}, interval.New(5, 9), 1)
+	b := period.Hom[int64, bool](n, bAlg, semiring.NToB)
+	got := b.Annotation(tuple.Tuple{tuple.Int(1)})
+	if got.NumSegs() != 1 || got.Segs()[0].Iv != interval.New(0, 9) {
+		t.Fatalf("B-annotation = %v, want one segment [0,9)", got)
+	}
+}
+
+func TestUnknownRelationAndBadQueries(t *testing.T) {
+	db := runningExample()
+	if _, err := db.Relation("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := db.RelationSchema("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := db.Eval(algebra.Select{Pred: algebra.Col("zzz"), In: algebra.Rel{Name: "works"}}); err == nil {
+		t.Fatal("expected compile error")
+	}
+	if _, err := db.Eval(algebra.Agg{GroupBy: []string{"zzz"}, Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "c"}}, In: algebra.Rel{Name: "works"}}); err == nil {
+		t.Fatal("expected group-by error")
+	}
+	if _, err := db.Eval(algebra.Agg{Aggs: []algebra.AggSpec{{Fn: krel.Sum, Arg: "zzz", As: "s"}}, In: algebra.Rel{Name: "works"}}); err == nil {
+		t.Fatal("expected agg-arg error")
+	}
+}
+
+func TestAggregationRequiresN(t *testing.T) {
+	db := period.NewDB[bool](semiring.B, dom)
+	db.CreateRelation("r", tuple.NewSchema("x"))
+	q := algebra.Agg{Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "c"}}, In: algebra.Rel{Name: "r"}}
+	if _, err := db.Eval(q); err == nil {
+		t.Fatal("aggregation over 𝔹 must error")
+	}
+}
+
+func TestGlobalAggOverEmptyRelation(t *testing.T) {
+	db := period.NewDB[int64](semiring.N, dom)
+	db.CreateRelation("r", tuple.NewSchema("x"))
+	res, err := db.Eval(algebra.Agg{Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "c"}}, In: algebra.Rel{Name: "r"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Annotation(tuple.Tuple{tuple.Int(0)})
+	want := db.Algebra().One()
+	if !got.Equal(want) {
+		t.Fatalf("count over empty relation = %v, want %v", got, want)
+	}
+}
+
+func TestRelationAddAndString(t *testing.T) {
+	db := runningExample()
+	r := period.NewRelation(db.Algebra(), tuple.NewSchema("x"))
+	r.Add(tuple.Tuple{tuple.Int(1)}, db.Algebra().Zero()) // no-op
+	if r.Len() != 0 {
+		t.Error("adding zero should be a no-op")
+	}
+	r.AddPeriod(tuple.Tuple{tuple.Int(1)}, interval.New(0, 5), 1)
+	r.AddPeriod(tuple.Tuple{tuple.Int(1)}, interval.New(5, 9), 1)
+	got := r.Annotation(tuple.Tuple{tuple.Int(1)})
+	if got.NumSegs() != 1 {
+		t.Fatalf("adjacent equal periods must merge: %v", got)
+	}
+	s := r.String()
+	if !strings.Contains(s, "NT(x)") || !strings.Contains(s, "[0, 9) -> 1") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a, b := runningExample(), runningExample()
+	ra, _ := a.Relation("works")
+	rb, _ := b.Relation("works")
+	if !ra.Equal(rb) {
+		t.Error("identical relations not Equal")
+	}
+	rb.AddPeriod(tuple.Tuple{str("Ann"), str("SP")}, interval.New(0, 1), 1)
+	if ra.Equal(rb) {
+		t.Error("different relations Equal")
+	}
+}
+
+// TestUniqueEncodingAcrossEquivalentQueries: equivalent queries must
+// produce syntactically identical period relations (the paper's unique
+// encoding desideratum), e.g. σ_true(R) vs R ∪ ∅ vs R.
+func TestUniqueEncodingAcrossEquivalentQueries(t *testing.T) {
+	db := runningExample()
+	base := algebra.Rel{Name: "works"}
+	q1 := algebra.Select{Pred: algebra.BoolC(true), In: base}
+	// works written as a union of two disjoint selections.
+	q2 := algebra.Union{
+		L: algebra.Select{Pred: algebra.Eq(algebra.Col("skill"), algebra.StrC("SP")), In: base},
+		R: algebra.Select{Pred: algebra.Ne(algebra.Col("skill"), algebra.StrC("SP")), In: base},
+	}
+	r0, err := db.Eval(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := db.Eval(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Eval(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r0.Equal(r1) || !r0.Equal(r2) {
+		t.Fatalf("equivalent queries produced different encodings:\n%v\n%v\n%v", r0, r1, r2)
+	}
+}
+
+func ExampleRelation_String() {
+	alg := telement.NewMAlgebra[int64](semiring.N, interval.NewDomain(0, 24))
+	r := period.NewRelation(alg, tuple.NewSchema("skill"))
+	r.AddPeriod(tuple.Tuple{tuple.String_("SP")}, interval.New(3, 10), 1)
+	fmt.Println(r)
+	// Output:
+	// NT(skill) {
+	//   (SP) -> {[3, 10) -> 1}
+	// }
+}

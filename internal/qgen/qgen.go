@@ -1,0 +1,226 @@
+// Package qgen generates random temporal databases and random RA_agg
+// queries over them. It powers the cross-layer equivalence tests that
+// mechanically verify the commuting diagram of Figure 2: the abstract
+// model (package snapshot), the logical model (package period) and the
+// rewritten implementation (packages rewrite + engine) must agree on
+// every generated (database, query) pair.
+package qgen
+
+import (
+	"math/rand"
+
+	"snapk/internal/algebra"
+	"snapk/internal/engine"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/period"
+	"snapk/internal/semiring"
+	"snapk/internal/snapshot"
+	"snapk/internal/tuple"
+)
+
+// Fact is one interval-timestamped tuple with a multiplicity.
+type Fact struct {
+	Tuple tuple.Tuple
+	Iv    interval.Interval
+	Mult  int64
+}
+
+// Table is a generated period multiset table.
+type Table struct {
+	Name   string
+	Schema tuple.Schema
+	Facts  []Fact
+}
+
+// DBSpec is a generated temporal database in a model-neutral form; it can
+// be loaded into any of the three model layers.
+type DBSpec struct {
+	Dom    interval.Domain
+	Tables []Table
+}
+
+// Gen bundles a random source with generation parameters.
+type Gen struct {
+	R *rand.Rand
+	// MaxDepth bounds the operator depth of generated queries.
+	MaxDepth int
+	// MaxFacts bounds facts per table.
+	MaxFacts int
+}
+
+// New returns a generator with sensible defaults for unit tests.
+func New(seed int64) *Gen {
+	return &Gen{R: rand.New(rand.NewSource(seed)), MaxDepth: 4, MaxFacts: 12}
+}
+
+// twoColSchema is the fixed schema of generated tables: two integer
+// columns. Keeping every subquery at this schema makes union/difference
+// compatibility trivial while still exercising all operators.
+var twoColSchema = tuple.NewSchema("a", "b")
+
+// GenDB generates a database with two tables r and s over domain [0, 16).
+func (g *Gen) GenDB() DBSpec {
+	dom := interval.NewDomain(0, 16)
+	spec := DBSpec{Dom: dom}
+	for _, name := range []string{"r", "s"} {
+		t := Table{Name: name, Schema: twoColSchema}
+		n := g.R.Intn(g.MaxFacts + 1)
+		for i := 0; i < n; i++ {
+			begin := dom.Min + int64(g.R.Intn(int(dom.Size()-1)))
+			end := begin + 1 + int64(g.R.Intn(int(dom.Max-begin)))
+			t.Facts = append(t.Facts, Fact{
+				Tuple: tuple.Tuple{g.genValue(), g.genValue()},
+				Iv:    interval.New(begin, end),
+				Mult:  1 + int64(g.R.Intn(2)),
+			})
+		}
+		spec.Tables = append(spec.Tables, t)
+	}
+	return spec
+}
+
+// genValue produces a small integer or, occasionally, NULL — so the
+// cross-layer tests also pin down SQL NULL semantics (three-valued
+// predicates, NULL-excluding joins, NULL-skipping aggregates) across the
+// oracle, the logical model and the engine.
+func (g *Gen) genValue() tuple.Value {
+	if g.R.Intn(8) == 0 {
+		return tuple.Null
+	}
+	return tuple.Int(int64(g.R.Intn(4)))
+}
+
+// ToSnapshotDB loads the spec into the abstract model.
+func (spec DBSpec) ToSnapshotDB() *snapshot.DB[int64] {
+	db := snapshot.NewDB[int64](semiring.N, spec.Dom)
+	for _, t := range spec.Tables {
+		r := db.CreateRelation(t.Name, t.Schema)
+		for _, f := range t.Facts {
+			r.AddPeriod(f.Iv, f.Tuple, f.Mult)
+		}
+	}
+	return db
+}
+
+// ToPeriodDB loads the spec into the logical model.
+func (spec DBSpec) ToPeriodDB() *period.DB[int64] {
+	db := period.NewDB[int64](semiring.N, spec.Dom)
+	for _, t := range spec.Tables {
+		r := db.CreateRelation(t.Name, t.Schema)
+		for _, f := range t.Facts {
+			r.AddPeriod(f.Tuple, f.Iv, f.Mult)
+		}
+	}
+	return db
+}
+
+// ToEngineDB loads the spec into the implementation layer as PERIODENC-
+// encoded multiset tables.
+func (spec DBSpec) ToEngineDB() *engine.DB {
+	db := engine.NewDB(spec.Dom)
+	for _, t := range spec.Tables {
+		tbl := db.CreateTable(t.Name, t.Schema)
+		for _, f := range t.Facts {
+			tbl.Append(f.Tuple, f.Iv, f.Mult)
+		}
+	}
+	return db
+}
+
+// GenQuery generates a random RA_agg query whose input tables are r and
+// s. Positive subqueries all have schema (a, b); an aggregation, if any,
+// appears at the root (mirroring the shape of the paper's workloads).
+func (g *Gen) GenQuery() algebra.Query {
+	q := g.genPositive(g.MaxDepth, true)
+	switch g.R.Intn(4) {
+	case 0:
+		return algebra.Agg{
+			GroupBy: []string{"a"},
+			Aggs:    []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+			In:      q,
+		}
+	case 1:
+		fn := []krel.AggFunc{krel.Sum, krel.Min, krel.Max, krel.Avg, krel.Count}[g.R.Intn(5)]
+		return algebra.Agg{
+			Aggs: []algebra.AggSpec{{Fn: fn, Arg: "b", As: "v"}, {Fn: krel.CountStar, As: "cnt"}},
+			In:   q,
+		}
+	default:
+		return q
+	}
+}
+
+// GenPositiveQuery generates a random RA+ query (no difference, no
+// aggregation) — the fragment for which the legacy baselines are still
+// snapshot-reducible (Table 1).
+func (g *Gen) GenPositiveQuery() algebra.Query {
+	return g.genPositive(g.MaxDepth, false)
+}
+
+// genPositive generates a query with output schema (a, b); with allowDiff
+// it may contain difference (the full RA of Section 7.1).
+func (g *Gen) genPositive(depth int, allowDiff bool) algebra.Query {
+	if depth <= 0 {
+		return g.baseRel()
+	}
+	switch g.R.Intn(7) {
+	case 0:
+		return g.baseRel()
+	case 1:
+		return algebra.Select{Pred: g.genPred(), In: g.genPositive(depth-1, allowDiff)}
+	case 2:
+		// Column permutation / computed projection, keeping schema (a, b).
+		exprs := [][]algebra.NamedExpr{
+			{{Name: "a", E: algebra.Col("b")}, {Name: "b", E: algebra.Col("a")}},
+			{{Name: "a", E: algebra.Col("a")}, {Name: "b", E: algebra.Add(algebra.Col("b"), algebra.IntC(1))}},
+			{{Name: "a", E: algebra.Col("a")}, {Name: "b", E: algebra.Col("a")}},
+		}
+		return algebra.Project{Exprs: exprs[g.R.Intn(len(exprs))], In: g.genPositive(depth-1, allowDiff)}
+	case 3:
+		// Equi-join on a, projecting back to (a, b).
+		j := algebra.Join{
+			L:    g.genPositive(depth-1, allowDiff),
+			R:    g.genPositive(depth-1, allowDiff),
+			Pred: algebra.Eq(algebra.Col("a"), algebra.Col("r.a")),
+		}
+		return algebra.Project{
+			Exprs: []algebra.NamedExpr{
+				{Name: "a", E: algebra.Col("a")},
+				{Name: "b", E: algebra.Col("r.b")},
+			},
+			In: j,
+		}
+	case 4:
+		return algebra.Union{L: g.genPositive(depth-1, allowDiff), R: g.genPositive(depth-1, allowDiff)}
+	case 5:
+		if allowDiff {
+			return algebra.Diff{L: g.genPositive(depth-1, allowDiff), R: g.genPositive(depth-1, allowDiff)}
+		}
+		return algebra.Union{L: g.genPositive(depth-1, allowDiff), R: g.genPositive(depth-1, allowDiff)}
+	default:
+		return g.baseRel()
+	}
+}
+
+func (g *Gen) baseRel() algebra.Query {
+	if g.R.Intn(2) == 0 {
+		return algebra.Rel{Name: "r"}
+	}
+	return algebra.Rel{Name: "s"}
+}
+
+func (g *Gen) genPred() algebra.Expr {
+	col := []string{"a", "b"}[g.R.Intn(2)]
+	val := algebra.IntC(int64(g.R.Intn(4)))
+	switch g.R.Intn(4) {
+	case 0:
+		return algebra.Eq(algebra.Col(col), val)
+	case 1:
+		return algebra.Le(algebra.Col(col), val)
+	case 2:
+		return algebra.Gt(algebra.Col(col), val)
+	default:
+		return algebra.Ne(algebra.Col(col), val)
+	}
+}

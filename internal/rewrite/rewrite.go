@@ -1,0 +1,163 @@
+// Package rewrite implements REWR (Fig 4 of Dignös et al., PVLDB 2019):
+// the reduction of a snapshot-semantics query over ℕᵀ-relations to a
+// non-temporal multiset plan over the PERIODENC encoding, executed by
+// package engine.
+//
+// Two plan modes reproduce the §9 optimization study:
+//
+//   - ModeOptimized (the paper's middleware): coalesce is applied exactly
+//     once, as the final operator — justified by Lemma 6.1, which lets
+//     C_K be pulled out of +KP, ·KP and the monus; aggregation and
+//     difference use pre-aggregation intertwined with the split.
+//   - ModeNaive (the strawman of §9's "preliminary experiments"):
+//     coalesce after every rewritten operator, and split materialized
+//     before aggregation without pre-aggregation.
+package rewrite
+
+import (
+	"fmt"
+
+	"snapk/internal/algebra"
+	"snapk/internal/engine"
+	"snapk/internal/tuple"
+)
+
+// Mode selects the coalesce placement / split strategy.
+type Mode int
+
+const (
+	// ModeOptimized applies a single final coalesce and pre-aggregation.
+	ModeOptimized Mode = iota
+	// ModeNaive coalesces after every operator and materializes splits.
+	ModeNaive
+)
+
+// Options configures the rewriting.
+type Options struct {
+	Mode Mode
+	// CoalesceImpl selects the physical coalescing implementation.
+	CoalesceImpl engine.CoalesceImpl
+	// SkipFinalCoalesce omits the outermost coalesce; the result is then
+	// snapshot-equivalent but not the unique encoding. Used only by
+	// benchmarks that want to isolate operator cost.
+	SkipFinalCoalesce bool
+	// Pushdown applies the algebraic selection-pushdown optimizer before
+	// rewriting. Because pushdown rules are bag-algebra identities and
+	// REWR is snapshot-reducible, the optimized plan computes the same
+	// unique encoding.
+	Pushdown bool
+}
+
+// Rewrite reduces a snapshot query to a physical plan over the period
+// encoding (the commuting diagram of Eq. 1). cat must resolve the data
+// schemas of the base relations referenced by q.
+func Rewrite(q algebra.Query, cat algebra.Catalog, opt Options) (engine.Plan, error) {
+	if _, err := algebra.OutSchema(q, cat); err != nil {
+		return nil, err
+	}
+	if opt.Pushdown {
+		oq, err := algebra.Optimize(q, cat)
+		if err != nil {
+			return nil, err
+		}
+		q = oq
+	}
+	p, err := rewr(q, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Mode == ModeOptimized && !opt.SkipFinalCoalesce {
+		p = engine.CoalesceP{Impl: opt.CoalesceImpl, In: p}
+	}
+	return p, nil
+}
+
+// maybeCoalesce wraps p in a coalesce operator in naive mode, mirroring
+// the per-operator C(...) of the unoptimized Fig 4 rules.
+func maybeCoalesce(p engine.Plan, opt Options) engine.Plan {
+	if opt.Mode == ModeNaive {
+		return engine.CoalesceP{Impl: opt.CoalesceImpl, In: p}
+	}
+	return p
+}
+
+func rewr(q algebra.Query, cat algebra.Catalog, opt Options) (engine.Plan, error) {
+	switch n := q.(type) {
+	case algebra.Rel:
+		// REWR(R) = R: snapshot queries run directly over natively stored
+		// period relations, no preprocessing.
+		return engine.ScanP{Name: n.Name}, nil
+	case algebra.Select:
+		in, err := rewr(n.In, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		return maybeCoalesce(engine.FilterP{Pred: n.Pred, In: in}, opt), nil
+	case algebra.Project:
+		in, err := rewr(n.In, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		return maybeCoalesce(engine.ProjectP{Exprs: n.Exprs, In: in}, opt), nil
+	case algebra.Join:
+		l, err := rewr(n.L, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewr(n.R, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		return maybeCoalesce(engine.JoinP{L: l, R: r, Pred: n.Pred}, opt), nil
+	case algebra.Union:
+		l, err := rewr(n.L, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewr(n.R, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		return maybeCoalesce(engine.UnionP{L: l, R: r}, opt), nil
+	case algebra.Diff:
+		l, err := rewr(n.L, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewr(n.R, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		return maybeCoalesce(engine.DiffP{L: l, R: r}, opt), nil
+	case algebra.Agg:
+		in, err := rewr(n.In, cat, opt)
+		if err != nil {
+			return nil, err
+		}
+		p := engine.AggP{
+			GroupBy: n.GroupBy,
+			Aggs:    n.Aggs,
+			PreAgg:  opt.Mode == ModeOptimized,
+			In:      in,
+		}
+		return maybeCoalesce(p, opt), nil
+	default:
+		return nil, fmt.Errorf("rewrite: unknown query node %T", q)
+	}
+}
+
+// Run is the one-call middleware entry point: rewrite q and execute it on
+// db, returning the coalesced period-encoded result.
+func Run(db *engine.DB, q algebra.Query, opt Options) (*engine.Table, error) {
+	p, err := Rewrite(q, db, opt)
+	if err != nil {
+		return nil, err
+	}
+	return db.Exec(p)
+}
+
+// OutSchema returns the data schema of the result of q on db, mirroring
+// algebra.OutSchema.
+func OutSchema(db *engine.DB, q algebra.Query) (tuple.Schema, error) {
+	return algebra.OutSchema(q, db)
+}

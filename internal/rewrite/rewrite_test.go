@@ -1,0 +1,334 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"snapk/internal/algebra"
+	"snapk/internal/engine"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/period"
+	"snapk/internal/qgen"
+	"snapk/internal/rewrite"
+	"snapk/internal/semiring"
+	"snapk/internal/telement"
+	"snapk/internal/tuple"
+)
+
+var dom = interval.NewDomain(0, 24)
+var alg = telement.NewMAlgebra[int64](semiring.N, dom)
+
+func str(s string) tuple.Value { return tuple.String_(s) }
+
+func exampleDB() *engine.DB {
+	db := engine.NewDB(dom)
+	works := db.CreateTable("works", tuple.NewSchema("name", "skill"))
+	works.Append(tuple.Tuple{str("Ann"), str("SP")}, interval.New(3, 10), 1)
+	works.Append(tuple.Tuple{str("Joe"), str("NS")}, interval.New(8, 16), 1)
+	works.Append(tuple.Tuple{str("Sam"), str("SP")}, interval.New(8, 16), 1)
+	works.Append(tuple.Tuple{str("Ann"), str("SP")}, interval.New(18, 20), 1)
+	assign := db.CreateTable("assign", tuple.NewSchema("mach", "skill"))
+	assign.Append(tuple.Tuple{str("M1"), str("SP")}, interval.New(3, 12), 1)
+	assign.Append(tuple.Tuple{str("M2"), str("SP")}, interval.New(6, 14), 1)
+	assign.Append(tuple.Tuple{str("M3"), str("NS")}, interval.New(3, 16), 1)
+	return db
+}
+
+func qOnduty() algebra.Query {
+	return algebra.Agg{
+		Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+		In:   algebra.Select{Pred: algebra.Eq(algebra.Col("skill"), algebra.StrC("SP")), In: algebra.Rel{Name: "works"}},
+	}
+}
+
+func qSkillreq() algebra.Query {
+	return algebra.Diff{
+		L: algebra.ProjectCols(algebra.Rel{Name: "assign"}, "skill"),
+		R: algebra.ProjectCols(algebra.Rel{Name: "works"}, "skill"),
+	}
+}
+
+// TestExample81QondutyRewritten reproduces Example 8.1: the rewritten
+// Qonduty over the period encoding produces exactly Figure 1b, including
+// the gap rows.
+func TestExample81QondutyRewritten(t *testing.T) {
+	db := exampleDB()
+	for _, mode := range []rewrite.Mode{rewrite.ModeOptimized, rewrite.ModeNaive} {
+		got, err := rewrite.Run(db, qOnduty(), rewrite.Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := engine.NewTable(tuple.NewSchema("cnt"))
+		want.Append(tuple.Tuple{tuple.Int(0)}, interval.New(0, 3), 1)
+		want.Append(tuple.Tuple{tuple.Int(1)}, interval.New(3, 8), 1)
+		want.Append(tuple.Tuple{tuple.Int(2)}, interval.New(8, 10), 1)
+		want.Append(tuple.Tuple{tuple.Int(1)}, interval.New(10, 16), 1)
+		want.Append(tuple.Tuple{tuple.Int(0)}, interval.New(16, 18), 1)
+		want.Append(tuple.Tuple{tuple.Int(1)}, interval.New(18, 20), 1)
+		want.Append(tuple.Tuple{tuple.Int(0)}, interval.New(20, 24), 1)
+		if !engine.EqualAsPeriodRelations(got, want, alg) {
+			t.Fatalf("mode %d: Qonduty =\n%s\nwant\n%s", mode, got, want)
+		}
+		// The Figure 1b table is the unique coalesced encoding; check the
+		// row set matches exactly, not just up to equivalence.
+		if got.Len() != want.Len() {
+			t.Fatalf("mode %d: %d rows, want %d", mode, got.Len(), want.Len())
+		}
+	}
+}
+
+// TestFigure1cSkillreqRewritten reproduces Figure 1c through REWR,
+// demonstrating the absence of the BD bug.
+func TestFigure1cSkillreqRewritten(t *testing.T) {
+	db := exampleDB()
+	got, err := rewrite.Run(db, qSkillreq(), rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := engine.NewTable(tuple.NewSchema("skill"))
+	want.Append(tuple.Tuple{str("SP")}, interval.New(6, 8), 1)
+	want.Append(tuple.Tuple{str("SP")}, interval.New(10, 12), 1)
+	want.Append(tuple.Tuple{str("NS")}, interval.New(3, 8), 1)
+	if !engine.EqualAsPeriodRelations(got, want, alg) {
+		t.Fatalf("Qskillreq =\n%s\nwant\n%s", got, want)
+	}
+}
+
+// TestTheorem81CommutingDiagram is the implementation-layer half of the
+// Figure 2 diagram: for random databases and queries, executing REWR(Q)
+// over PERIODENC(R) and decoding equals evaluating Q in the logical model
+// — in both plan modes, with both coalesce implementations.
+func TestTheorem81CommutingDiagram(t *testing.T) {
+	g := qgen.New(131)
+	opts := []rewrite.Options{
+		{Mode: rewrite.ModeOptimized, CoalesceImpl: engine.CoalesceNative},
+		{Mode: rewrite.ModeOptimized, CoalesceImpl: engine.CoalesceAnalytic},
+		{Mode: rewrite.ModeNaive, CoalesceImpl: engine.CoalesceNative},
+	}
+	for i := 0; i < 100; i++ {
+		spec := g.GenDB()
+		q := g.GenQuery()
+		pdb := spec.ToPeriodDB()
+		wantRel, err := pdb.Eval(q)
+		if err != nil {
+			t.Fatalf("period eval: %v (%s)", err, q)
+		}
+		edb := spec.ToEngineDB()
+		for _, opt := range opts {
+			got, err := rewrite.Run(edb, q, opt)
+			if err != nil {
+				t.Fatalf("rewrite run: %v (%s)", err, q)
+			}
+			gotRel := got.ToPeriodRelation(pdb.Algebra())
+			if !gotRel.Equal(wantRel) {
+				t.Fatalf("iteration %d, opt %+v: implementation disagrees with logical model\nquery: %s\ngot:  %v\nwant: %v",
+					i, opt, q, gotRel, wantRel)
+			}
+		}
+	}
+}
+
+// TestUniqueEncodingOfResults: in optimized mode the final coalesce makes
+// the result the unique encoding — the exact PERIODENC image of the
+// logical result.
+func TestUniqueEncodingOfResults(t *testing.T) {
+	g := qgen.New(7)
+	for i := 0; i < 50; i++ {
+		spec := g.GenDB()
+		q := g.GenQuery()
+		edb := spec.ToEngineDB()
+		got, err := rewrite.Run(edb, q, rewrite.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !engine.IsCoalesced(got, engine.CoalesceNative) {
+			t.Fatalf("result of %s is not coalesced:\n%s", q, got)
+		}
+		// Canonical: identical to PERIODENC of the decoded relation.
+		pdb := spec.ToPeriodDB()
+		canon := engine.FromPeriodRelation(got.ToPeriodRelation(pdb.Algebra()))
+		a, b := got.Clone(), canon
+		a.Sort()
+		b.Sort()
+		if a.Len() != b.Len() {
+			t.Fatalf("result row multiset differs from canonical encoding for %s", q)
+		}
+		for j := range a.Rows {
+			if a.Rows[j].Key() != b.Rows[j].Key() {
+				t.Fatalf("result row %d differs from canonical encoding for %s", j, q)
+			}
+		}
+	}
+}
+
+// TestCoalescePlacement checks the §9 optimization structurally: the
+// optimized plan contains exactly one coalesce, the naive plan one per
+// rewritten operator.
+func TestCoalescePlacement(t *testing.T) {
+	db := exampleDB()
+	q := qOnduty()
+	opt, err := rewrite.Rewrite(q, db, rewrite.Options{Mode: rewrite.ModeOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.CountCoalesce(opt); got != 1 {
+		t.Fatalf("optimized plan has %d coalesce operators, want 1:\n%s", got, opt)
+	}
+	naive, err := rewrite.Rewrite(q, db, rewrite.Options{Mode: rewrite.ModeNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Qonduty = Agg(Select(Rel)): two rewritten operators ⇒ two coalesces.
+	if got := engine.CountCoalesce(naive); got != 2 {
+		t.Fatalf("naive plan has %d coalesce operators, want 2:\n%s", got, naive)
+	}
+	skip, err := rewrite.Rewrite(q, db, rewrite.Options{SkipFinalCoalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.CountCoalesce(skip); got != 0 {
+		t.Fatalf("skip-final plan has %d coalesce operators, want 0", got)
+	}
+}
+
+func TestRewriteErrors(t *testing.T) {
+	db := exampleDB()
+	if _, err := rewrite.Rewrite(algebra.Rel{Name: "nope"}, db, rewrite.Options{}); err == nil {
+		t.Fatal("unknown relation must error")
+	}
+	bad := algebra.Select{Pred: algebra.Col("zzz"), In: algebra.Rel{Name: "works"}}
+	if _, err := rewrite.Rewrite(bad, db, rewrite.Options{}); err == nil {
+		t.Fatal("bad predicate must error")
+	}
+	if _, err := rewrite.Run(db, bad, rewrite.Options{}); err == nil {
+		t.Fatal("Run must propagate errors")
+	}
+}
+
+func TestOutSchema(t *testing.T) {
+	db := exampleDB()
+	s, err := rewrite.OutSchema(db, qOnduty())
+	if err != nil || !s.Equal(tuple.NewSchema("cnt")) {
+		t.Fatalf("OutSchema = %v, %v", s, err)
+	}
+}
+
+// TestMixedQueryAllOperators runs one query exercising every operator
+// through the middleware and cross-checks against the logical model.
+func TestMixedQueryAllOperators(t *testing.T) {
+	db := exampleDB()
+	// Number of machines per skill that lack a worker of that skill.
+	q := algebra.Agg{
+		GroupBy: []string{"skill"},
+		Aggs:    []algebra.AggSpec{{Fn: krel.CountStar, As: "missing"}},
+		In:      qSkillreq(),
+	}
+	got, err := rewrite.Run(db, q, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdb := period.NewDB[int64](semiring.N, dom)
+	loadPeriod(pdb, db, "works")
+	loadPeriod(pdb, db, "assign")
+	wantRel, err := pdb.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.ToPeriodRelation(alg).Equal(wantRel) {
+		t.Fatalf("mixed query mismatch:\n%v\nwant %v", got.ToPeriodRelation(alg), wantRel)
+	}
+}
+
+func loadPeriod(pdb *period.DB[int64], edb *engine.DB, name string) {
+	t, err := edb.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	pdb.AddRelation(name, t.ToPeriodRelation(pdb.Algebra()))
+}
+
+// TestPushdownEquivalence: the selection-pushdown optimizer must preserve
+// results exactly — same unique encoding — on random databases/queries.
+func TestPushdownEquivalence(t *testing.T) {
+	g := qgen.New(977)
+	for i := 0; i < 80; i++ {
+		spec := g.GenDB()
+		q := g.GenQuery()
+		edb := spec.ToEngineDB()
+		plain, err := rewrite.Run(edb, q, rewrite.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pushed, err := rewrite.Run(edb, q, rewrite.Options{Pushdown: true})
+		if err != nil {
+			t.Fatalf("pushdown run: %v (%s)", err, q)
+		}
+		a, b := plain.Clone(), pushed.Clone()
+		a.Sort()
+		b.Sort()
+		if a.Len() != b.Len() {
+			t.Fatalf("iteration %d: pushdown changed result size for %s: %d vs %d", i, q, a.Len(), b.Len())
+		}
+		for j := range a.Rows {
+			if a.Rows[j].Key() != b.Rows[j].Key() {
+				t.Fatalf("iteration %d: pushdown changed result rows for %s", i, q)
+			}
+		}
+	}
+}
+
+// TestPushdownConstantFalseOverGlobalAgg: the soundness guard — a FALSE
+// selection above a global aggregation must NOT be pushed below it.
+func TestPushdownConstantFalseOverGlobalAgg(t *testing.T) {
+	db := exampleDB()
+	q := algebra.Select{
+		Pred: algebra.BoolC(false),
+		In: algebra.Agg{
+			Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+			In:   algebra.Rel{Name: "works"},
+		},
+	}
+	plain, err := rewrite.Run(db, q, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed, err := rewrite.Run(db, q, rewrite.Options{Pushdown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() != 0 || pushed.Len() != 0 {
+		t.Fatalf("FALSE selection must empty the result: plain %d, pushed %d", plain.Len(), pushed.Len())
+	}
+}
+
+// TestPushdownReducesIntermediates: on a selective join query the
+// optimizer pushes the filter below the join.
+func TestPushdownReducesIntermediates(t *testing.T) {
+	db := exampleDB()
+	q := algebra.Select{
+		Pred: algebra.Eq(algebra.Col("name"), algebra.StrC("Ann")),
+		In: algebra.Join{
+			L:    algebra.Rel{Name: "works"},
+			R:    algebra.Rel{Name: "assign"},
+			Pred: algebra.Eq(algebra.Col("skill"), algebra.Col("r.skill")),
+		},
+	}
+	opt, err := algebra.Optimize(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algebra.CountSelectsBelowJoins(opt) != 1 {
+		t.Fatalf("selection not pushed: %s", opt)
+	}
+	plain, err := rewrite.Run(db, q, rewrite.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed, err := rewrite.Run(db, q, rewrite.Options{Pushdown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.EqualAsPeriodRelations(plain, pushed, alg) {
+		t.Fatal("pushdown changed semantics")
+	}
+}

@@ -1,0 +1,84 @@
+package semiring
+
+// Laws checks the commutative-semiring axioms on a finite sample of
+// carrier values. It returns the name of the first violated law, or ""
+// if all sampled instances hold. It is used by the test suites of every
+// semiring in this repository (including the period semirings built on
+// top of them) to state the axioms of Section 4.1 machine-checkably.
+func Laws[K comparable](s Semiring[K], sample []K) string {
+	zero, one := s.Zero(), s.One()
+	for _, a := range sample {
+		if s.Plus(a, zero) != a {
+			return "additive identity"
+		}
+		if s.Times(a, one) != a {
+			return "multiplicative identity"
+		}
+		if s.Times(a, zero) != zero {
+			return "annihilation by zero"
+		}
+		for _, b := range sample {
+			if s.Plus(a, b) != s.Plus(b, a) {
+				return "commutativity of +"
+			}
+			if s.Times(a, b) != s.Times(b, a) {
+				return "commutativity of ·"
+			}
+			for _, c := range sample {
+				if s.Plus(s.Plus(a, b), c) != s.Plus(a, s.Plus(b, c)) {
+					return "associativity of +"
+				}
+				if s.Times(s.Times(a, b), c) != s.Times(a, s.Times(b, c)) {
+					return "associativity of ·"
+				}
+				if s.Times(a, s.Plus(b, c)) != s.Plus(s.Times(a, b), s.Times(a, c)) {
+					return "distributivity"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// MonusLaws checks the defining properties of the monus on a finite
+// sample: a −K b is the least k” (w.r.t. the natural order) such that
+// a ≤K b +K k”. It returns the first violated law or "".
+func MonusLaws[K comparable](s MSemiring[K], sample []K) string {
+	for _, a := range sample {
+		for _, b := range sample {
+			d := s.Monus(a, b)
+			if !s.Leq(a, s.Plus(b, d)) {
+				return "monus upper bound: a ≤ b + (a−b)"
+			}
+			// Minimality over the sample.
+			for _, c := range sample {
+				if s.Leq(a, s.Plus(b, c)) && !s.Leq(d, c) {
+					return "monus minimality"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// HomLaws checks that h is a semiring homomorphism from s1 to s2 on a
+// finite sample (Def 4.2). It returns the first violated law or "".
+func HomLaws[K1, K2 comparable](s1 Semiring[K1], s2 Semiring[K2], h Hom[K1, K2], sample []K1) string {
+	if h(s1.Zero()) != s2.Zero() {
+		return "h(0) = 0"
+	}
+	if h(s1.One()) != s2.One() {
+		return "h(1) = 1"
+	}
+	for _, a := range sample {
+		for _, b := range sample {
+			if h(s1.Plus(a, b)) != s2.Plus(h(a), h(b)) {
+				return "h(a+b) = h(a)+h(b)"
+			}
+			if h(s1.Times(a, b)) != s2.Times(h(a), h(b)) {
+				return "h(a·b) = h(a)·h(b)"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,276 @@
+// Package semiring implements the commutative semiring framework that
+// K-relations are annotated with (Green et al., PODS 2007), as used by
+// Section 4.1 of "Snapshot Semantics for Temporal Multiset Relations"
+// (Dignös et al., PVLDB 2019).
+//
+// A commutative semiring (K, +K, ·K, 0K, 1K) has commutative, associative
+// addition and multiplication with neutral elements 0K and 1K,
+// multiplication distributes over addition, and 0K annihilates
+// multiplication. Addition models alternative use of tuples (union,
+// projection); multiplication models conjunctive use (join).
+//
+// Two semirings are primary for the paper: Natural (ℕ, multiset semantics)
+// and Boolean (𝔹, set semantics). Lineage and Tropical are included to
+// exercise the claim that the framework works for any semiring K.
+//
+// An m-semiring additionally has a monus operation (Geerts & Poggi, 2010)
+// derived from the natural order; it gives semantics to bag difference
+// (EXCEPT ALL) and set difference (Section 7.1 of the paper).
+package semiring
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Semiring is the operation dictionary of a commutative semiring over the
+// carrier type K. Implementations must satisfy the commutative semiring
+// laws; see Laws in laws.go for a machine-checkable statement.
+type Semiring[K comparable] interface {
+	// Zero returns the additive neutral element 0K.
+	Zero() K
+	// One returns the multiplicative neutral element 1K.
+	One() K
+	// Plus returns a +K b.
+	Plus(a, b K) K
+	// Times returns a ·K b.
+	Times(a, b K) K
+	// Name returns a short human-readable name such as "N" or "B".
+	Name() string
+}
+
+// MSemiring is a semiring with a well-defined monus operation −K, i.e. a
+// naturally ordered semiring in which {k” | a ≤K b +K k”} has a least
+// element for all a, b (Section 7.1).
+type MSemiring[K comparable] interface {
+	Semiring[K]
+	// Monus returns a −K b, the least k'' with a ≤K b +K k''.
+	Monus(a, b K) K
+	// Leq reports whether a ≤K b in the natural order
+	// (a ≤K b ⇔ ∃c: a +K c = b).
+	Leq(a, b K) bool
+}
+
+// IsZero reports whether k is the additive neutral element of s.
+func IsZero[K comparable](s Semiring[K], k K) bool { return k == s.Zero() }
+
+// Sum folds Plus over ks, returning s.Zero() for an empty slice.
+func Sum[K comparable](s Semiring[K], ks ...K) K {
+	acc := s.Zero()
+	for _, k := range ks {
+		acc = s.Plus(acc, k)
+	}
+	return acc
+}
+
+// Product folds Times over ks, returning s.One() for an empty slice.
+func Product[K comparable](s Semiring[K], ks ...K) K {
+	acc := s.One()
+	for _, k := range ks {
+		acc = s.Times(acc, k)
+	}
+	return acc
+}
+
+// Hom is a function between semiring carriers. A semiring homomorphism
+// maps 0→0, 1→1 and commutes with Plus and Times (Def 4.2); semiring
+// homomorphisms commute with RA+ queries over K-relations.
+type Hom[K1, K2 comparable] func(K1) K2
+
+// ---------------------------------------------------------------------------
+// ℕ — multiset semantics.
+
+// Natural is the semiring (ℕ, +, ·, 0, 1) of natural numbers, carried on
+// int64. It corresponds to multiset (bag) semantics: annotations are tuple
+// multiplicities. Natural is an m-semiring; its monus is truncating
+// subtraction, which gives EXCEPT ALL semantics.
+type Natural struct{}
+
+// N is the shared Natural instance.
+var N Natural
+
+func (Natural) Zero() int64            { return 0 }
+func (Natural) One() int64             { return 1 }
+func (Natural) Plus(a, b int64) int64  { return a + b }
+func (Natural) Times(a, b int64) int64 { return a * b }
+func (Natural) Name() string           { return "N" }
+
+// Monus returns max(0, a-b), the truncating minus of ℕ.
+func (Natural) Monus(a, b int64) int64 {
+	if a <= b {
+		return 0
+	}
+	return a - b
+}
+
+// Leq is the usual order on ℕ, which coincides with ℕ's natural
+// semiring order.
+func (Natural) Leq(a, b int64) bool { return a <= b }
+
+// ---------------------------------------------------------------------------
+// 𝔹 — set semantics.
+
+// Boolean is the semiring (𝔹, ∨, ∧, false, true); it corresponds to set
+// semantics: a tuple is annotated true iff it is in the relation. Boolean
+// is an m-semiring with a −𝔹 b = a ∧ ¬b.
+type Boolean struct{}
+
+// B is the shared Boolean instance.
+var B Boolean
+
+func (Boolean) Zero() bool           { return false }
+func (Boolean) One() bool            { return true }
+func (Boolean) Plus(a, b bool) bool  { return a || b }
+func (Boolean) Times(a, b bool) bool { return a && b }
+func (Boolean) Name() string         { return "B" }
+
+// Monus returns a ∧ ¬b, set difference on annotations.
+func (Boolean) Monus(a, b bool) bool { return a && !b }
+
+// Leq is boolean implication a → b, the natural order of 𝔹.
+func (Boolean) Leq(a, b bool) bool { return !a || b }
+
+// ---------------------------------------------------------------------------
+// Lineage — which-provenance.
+
+// LineageValue is an element of the lineage semiring: either the special
+// bottom element (IsZero) or a set of base-tuple identifiers encoded
+// canonically (sorted, "|"-separated). The canonical string encoding keeps
+// the carrier comparable so it can be used as a map key and satisfy
+// Semiring's type constraint.
+type LineageValue struct {
+	bottom bool
+	ids    string
+}
+
+// Lineage is the which-provenance semiring (P(X) ∪ {⊥}, ∪*, ∪*, ⊥, ∅):
+// both addition and multiplication union the contributing base-tuple sets,
+// with ⊥ as the annihilating zero. It demonstrates the framework on a
+// provenance semiring that is neither ℕ nor 𝔹.
+type Lineage struct{}
+
+// L is the shared Lineage instance.
+var L Lineage
+
+// LineageOf returns the lineage annotation for the given base tuple ids.
+func LineageOf(ids ...string) LineageValue {
+	set := map[string]struct{}{}
+	for _, id := range ids {
+		set[id] = struct{}{}
+	}
+	return lineageFromSet(set)
+}
+
+func lineageFromSet(set map[string]struct{}) LineageValue {
+	sorted := make([]string, 0, len(set))
+	for id := range set {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+	return LineageValue{ids: strings.Join(sorted, "|")}
+}
+
+// IDs returns the base-tuple identifiers in the lineage, nil for ⊥ or ∅.
+func (v LineageValue) IDs() []string {
+	if v.bottom || v.ids == "" {
+		return nil
+	}
+	return strings.Split(v.ids, "|")
+}
+
+// String renders the lineage value for debugging.
+func (v LineageValue) String() string {
+	if v.bottom {
+		return "⊥"
+	}
+	return "{" + v.ids + "}"
+}
+
+func (Lineage) Zero() LineageValue { return LineageValue{bottom: true} }
+func (Lineage) One() LineageValue  { return LineageValue{} }
+func (Lineage) Name() string       { return "Lin" }
+
+// Plus unions lineages; ⊥ is neutral.
+func (Lineage) Plus(a, b LineageValue) LineageValue {
+	if a.bottom {
+		return b
+	}
+	if b.bottom {
+		return a
+	}
+	return unionLineage(a, b)
+}
+
+// Times unions lineages; ⊥ annihilates.
+func (Lineage) Times(a, b LineageValue) LineageValue {
+	if a.bottom || b.bottom {
+		return LineageValue{bottom: true}
+	}
+	return unionLineage(a, b)
+}
+
+func unionLineage(a, b LineageValue) LineageValue {
+	set := map[string]struct{}{}
+	for _, id := range a.IDs() {
+		set[id] = struct{}{}
+	}
+	for _, id := range b.IDs() {
+		set[id] = struct{}{}
+	}
+	return lineageFromSet(set)
+}
+
+// ---------------------------------------------------------------------------
+// Tropical — min-cost semantics.
+
+// TropicalInf is the additive zero of the Tropical semiring (+∞).
+const TropicalInf int64 = math.MaxInt64
+
+// Tropical is the min-plus semiring (ℕ ∪ {∞}, min, +, ∞, 0), carried on
+// int64 with TropicalInf as ∞. Annotations are the minimal cost of
+// deriving a tuple. Included to exercise non-idempotent-addition-free
+// semirings beyond ℕ; it is not an m-semiring here.
+type Tropical struct{}
+
+// T is the shared Tropical instance.
+var T Tropical
+
+func (Tropical) Zero() int64 { return TropicalInf }
+func (Tropical) One() int64  { return 0 }
+func (Tropical) Name() string {
+	return "Trop"
+}
+
+// Plus is min.
+func (Tropical) Plus(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Times is saturating addition with ∞ annihilating.
+func (Tropical) Times(a, b int64) int64 {
+	if a == TropicalInf || b == TropicalInf {
+		return TropicalInf
+	}
+	return a + b
+}
+
+// ---------------------------------------------------------------------------
+// Homomorphisms used in the paper and tests.
+
+// NToB maps ℕ to 𝔹: positive multiplicities to true. It is the
+// "duplicate elimination" homomorphism of Example 4.1.
+func NToB(n int64) bool { return n > 0 }
+
+// BToN maps 𝔹 to ℕ: true to multiplicity 1. It is a homomorphism for
+// Times but NOT for Plus (true+true=true but 1+1=2); exported for tests
+// that verify the law checker rejects it.
+func BToN(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,182 @@
+package semiring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var nSample = []int64{0, 1, 2, 3, 5, 7, 11}
+var bSample = []bool{false, true}
+var tropSample = []int64{TropicalInf, 0, 1, 2, 5, 100}
+var linSample = []LineageValue{
+	L.Zero(), L.One(), LineageOf("t1"), LineageOf("t2"), LineageOf("t1", "t2"), LineageOf("t3", "t1"),
+}
+
+func TestNaturalLaws(t *testing.T) {
+	if v := Laws[int64](N, nSample); v != "" {
+		t.Fatalf("Natural violates %s", v)
+	}
+	if v := MonusLaws[int64](N, nSample); v != "" {
+		t.Fatalf("Natural monus violates %s", v)
+	}
+}
+
+func TestBooleanLaws(t *testing.T) {
+	if v := Laws[bool](B, bSample); v != "" {
+		t.Fatalf("Boolean violates %s", v)
+	}
+	if v := MonusLaws[bool](B, bSample); v != "" {
+		t.Fatalf("Boolean monus violates %s", v)
+	}
+}
+
+func TestTropicalLaws(t *testing.T) {
+	if v := Laws[int64](T, tropSample); v != "" {
+		t.Fatalf("Tropical violates %s", v)
+	}
+}
+
+func TestLineageLaws(t *testing.T) {
+	if v := Laws[LineageValue](L, linSample); v != "" {
+		t.Fatalf("Lineage violates %s", v)
+	}
+}
+
+func TestNaturalMonusTruncates(t *testing.T) {
+	if got := N.Monus(3, 5); got != 0 {
+		t.Errorf("3 − 5 = %d, want 0", got)
+	}
+	if got := N.Monus(5, 3); got != 2 {
+		t.Errorf("5 − 3 = %d, want 2", got)
+	}
+}
+
+func TestBooleanMonus(t *testing.T) {
+	cases := []struct{ a, b, want bool }{
+		{true, true, false}, {true, false, true}, {false, true, false}, {false, false, false},
+	}
+	for _, c := range cases {
+		if got := B.Monus(c.a, c.b); got != c.want {
+			t.Errorf("%v − %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSumAndProduct(t *testing.T) {
+	if got := Sum[int64](N, 1, 2, 3); got != 6 {
+		t.Errorf("Sum = %d", got)
+	}
+	if got := Sum[int64](N); got != 0 {
+		t.Errorf("empty Sum = %d", got)
+	}
+	if got := Product[int64](N, 2, 3, 4); got != 24 {
+		t.Errorf("Product = %d", got)
+	}
+	if got := Product[int64](N); got != 1 {
+		t.Errorf("empty Product = %d", got)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero[int64](N, 0) || IsZero[int64](N, 2) {
+		t.Error("IsZero(N) wrong")
+	}
+	if !IsZero[bool](B, false) || IsZero[bool](B, true) {
+		t.Error("IsZero(B) wrong")
+	}
+	if !IsZero[LineageValue](L, L.Zero()) || IsZero[LineageValue](L, L.One()) {
+		t.Error("IsZero(Lineage) wrong")
+	}
+}
+
+func TestNToBIsHomomorphism(t *testing.T) {
+	if v := HomLaws[int64, bool](N, B, NToB, nSample); v != "" {
+		t.Fatalf("NToB violates %s", v)
+	}
+}
+
+func TestBToNIsNotAdditiveHomomorphism(t *testing.T) {
+	// BToN preserves 0, 1 and · but not +: the law checker must catch it.
+	if v := HomLaws[bool, int64](B, N, BToN, bSample); v != "h(a+b) = h(a)+h(b)" {
+		t.Fatalf("expected additive violation, got %q", v)
+	}
+}
+
+func TestExample41MultisetJoin(t *testing.T) {
+	// Example 4.1: (M1,SP) joins with two workers of multiplicity 1 each
+	// against assign multiplicity 4: 1·4 + 1·4 = 8; NToB(8) = true.
+	got := N.Plus(N.Times(1, 4), N.Times(1, 4))
+	if got != 8 {
+		t.Fatalf("annotation = %d, want 8", got)
+	}
+	if !NToB(got) {
+		t.Fatal("set-semantics image should be true")
+	}
+}
+
+func TestLineageValues(t *testing.T) {
+	v := LineageOf("b", "a", "b")
+	if got := v.String(); got != "{a|b}" {
+		t.Errorf("String = %q", got)
+	}
+	ids := v.IDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("IDs = %v", ids)
+	}
+	if L.Zero().String() != "⊥" {
+		t.Errorf("bottom String = %q", L.Zero().String())
+	}
+	if L.Zero().IDs() != nil || L.One().IDs() != nil {
+		t.Error("⊥ and ∅ must have no ids")
+	}
+}
+
+func TestLineageJoinUnionsProvenance(t *testing.T) {
+	got := L.Times(LineageOf("t1"), LineageOf("t2"))
+	want := LineageOf("t1", "t2")
+	if got != want {
+		t.Errorf("Times = %v, want %v", got, want)
+	}
+	if got := L.Times(L.Zero(), LineageOf("t1")); got != L.Zero() {
+		t.Errorf("⊥ must annihilate, got %v", got)
+	}
+	if got := L.Plus(L.Zero(), LineageOf("t1")); got != LineageOf("t1") {
+		t.Errorf("⊥ must be neutral for +, got %v", got)
+	}
+}
+
+func TestTropicalShortestDerivation(t *testing.T) {
+	// Two alternative derivations of cost 3+4 and 2+6: min(7, 8) = 7.
+	got := T.Plus(T.Times(3, 4), T.Times(2, 6))
+	if got != 7 {
+		t.Errorf("tropical annotation = %d, want 7", got)
+	}
+	if got := T.Times(TropicalInf, 5); got != TropicalInf {
+		t.Errorf("∞ must annihilate, got %d", got)
+	}
+}
+
+// Property: Natural semiring laws hold for arbitrary small naturals.
+func TestNaturalLawsProperty(t *testing.T) {
+	g := func(a, b, c uint8) bool {
+		x, y, z := int64(a), int64(b), int64(c)
+		if N.Plus(x, y) != N.Plus(y, x) {
+			return false
+		}
+		if N.Times(x, N.Plus(y, z)) != N.Plus(N.Times(x, y), N.Times(x, z)) {
+			return false
+		}
+		// Monus characterization on ℕ.
+		d := N.Monus(x, y)
+		if x > y && d != x-y {
+			return false
+		}
+		if x <= y && d != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}

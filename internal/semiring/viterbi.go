@@ -1,0 +1,27 @@
+package semiring
+
+// Viterbi is the probability semiring ([0,1], max, ·, 0, 1): a tuple's
+// annotation is the probability of its most likely derivation. The paper
+// names "snapshot temporal extensions of probabilistic databases" as a
+// direct application of the framework (§11); combining Viterbi with the
+// period-semiring construction yields interval-annotated confidence
+// histories.
+type Viterbi struct{}
+
+// V is the shared Viterbi instance.
+var V Viterbi
+
+func (Viterbi) Zero() float64 { return 0 }
+func (Viterbi) One() float64  { return 1 }
+func (Viterbi) Name() string  { return "Vit" }
+
+// Plus is max: alternative derivations keep the most likely one.
+func (Viterbi) Plus(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Times multiplies probabilities of jointly used tuples.
+func (Viterbi) Times(a, b float64) float64 { return a * b }

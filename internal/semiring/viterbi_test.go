@@ -1,0 +1,29 @@
+package semiring
+
+import "testing"
+
+// The sample uses dyadic rationals so float multiplication is exact and
+// the associativity/distributivity law checks are not confounded by
+// rounding (0.1·0.25·0.5 would associate differently in float64).
+var vitSample = []float64{0, 0.125, 0.25, 0.5, 0.75, 1}
+
+func TestViterbiLaws(t *testing.T) {
+	if v := Laws[float64](V, vitSample); v != "" {
+		t.Fatalf("Viterbi violates %s", v)
+	}
+}
+
+func TestViterbiSemantics(t *testing.T) {
+	// Two derivations: 0.9·0.5 = 0.45 and 0.6·0.8 = 0.48; the most likely
+	// derivation wins.
+	got := V.Plus(V.Times(0.9, 0.5), V.Times(0.6, 0.8))
+	if got != 0.48 {
+		t.Fatalf("best derivation = %v, want 0.48", got)
+	}
+	if V.Times(0, 0.7) != 0 {
+		t.Fatal("0 must annihilate")
+	}
+	if V.Plus(0, 0.7) != 0.7 {
+		t.Fatal("0 must be neutral for max")
+	}
+}

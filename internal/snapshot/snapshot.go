@@ -1,0 +1,318 @@
+// Package snapshot implements the paper's abstract model (Section 4):
+// snapshot K-relations, i.e. functions from time points to K-relations,
+// and snapshot semantics — a query is evaluated independently over the
+// K-relation at every time point (Def 4.4), which makes
+// snapshot-reducibility hold by construction.
+//
+// The abstract model materializes one K-relation per time point, so it is
+// deliberately verbose and slow; it serves as the executable correctness
+// oracle against which the logical model (package period) and the
+// implementation (packages rewrite + engine) are verified.
+package snapshot
+
+import (
+	"fmt"
+
+	"snapk/internal/algebra"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/semiring"
+	"snapk/internal/tuple"
+)
+
+// Relation is a snapshot K-relation R : 𝕋 → K-relations (Def 4.3),
+// materialized densely over its domain.
+type Relation[K comparable] struct {
+	sr     semiring.MSemiring[K]
+	dom    interval.Domain
+	schema tuple.Schema
+	snaps  []*krel.Relation[K] // index T - dom.Min
+}
+
+// NewRelation returns an empty snapshot K-relation (every snapshot is the
+// empty K-relation).
+func NewRelation[K comparable](sr semiring.MSemiring[K], dom interval.Domain, schema tuple.Schema) *Relation[K] {
+	snaps := make([]*krel.Relation[K], dom.Size())
+	for i := range snaps {
+		snaps[i] = krel.New[K](sr, schema)
+	}
+	return &Relation[K]{sr: sr, dom: dom, schema: schema, snaps: snaps}
+}
+
+// Schema returns the relation schema.
+func (r *Relation[K]) Schema() tuple.Schema { return r.schema }
+
+// Domain returns the time domain.
+func (r *Relation[K]) Domain() interval.Domain { return r.dom }
+
+// Timeslice returns τ_T(R), the snapshot at time t.
+func (r *Relation[K]) Timeslice(t interval.Time) *krel.Relation[K] {
+	if !r.dom.Contains(t) {
+		panic(fmt.Sprintf("snapshot: time %d outside domain %s", t, r.dom))
+	}
+	return r.snaps[t-r.dom.Min]
+}
+
+// AddAt merges annotation k into tuple tup at time t.
+func (r *Relation[K]) AddAt(t interval.Time, tup tuple.Tuple, k K) {
+	r.Timeslice(t).Add(tup, k)
+}
+
+// AddPeriod merges annotation k into tuple tup at every time point of iv.
+// It is the convenience bridge from interval-timestamped input data.
+func (r *Relation[K]) AddPeriod(iv interval.Interval, tup tuple.Tuple, k K) {
+	for t := iv.Begin; t < iv.End; t++ {
+		r.AddAt(t, tup, k)
+	}
+}
+
+// Equal reports whether both relations have identical snapshots at every
+// time point (snapshot-equivalence on materialized relations).
+func (r *Relation[K]) Equal(other *Relation[K]) bool {
+	if r.dom != other.dom || !r.schema.Equal(other.schema) {
+		return false
+	}
+	for i := range r.snaps {
+		if !r.snaps[i].Equal(other.snaps[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DB is a snapshot K-database: a named collection of snapshot K-relations
+// over a common domain and semiring.
+type DB[K comparable] struct {
+	sr   semiring.MSemiring[K]
+	dom  interval.Domain
+	rels map[string]*Relation[K]
+}
+
+// NewDB returns an empty snapshot K-database.
+func NewDB[K comparable](sr semiring.MSemiring[K], dom interval.Domain) *DB[K] {
+	return &DB[K]{sr: sr, dom: dom, rels: make(map[string]*Relation[K])}
+}
+
+// Domain returns the database's time domain.
+func (db *DB[K]) Domain() interval.Domain { return db.dom }
+
+// CreateRelation registers an empty snapshot relation under name.
+func (db *DB[K]) CreateRelation(name string, schema tuple.Schema) *Relation[K] {
+	r := NewRelation(db.sr, db.dom, schema)
+	db.rels[name] = r
+	return r
+}
+
+// Relation returns the snapshot relation registered under name.
+func (db *DB[K]) Relation(name string) (*Relation[K], error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// RelationSchema implements algebra.Catalog.
+func (db *DB[K]) RelationSchema(name string) (tuple.Schema, error) {
+	r, err := db.Relation(name)
+	if err != nil {
+		return tuple.Schema{}, err
+	}
+	return r.schema, nil
+}
+
+// Eval evaluates q under snapshot semantics (Def 4.4): the result's
+// snapshot at every T is q evaluated over the database's snapshots at T.
+func (db *DB[K]) Eval(q algebra.Query) (*Relation[K], error) {
+	outSchema, err := algebra.OutSchema(q, db)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(db.sr, db.dom, outSchema)
+	for t := db.dom.Min; t < db.dom.Max; t++ {
+		snap, err := db.evalAt(q, t)
+		if err != nil {
+			return nil, err
+		}
+		out.snaps[t-db.dom.Min] = snap
+	}
+	return out, nil
+}
+
+// evalAt evaluates q over the snapshots at time t with plain K-relation
+// semantics.
+func (db *DB[K]) evalAt(q algebra.Query, t interval.Time) (*krel.Relation[K], error) {
+	switch n := q.(type) {
+	case algebra.Rel:
+		r, err := db.Relation(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return r.Timeslice(t), nil
+	case algebra.Select:
+		in, err := db.evalAt(n.In, t)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := algebra.Compile(n.Pred, in.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return krel.Select(in, func(tp tuple.Tuple) bool { return algebra.Truthy(pred(tp)) }), nil
+	case algebra.Project:
+		in, err := db.evalAt(n.In, t)
+		if err != nil {
+			return nil, err
+		}
+		return projectKRel(in, n)
+	case algebra.Join:
+		l, err := db.evalAt(n.L, t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.evalAt(n.R, t)
+		if err != nil {
+			return nil, err
+		}
+		out := l.Schema().Concat(r.Schema(), "r.")
+		pred, err := algebra.Compile(n.Pred, out)
+		if err != nil {
+			return nil, err
+		}
+		return krel.Join(l, r, out, func(tp tuple.Tuple) bool { return algebra.Truthy(pred(tp)) }), nil
+	case algebra.Union:
+		l, err := db.evalAt(n.L, t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.evalAt(n.R, t)
+		if err != nil {
+			return nil, err
+		}
+		return krel.Union(l, r), nil
+	case algebra.Diff:
+		l, err := db.evalAt(n.L, t)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.evalAt(n.R, t)
+		if err != nil {
+			return nil, err
+		}
+		return krel.Diff(db.sr, l, r), nil
+	case algebra.Agg:
+		in, err := db.evalAt(n.In, t)
+		if err != nil {
+			return nil, err
+		}
+		return aggregateKRel(in, n)
+	default:
+		return nil, fmt.Errorf("snapshot: unknown query node %T", q)
+	}
+}
+
+func projectKRel[K comparable](in *krel.Relation[K], n algebra.Project) (*krel.Relation[K], error) {
+	cols := make([]string, len(n.Exprs))
+	fns := make([]algebra.Compiled, len(n.Exprs))
+	for i, ne := range n.Exprs {
+		c, err := algebra.Compile(ne.E, in.Schema())
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = ne.Name
+		fns[i] = c
+	}
+	out := tuple.NewSchema(cols...)
+	return krel.Project(in, out, func(tp tuple.Tuple) tuple.Tuple {
+		res := make(tuple.Tuple, len(fns))
+		for i, f := range fns {
+			res[i] = f(tp)
+		}
+		return res
+	}), nil
+}
+
+// aggregateKRel evaluates an Agg node over one snapshot. Aggregation is
+// only defined for the ℕ semiring (Section 7.2); other semirings yield
+// an error.
+func aggregateKRel[K comparable](in *krel.Relation[K], n algebra.Agg) (*krel.Relation[K], error) {
+	nIn, ok := any(in).(*krel.Relation[int64])
+	if !ok {
+		return nil, fmt.Errorf("snapshot: aggregation requires the ℕ semiring, have %s", in.Semiring().Name())
+	}
+	res, err := AggregateN(nIn, n)
+	if err != nil {
+		return nil, err
+	}
+	return any(res).(*krel.Relation[K]), nil
+}
+
+// AggregateN evaluates an Agg node over a non-temporal ℕ-relation,
+// supporting several aggregation functions per grouping. It is shared
+// with the logical-model evaluator and the baselines.
+func AggregateN(in *krel.Relation[int64], n algebra.Agg) (*krel.Relation[int64], error) {
+	schema := in.Schema()
+	groupIdx := make([]int, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		idx := schema.Index(g)
+		if idx < 0 {
+			return nil, fmt.Errorf("snapshot: unknown group-by column %q", g)
+		}
+		groupIdx[i] = idx
+	}
+	cols := append([]string{}, n.GroupBy...)
+	argIdx := make([]int, len(n.Aggs))
+	for i, a := range n.Aggs {
+		cols = append(cols, a.As)
+		if a.Fn == krel.CountStar {
+			argIdx[i] = -1
+			continue
+		}
+		idx := schema.Index(a.Arg)
+		if idx < 0 {
+			return nil, fmt.Errorf("snapshot: unknown aggregation column %q", a.Arg)
+		}
+		argIdx[i] = idx
+	}
+	out := krel.New[int64](semiring.N, tuple.NewSchema(cols...))
+
+	type groupAcc struct {
+		group  tuple.Tuple
+		states []*krel.AggState
+	}
+	groups := make(map[string]*groupAcc)
+	for _, e := range in.Entries() {
+		g := e.Tuple.Project(groupIdx)
+		key := g.Key()
+		acc, ok := groups[key]
+		if !ok {
+			acc = &groupAcc{group: g, states: make([]*krel.AggState, len(n.Aggs))}
+			for i, a := range n.Aggs {
+				acc.states[i] = krel.NewAggState(a.Fn)
+			}
+			groups[key] = acc
+		}
+		for i := range n.Aggs {
+			var arg tuple.Value
+			if argIdx[i] >= 0 {
+				arg = e.Tuple[argIdx[i]]
+			}
+			acc.states[i].AddValue(arg, e.Ann)
+		}
+	}
+	if len(n.GroupBy) == 0 && len(groups) == 0 {
+		acc := &groupAcc{group: tuple.Tuple{}, states: make([]*krel.AggState, len(n.Aggs))}
+		for i, a := range n.Aggs {
+			acc.states[i] = krel.NewAggState(a.Fn)
+		}
+		groups[""] = acc
+	}
+	for _, acc := range groups {
+		row := acc.group.Clone()
+		for _, st := range acc.states {
+			row = append(row, st.Result())
+		}
+		out.Add(row, 1)
+	}
+	return out, nil
+}

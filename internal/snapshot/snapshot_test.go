@@ -1,0 +1,274 @@
+package snapshot
+
+import (
+	"testing"
+
+	"snapk/internal/algebra"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/semiring"
+	"snapk/internal/tuple"
+)
+
+var dom = interval.NewDomain(0, 24)
+
+func str(s string) tuple.Value { return tuple.String_(s) }
+
+// runningExample builds the works/assign database of Figure 1.
+func runningExample() *DB[int64] {
+	db := NewDB[int64](semiring.N, dom)
+	works := db.CreateRelation("works", tuple.NewSchema("name", "skill"))
+	works.AddPeriod(interval.New(3, 10), tuple.Tuple{str("Ann"), str("SP")}, 1)
+	works.AddPeriod(interval.New(8, 16), tuple.Tuple{str("Joe"), str("NS")}, 1)
+	works.AddPeriod(interval.New(8, 16), tuple.Tuple{str("Sam"), str("SP")}, 1)
+	works.AddPeriod(interval.New(18, 20), tuple.Tuple{str("Ann"), str("SP")}, 1)
+	assign := db.CreateRelation("assign", tuple.NewSchema("mach", "skill"))
+	assign.AddPeriod(interval.New(3, 12), tuple.Tuple{str("M1"), str("SP")}, 1)
+	assign.AddPeriod(interval.New(6, 14), tuple.Tuple{str("M2"), str("SP")}, 1)
+	assign.AddPeriod(interval.New(3, 16), tuple.Tuple{str("M3"), str("NS")}, 1)
+	return db
+}
+
+// qOnduty is SELECT count(*) AS cnt FROM works WHERE skill = 'SP'.
+func qOnduty() algebra.Query {
+	return algebra.Agg{
+		Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+		In:   algebra.Select{Pred: algebra.Eq(algebra.Col("skill"), algebra.StrC("SP")), In: algebra.Rel{Name: "works"}},
+	}
+}
+
+// qSkillreq is SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works.
+func qSkillreq() algebra.Query {
+	return algebra.Diff{
+		L: algebra.ProjectCols(algebra.Rel{Name: "assign"}, "skill"),
+		R: algebra.ProjectCols(algebra.Rel{Name: "works"}, "skill"),
+	}
+}
+
+// TestFigure1bSnapshotAggregation checks the Qonduty result of Figure 1b,
+// including the gap rows (cnt = 0) that AG-buggy systems omit.
+func TestFigure1bSnapshotAggregation(t *testing.T) {
+	db := runningExample()
+	res, err := db.Eval(qOnduty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 1b: cnt per period.
+	expected := []struct {
+		iv  interval.Interval
+		cnt int64
+	}{
+		{interval.New(0, 3), 0},
+		{interval.New(3, 8), 1},
+		{interval.New(8, 10), 2},
+		{interval.New(10, 16), 1},
+		{interval.New(16, 18), 0},
+		{interval.New(18, 20), 1},
+		{interval.New(20, 24), 0},
+	}
+	for _, e := range expected {
+		for tp := e.iv.Begin; tp < e.iv.End; tp++ {
+			snap := res.Timeslice(tp)
+			if snap.Len() != 1 {
+				t.Fatalf("snapshot at %d has %d tuples: %v", tp, snap.Len(), snap)
+			}
+			if got := snap.Annotation(tuple.Tuple{tuple.Int(e.cnt)}); got != 1 {
+				t.Fatalf("at %d: want cnt=%d annotated 1, got %v", tp, e.cnt, snap)
+			}
+		}
+	}
+}
+
+// TestFigure1cSnapshotBagDifference checks the Qskillreq result of
+// Figure 1c, including the SP rows that BD-buggy systems drop.
+func TestFigure1cSnapshotBagDifference(t *testing.T) {
+	db := runningExample()
+	res, err := db.Eval(qSkillreq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ns := tuple.Tuple{str("SP")}, tuple.Tuple{str("NS")}
+	wantSP := map[interval.Time]int64{6: 1, 7: 1, 10: 1, 11: 1}
+	wantNS := map[interval.Time]int64{3: 1, 4: 1, 5: 1, 6: 1, 7: 1}
+	for tp := dom.Min; tp < dom.Max; tp++ {
+		snap := res.Timeslice(tp)
+		if got := snap.Annotation(sp); got != wantSP[tp] {
+			t.Errorf("SP at %d = %d, want %d", tp, got, wantSP[tp])
+		}
+		if got := snap.Annotation(ns); got != wantNS[tp] {
+			t.Errorf("NS at %d = %d, want %d", tp, got, wantNS[tp])
+		}
+	}
+}
+
+// TestSnapshotReducibility checks Def 4.4 directly: τ_T(Q(D)) = Q(τ_T(D))
+// for a join query, by comparing against evalAt on materialized snapshots.
+func TestSnapshotReducibility(t *testing.T) {
+	db := runningExample()
+	q := algebra.Join{
+		L:    algebra.Rel{Name: "works"},
+		R:    algebra.Rel{Name: "assign"},
+		Pred: algebra.Eq(algebra.Col("skill"), algebra.Col("r.skill")),
+	}
+	res, err := db.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tp := dom.Min; tp < dom.Max; tp++ {
+		direct, err := db.evalAt(q, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Timeslice(tp).Equal(direct) {
+			t.Fatalf("snapshot-reducibility violated at %d", tp)
+		}
+	}
+}
+
+func TestAddAtOutsideDomainPanics(t *testing.T) {
+	db := runningExample()
+	r, _ := db.Relation("works")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-domain time")
+		}
+	}()
+	r.AddAt(99, tuple.Tuple{str("X"), str("SP")}, 1)
+}
+
+func TestRelationEqual(t *testing.T) {
+	a, b := runningExample(), runningExample()
+	ra, _ := a.Relation("works")
+	rb, _ := b.Relation("works")
+	if !ra.Equal(rb) {
+		t.Error("identical snapshot relations not Equal")
+	}
+	rb.AddAt(5, tuple.Tuple{str("Zoe"), str("SP")}, 1)
+	if ra.Equal(rb) {
+		t.Error("different snapshot relations Equal")
+	}
+	other := NewRelation[int64](semiring.N, dom, tuple.NewSchema("x"))
+	if ra.Equal(other) {
+		t.Error("different schemas Equal")
+	}
+}
+
+func TestUnknownRelation(t *testing.T) {
+	db := runningExample()
+	if _, err := db.Relation("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := db.Eval(algebra.Rel{Name: "nope"}); err == nil {
+		t.Fatal("expected Eval error")
+	}
+	if _, err := db.RelationSchema("works"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalProjectUnionSelect(t *testing.T) {
+	db := runningExample()
+	q := algebra.Union{
+		L: algebra.ProjectCols(algebra.Select{
+			Pred: algebra.Eq(algebra.Col("skill"), algebra.StrC("SP")),
+			In:   algebra.Rel{Name: "works"},
+		}, "skill"),
+		R: algebra.ProjectCols(algebra.Rel{Name: "assign"}, "skill"),
+	}
+	res, err := db.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At T=8: works SP gives 2 (Ann, Sam), assign gives SP:2 (M1,M2), NS:1.
+	snap := res.Timeslice(8)
+	if got := snap.Annotation(tuple.Tuple{str("SP")}); got != 4 {
+		t.Errorf("SP at 8 = %d, want 4", got)
+	}
+	if got := snap.Annotation(tuple.Tuple{str("NS")}); got != 1 {
+		t.Errorf("NS at 8 = %d, want 1", got)
+	}
+}
+
+func TestEvalGroupedAggregation(t *testing.T) {
+	db := runningExample()
+	q := algebra.Agg{
+		GroupBy: []string{"skill"},
+		Aggs:    []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+		In:      algebra.Rel{Name: "works"},
+	}
+	res, err := db.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Timeslice(8)
+	if got := snap.Annotation(tuple.Tuple{str("SP"), tuple.Int(2)}); got != 1 {
+		t.Errorf("SP count at 8 missing: %v", snap)
+	}
+	if got := snap.Annotation(tuple.Tuple{str("NS"), tuple.Int(1)}); got != 1 {
+		t.Errorf("NS count at 8 missing: %v", snap)
+	}
+	// At T=0 nothing works: grouped aggregation yields no rows.
+	if got := res.Timeslice(0).Len(); got != 0 {
+		t.Errorf("grouped agg at 0 has %d rows, want 0", got)
+	}
+}
+
+func TestAggregationRequiresNaturalSemiring(t *testing.T) {
+	db := NewDB[bool](semiring.B, dom)
+	db.CreateRelation("r", tuple.NewSchema("x"))
+	q := algebra.Agg{Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "c"}}, In: algebra.Rel{Name: "r"}}
+	if _, err := db.Eval(q); err == nil {
+		t.Fatal("aggregation over 𝔹 must error")
+	}
+}
+
+func TestSetSemanticsEvaluation(t *testing.T) {
+	db := NewDB[bool](semiring.B, dom)
+	r := db.CreateRelation("r", tuple.NewSchema("x"))
+	r.AddPeriod(interval.New(0, 10), tuple.Tuple{tuple.Int(1)}, true)
+	r.AddPeriod(interval.New(5, 15), tuple.Tuple{tuple.Int(1)}, true) // duplicate: absorbed
+	s := db.CreateRelation("s", tuple.NewSchema("x"))
+	s.AddPeriod(interval.New(8, 20), tuple.Tuple{tuple.Int(1)}, true)
+	res, err := db.Eval(algebra.Diff{L: algebra.Rel{Name: "r"}, R: algebra.Rel{Name: "s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := tuple.Tuple{tuple.Int(1)}
+	for tp := dom.Min; tp < dom.Max; tp++ {
+		want := tp < 8 // in r until 15, in s from 8
+		if got := res.Timeslice(tp).Annotation(one); got != want {
+			t.Errorf("at %d: %v, want %v", tp, got, want)
+		}
+	}
+}
+
+func TestAggregateNErrors(t *testing.T) {
+	in := krel.New[int64](semiring.N, tuple.NewSchema("a"))
+	if _, err := AggregateN(in, algebra.Agg{GroupBy: []string{"z"}, Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "c"}}}); err == nil {
+		t.Fatal("unknown group col must error")
+	}
+	if _, err := AggregateN(in, algebra.Agg{Aggs: []algebra.AggSpec{{Fn: krel.Sum, Arg: "z", As: "s"}}}); err == nil {
+		t.Fatal("unknown agg col must error")
+	}
+}
+
+func TestMultiAggregate(t *testing.T) {
+	in := krel.New[int64](semiring.N, tuple.NewSchema("g", "v"))
+	in.Add(tuple.Tuple{str("a"), tuple.Int(10)}, 2)
+	in.Add(tuple.Tuple{str("a"), tuple.Int(4)}, 1)
+	res, err := AggregateN(in, algebra.Agg{
+		GroupBy: []string{"g"},
+		Aggs: []algebra.AggSpec{
+			{Fn: krel.CountStar, As: "cnt"},
+			{Fn: krel.Sum, Arg: "v", As: "total"},
+			{Fn: krel.Max, Arg: "v", As: "mx"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tuple.Tuple{str("a"), tuple.Int(3), tuple.Int(24), tuple.Int(10)}
+	if got := res.Annotation(want); got != 1 {
+		t.Fatalf("multi-agg result missing %v: %v", want, res)
+	}
+}

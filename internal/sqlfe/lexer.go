@@ -1,0 +1,127 @@
+// Package sqlfe is the SQL frontend of the middleware: it parses the
+// snapshot-semantics SQL dialect of Section 9 — standard SELECT queries,
+// optionally wrapped in a SEQ VT (...) block, with UNION ALL / EXCEPT ALL
+// set operations and the aggregation functions of RA_agg — and translates
+// statements into algebra.Query trees that the rewriter reduces to plans
+// over period relations.
+package sqlfe
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . *
+	tokOp     // = <> < <= > >= + - /
+)
+
+// token is one lexical token with its position for error reporting.
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "NULL": true,
+	"IS": true, "JOIN": true, "ON": true, "UNION": true, "EXCEPT": true,
+	"ALL": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "TRUE": true, "FALSE": true, "SEQ": true, "VT": true,
+	"WITH": true, "PERIOD": true,
+}
+
+// lex tokenizes the input, returning an error with position on invalid
+// characters or unterminated strings.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(input) && input[i+1] == '-':
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < len(input) && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlfe: unterminated string literal at position %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*':
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '=' || c == '+' || c == '-' || c == '/':
+			toks = append(toks, token{kind: tokOp, text: string(c), pos: i})
+			i++
+		case c == '<':
+			if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{kind: tokOp, text: input[i : i+2], pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: ">", pos: i})
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("sqlfe: unexpected character %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}

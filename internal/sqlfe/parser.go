@@ -1,0 +1,588 @@
+package sqlfe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"snapk/internal/algebra"
+	"snapk/internal/krel"
+	"snapk/internal/tuple"
+)
+
+// Statement is a parsed snapshot query: a set-operation tree of SELECT
+// blocks. Snapshot reports whether the query was wrapped in SEQ VT (...);
+// unwrapped queries are also interpreted under snapshot semantics, since
+// the middleware's registered tables are period relations.
+type Statement struct {
+	Query    setExpr
+	Snapshot bool
+}
+
+// setExpr is a set-operation tree over SELECT blocks.
+type setExpr interface{ setNode() }
+
+// setOp combines two subqueries with UNION ALL or EXCEPT ALL.
+type setOp struct {
+	op   string // "UNION" or "EXCEPT"
+	l, r setExpr
+}
+
+// selectStmt is one SELECT ... FROM ... [WHERE ...] [GROUP BY ...] block.
+type selectStmt struct {
+	items   []selectItem
+	star    bool
+	from    []fromItem
+	joins   []joinClause
+	where   algebra.Expr
+	groupBy []string
+}
+
+type selectItem struct {
+	expr algebra.Expr // nil when agg is set
+	agg  *aggItem
+	as   string
+}
+
+type aggItem struct {
+	fn   krel.AggFunc
+	star bool
+	arg  algebra.Expr
+}
+
+type fromItem struct {
+	table string
+	sub   *Statement // non-nil for derived tables
+	alias string
+	// periodBegin/periodEnd record the WITH PERIOD (b, e) declaration of
+	// the middleware dialect; the engine stores periods natively, so the
+	// names are accepted for compatibility and recorded, not remapped.
+	periodBegin, periodEnd string
+}
+
+type joinClause struct {
+	item fromItem
+	on   algebra.Expr
+}
+
+func (setOp) setNode()       {}
+func (*selectStmt) setNode() {}
+
+// Parse parses one snapshot SQL statement.
+func Parse(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlfe: position %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStatement() (*Statement, error) {
+	if p.accept(tokKeyword, "SEQ") {
+		if _, err := p.expect(tokKeyword, "VT"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSetExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &Statement{Query: q, Snapshot: true}, nil
+	}
+	q, err := p.parseSetExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{Query: q, Snapshot: false}, nil
+}
+
+func (p *parser) parseSetExpr() (setExpr, error) {
+	l, err := p.parseSelectOrParen()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.at(tokKeyword, "UNION"):
+			op = "UNION"
+		case p.at(tokKeyword, "EXCEPT"):
+			op = "EXCEPT"
+		default:
+			return l, nil
+		}
+		p.next()
+		if _, err := p.expect(tokKeyword, "ALL"); err != nil {
+			return nil, fmt.Errorf("%v (snapshot bag semantics requires UNION ALL / EXCEPT ALL)", err)
+		}
+		r, err := p.parseSelectOrParen()
+		if err != nil {
+			return nil, err
+		}
+		l = setOp{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) parseSelectOrParen() (setExpr, error) {
+	if p.accept(tokSymbol, "(") {
+		q, err := p.parseSetExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	return p.parseSelect()
+}
+
+func (p *parser) parseSelect() (*selectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	st := &selectStmt{}
+	if p.accept(tokSymbol, "*") {
+		st.star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			st.items = append(st.items, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	first, err := p.parseFromItem()
+	if err != nil {
+		return nil, err
+	}
+	st.from = append(st.from, first)
+	for {
+		if p.accept(tokSymbol, ",") {
+			fi, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			st.from = append(st.from, fi)
+			continue
+		}
+		if p.accept(tokKeyword, "JOIN") {
+			fi, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.joins = append(st.joins, joinClause{item: fi, on: on})
+			continue
+		}
+		break
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.parseQualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			st.groupBy = append(st.groupBy, name)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	if fn, ok := aggKeyword(p.cur()); ok && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+		p.next() // agg keyword
+		p.next() // (
+		item := selectItem{agg: &aggItem{fn: fn}}
+		if p.accept(tokSymbol, "*") {
+			if fn != krel.Count {
+				return selectItem{}, p.errf("* argument is only valid for count")
+			}
+			item.agg.fn = krel.CountStar
+			item.agg.star = true
+		} else {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return selectItem{}, err
+			}
+			item.agg.arg = arg
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return selectItem{}, err
+		}
+		item.as = p.parseOptionalAlias()
+		return item, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return selectItem{}, err
+	}
+	return selectItem{expr: e, as: p.parseOptionalAlias()}, nil
+}
+
+func aggKeyword(t token) (krel.AggFunc, bool) {
+	if t.kind != tokKeyword {
+		return 0, false
+	}
+	switch t.text {
+	case "COUNT":
+		return krel.Count, true
+	case "SUM":
+		return krel.Sum, true
+	case "AVG":
+		return krel.Avg, true
+	case "MIN":
+		return krel.Min, true
+	case "MAX":
+		return krel.Max, true
+	}
+	return 0, false
+}
+
+func (p *parser) parseOptionalAlias() string {
+	if p.accept(tokKeyword, "AS") {
+		if p.at(tokIdent, "") {
+			return p.next().text
+		}
+		return ""
+	}
+	if p.at(tokIdent, "") {
+		return p.next().text
+	}
+	return ""
+}
+
+func (p *parser) parseFromItem() (fromItem, error) {
+	if p.accept(tokSymbol, "(") {
+		sub, err := p.parseSetExpr()
+		if err != nil {
+			return fromItem{}, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return fromItem{}, err
+		}
+		p.accept(tokKeyword, "AS")
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return fromItem{}, p.errf("derived table requires an alias")
+		}
+		return fromItem{sub: &Statement{Query: sub}, alias: alias.text}, nil
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return fromItem{}, err
+	}
+	fi := fromItem{table: name.text}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return fromItem{}, err
+		}
+		fi.alias = a.text
+	} else if p.at(tokIdent, "") {
+		fi.alias = p.next().text
+	}
+	if p.accept(tokKeyword, "WITH") {
+		if _, err := p.expect(tokKeyword, "PERIOD"); err != nil {
+			return fromItem{}, err
+		}
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return fromItem{}, err
+		}
+		b, err := p.expect(tokIdent, "")
+		if err != nil {
+			return fromItem{}, err
+		}
+		if _, err := p.expect(tokSymbol, ","); err != nil {
+			return fromItem{}, err
+		}
+		e, err := p.expect(tokIdent, "")
+		if err != nil {
+			return fromItem{}, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return fromItem{}, err
+		}
+		fi.periodBegin, fi.periodEnd = b.text, e.text
+	}
+	return fi, nil
+}
+
+func (p *parser) parseQualifiedName() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	name := t.text
+	for p.accept(tokSymbol, ".") {
+		t2, err := p.expect(tokIdent, "")
+		if err != nil {
+			return "", err
+		}
+		name += "." + t2.text
+	}
+	return name, nil
+}
+
+// Expression parsing: precedence OR < AND < NOT < comparison < additive
+// < multiplicative < unary.
+
+func (p *parser) parseExpr() (algebra.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (algebra.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = algebra.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (algebra.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = algebra.And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (algebra.Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Not{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (algebra.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "IS") {
+		neg := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		var e algebra.Expr = algebra.IsNullExpr{E: l}
+		if neg {
+			e = algebra.Not{E: e}
+		}
+		return e, nil
+	}
+	if p.cur().kind == tokOp {
+		switch p.cur().text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			op := p.next().text
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			switch op {
+			case "=":
+				return algebra.Eq(l, r), nil
+			case "<>":
+				return algebra.Ne(l, r), nil
+			case "<":
+				return algebra.Lt(l, r), nil
+			case "<=":
+				return algebra.Le(l, r), nil
+			case ">":
+				return algebra.Gt(l, r), nil
+			default:
+				return algebra.Ge(l, r), nil
+			}
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (algebra.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.next().text
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			l = algebra.Add(l, r)
+		} else {
+			l = algebra.Sub(l, r)
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (algebra.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for (p.cur().kind == tokSymbol && p.cur().text == "*") ||
+		(p.cur().kind == tokOp && p.cur().text == "/") {
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if op == "*" {
+			l = algebra.Mul(l, r)
+		} else {
+			l = algebra.Div(l, r)
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (algebra.Expr, error) {
+	if p.cur().kind == tokOp && p.cur().text == "-" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Sub(algebra.IntC(0), e), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (algebra.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return algebra.FloatC(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return algebra.IntC(n), nil
+	case t.kind == tokString:
+		p.next()
+		return algebra.Const{Val: tuple.String_(t.text)}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return algebra.BoolC(true), nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return algebra.BoolC(false), nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return algebra.NullC(), nil
+	case t.kind == tokIdent:
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Col(name), nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("unexpected token %q in expression", t.text)
+	}
+}

@@ -1,0 +1,317 @@
+package sqlfe_test
+
+import (
+	"strings"
+	"testing"
+
+	"snapk/internal/algebra"
+	"snapk/internal/engine"
+	"snapk/internal/interval"
+	"snapk/internal/rewrite"
+	"snapk/internal/semiring"
+	"snapk/internal/sqlfe"
+	"snapk/internal/telement"
+	"snapk/internal/tuple"
+)
+
+var dom = interval.NewDomain(0, 24)
+var alg = telement.NewMAlgebra[int64](semiring.N, dom)
+
+func str(s string) tuple.Value { return tuple.String_(s) }
+
+func exampleDB() *engine.DB {
+	db := engine.NewDB(dom)
+	works := db.CreateTable("works", tuple.NewSchema("name", "skill"))
+	works.Append(tuple.Tuple{str("Ann"), str("SP")}, interval.New(3, 10), 1)
+	works.Append(tuple.Tuple{str("Joe"), str("NS")}, interval.New(8, 16), 1)
+	works.Append(tuple.Tuple{str("Sam"), str("SP")}, interval.New(8, 16), 1)
+	works.Append(tuple.Tuple{str("Ann"), str("SP")}, interval.New(18, 20), 1)
+	assign := db.CreateTable("assign", tuple.NewSchema("mach", "skill"))
+	assign.Append(tuple.Tuple{str("M1"), str("SP")}, interval.New(3, 12), 1)
+	assign.Append(tuple.Tuple{str("M2"), str("SP")}, interval.New(6, 14), 1)
+	assign.Append(tuple.Tuple{str("M3"), str("NS")}, interval.New(3, 16), 1)
+	return db
+}
+
+func run(t *testing.T, db *engine.DB, sql string) *engine.Table {
+	t.Helper()
+	q, err := sqlfe.ParseAndTranslate(sql, db)
+	if err != nil {
+		t.Fatalf("translate %q: %v", sql, err)
+	}
+	res, err := rewrite.Run(db, q, rewrite.Options{})
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	return res
+}
+
+// TestQondutySQL runs Example 1.1 through the full middleware stack:
+// SQL → algebra → REWR → engine, checking Figure 1b.
+func TestQondutySQL(t *testing.T) {
+	db := exampleDB()
+	got := run(t, db, `SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')`)
+	want := engine.NewTable(tuple.NewSchema("cnt"))
+	want.Append(tuple.Tuple{tuple.Int(0)}, interval.New(0, 3), 1)
+	want.Append(tuple.Tuple{tuple.Int(1)}, interval.New(3, 8), 1)
+	want.Append(tuple.Tuple{tuple.Int(2)}, interval.New(8, 10), 1)
+	want.Append(tuple.Tuple{tuple.Int(1)}, interval.New(10, 16), 1)
+	want.Append(tuple.Tuple{tuple.Int(0)}, interval.New(16, 18), 1)
+	want.Append(tuple.Tuple{tuple.Int(1)}, interval.New(18, 20), 1)
+	want.Append(tuple.Tuple{tuple.Int(0)}, interval.New(20, 24), 1)
+	if !engine.EqualAsPeriodRelations(got, want, alg) {
+		t.Fatalf("Qonduty =\n%s\nwant\n%s", got, want)
+	}
+}
+
+// TestQskillreqSQL runs Example 1.2 (EXCEPT ALL) end to end.
+func TestQskillreqSQL(t *testing.T) {
+	db := exampleDB()
+	got := run(t, db, `SEQ VT (
+		SELECT skill FROM assign
+		EXCEPT ALL
+		SELECT skill FROM works
+	)`)
+	want := engine.NewTable(tuple.NewSchema("skill"))
+	want.Append(tuple.Tuple{str("SP")}, interval.New(6, 8), 1)
+	want.Append(tuple.Tuple{str("SP")}, interval.New(10, 12), 1)
+	want.Append(tuple.Tuple{str("NS")}, interval.New(3, 8), 1)
+	if !engine.EqualAsPeriodRelations(got, want, alg) {
+		t.Fatalf("Qskillreq =\n%s\nwant\n%s", got, want)
+	}
+}
+
+func TestJoinWithAliases(t *testing.T) {
+	db := exampleDB()
+	got := run(t, db, `SEQ VT (
+		SELECT w.name AS name, a.mach AS mach
+		FROM works w JOIN assign a ON w.skill = a.skill
+	)`)
+	rel := got.ToPeriodRelation(alg)
+	ann := rel.Annotation(tuple.Tuple{str("Ann"), str("M1")})
+	if ann.IsZero() {
+		t.Fatalf("Ann/M1 missing: %v", rel)
+	}
+	if got.DataSchema().Arity() != 2 {
+		t.Fatalf("schema = %v", got.Schema)
+	}
+}
+
+func TestCommaJoinWithWhere(t *testing.T) {
+	db := exampleDB()
+	viaJoin := run(t, db, `SEQ VT (SELECT w.name AS n FROM works w JOIN assign a ON w.skill = a.skill)`)
+	viaComma := run(t, db, `SEQ VT (SELECT w.name AS n FROM works w, assign a WHERE w.skill = a.skill)`)
+	if !engine.EqualAsPeriodRelations(viaJoin, viaComma, alg) {
+		t.Fatal("comma join with WHERE must equal explicit JOIN")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := exampleDB()
+	got := run(t, db, `SEQ VT (SELECT skill, count(*) AS cnt FROM works GROUP BY skill)`)
+	rel := got.ToPeriodRelation(alg)
+	// (SP, 2) during [8, 10).
+	ann := rel.Annotation(tuple.Tuple{str("SP"), tuple.Int(2)})
+	if !ann.Equal(alg.Singleton(interval.New(8, 10), 1)) {
+		t.Fatalf("(SP,2) = %v", ann)
+	}
+}
+
+func TestAggregateOverExpression(t *testing.T) {
+	db := engine.NewDB(dom)
+	tb := db.CreateTable("t", tuple.NewSchema("price", "discount"))
+	tb.Append(tuple.Tuple{tuple.Int(100), tuple.Float(0.1)}, interval.New(0, 10), 1)
+	tb.Append(tuple.Tuple{tuple.Int(200), tuple.Float(0.5)}, interval.New(5, 15), 1)
+	got := run(t, db, `SEQ VT (SELECT sum(price * (1 - discount)) AS revenue FROM t)`)
+	rel := got.ToPeriodRelation(alg)
+	// [5,10): 100*0.9 + 200*0.5 = 190.
+	ann := rel.Annotation(tuple.Tuple{tuple.Float(190)})
+	if !ann.Equal(alg.Singleton(interval.New(5, 10), 1)) {
+		t.Fatalf("revenue 190 = %v\nfull: %v", ann, rel)
+	}
+	// Gap rows before 0? Domain [0,24): sum is NULL on [15,24).
+	annNull := rel.Annotation(tuple.Tuple{tuple.Null})
+	if !annNull.Equal(alg.Singleton(interval.New(15, 24), 1)) {
+		t.Fatalf("NULL revenue = %v", annNull)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := exampleDB()
+	got := run(t, db, `SEQ VT (SELECT * FROM works)`)
+	if got.DataSchema().Arity() != 2 || got.Len() != 4 {
+		t.Fatalf("SELECT * = %d rows, schema %v", got.Len(), got.Schema)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	db := exampleDB()
+	got := run(t, db, `SEQ VT (
+		SELECT s.skill AS skill, count(*) AS cnt
+		FROM (SELECT skill FROM works WHERE name <> 'Joe') AS s
+		GROUP BY s.skill
+	)`)
+	rel := got.ToPeriodRelation(alg)
+	if rel.Annotation(tuple.Tuple{str("SP"), tuple.Int(2)}).IsZero() {
+		t.Fatalf("derived-table aggregation wrong: %v", rel)
+	}
+}
+
+func TestWithPeriodClause(t *testing.T) {
+	db := exampleDB()
+	// The dialect accepts the period-attribute declaration of §9.
+	got := run(t, db, `SEQ VT (SELECT name FROM works WITH PERIOD (p_from, p_to) WHERE skill = 'SP')`)
+	if got.Len() == 0 {
+		t.Fatal("WITH PERIOD query returned nothing")
+	}
+}
+
+func TestUnionAllSQL(t *testing.T) {
+	db := exampleDB()
+	got := run(t, db, `SEQ VT (SELECT skill FROM works UNION ALL SELECT skill FROM assign)`)
+	rel := got.ToPeriodRelation(alg)
+	// At time 8: SP ×2 from works, SP ×2 from assign.
+	ann := rel.Annotation(tuple.Tuple{str("SP")})
+	if alg.Timeslice(ann, 8) != 4 {
+		t.Fatalf("SP at 8 = %d, want 4", alg.Timeslice(ann, 8))
+	}
+}
+
+func TestArithmeticAndComparisons(t *testing.T) {
+	db := engine.NewDB(dom)
+	tb := db.CreateTable("t", tuple.NewSchema("a", "b"))
+	tb.Append(tuple.Tuple{tuple.Int(6), tuple.Int(2)}, interval.New(0, 5), 1)
+	tb.Append(tuple.Tuple{tuple.Int(1), tuple.Int(9)}, interval.New(0, 5), 1)
+	got := run(t, db, `SEQ VT (SELECT a + b * 2 AS v FROM t WHERE a >= 2 AND NOT (b > 5) OR a < 0)`)
+	rel := got.ToPeriodRelation(alg)
+	if rel.Annotation(tuple.Tuple{tuple.Int(10)}).IsZero() {
+		t.Fatalf("expected 6+2*2=10: %v", rel)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("unexpected rows: %v", rel)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	db := engine.NewDB(dom)
+	tb := db.CreateTable("t", tuple.NewSchema("a"))
+	tb.Append(tuple.Tuple{tuple.Null}, interval.New(0, 5), 1)
+	tb.Append(tuple.Tuple{tuple.Int(1)}, interval.New(0, 5), 1)
+	if got := run(t, db, `SEQ VT (SELECT a FROM t WHERE a IS NULL)`); got.Len() != 1 {
+		t.Fatalf("IS NULL returned %d rows", got.Len())
+	}
+	if got := run(t, db, `SEQ VT (SELECT a FROM t WHERE a IS NOT NULL)`); got.Len() != 1 {
+		t.Fatalf("IS NOT NULL returned %d rows", got.Len())
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := engine.NewDB(dom)
+	tb := db.CreateTable("t", tuple.NewSchema("s"))
+	tb.Append(tuple.Tuple{str("it's")}, interval.New(0, 5), 1)
+	if got := run(t, db, `SEQ VT (SELECT s FROM t WHERE s = 'it''s')`); got.Len() != 1 {
+		t.Fatal("escaped quote literal broken")
+	}
+}
+
+func TestNegativeNumbersAndFloats(t *testing.T) {
+	db := engine.NewDB(dom)
+	tb := db.CreateTable("t", tuple.NewSchema("a"))
+	tb.Append(tuple.Tuple{tuple.Int(-3)}, interval.New(0, 5), 1)
+	if got := run(t, db, `SEQ VT (SELECT a FROM t WHERE a = -3)`); got.Len() != 1 {
+		t.Fatal("negative literal broken")
+	}
+	if got := run(t, db, `SEQ VT (SELECT a FROM t WHERE a < -2.5)`); got.Len() != 1 {
+		t.Fatal("float literal broken")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT * FROM`,
+		`SELECT a FROM t WHERE`,
+		`SELECT a FROM t GROUP`,
+		`SELECT a FROM t trailing nonsense ,`,
+		`SEQ (SELECT a FROM t)`,
+		`SEQ VT SELECT a FROM t`,
+		`SELECT a FROM t UNION SELECT a FROM t`,   // requires ALL
+		`SELECT a FROM t EXCEPT SELECT a FROM t`,  // requires ALL
+		`SELECT 'unterminated FROM t`,             // bad string
+		`SELECT sum(*) FROM t`,                    // * only for count
+		`SELECT a FROM (SELECT a FROM t)`,         // derived table needs alias
+		`SELECT a FROM t WITH (p, q)`,             // WITH requires PERIOD
+		`SELECT @ FROM t`,                         // bad char
+		`SELECT a, a FROM t`,                      // duplicate output
+		`SELECT count(*) AS c, 1 + 1 AS c FROM t`, // duplicate output
+	}
+	for _, sql := range bad {
+		if _, err := sqlfe.Parse(sql); err == nil {
+			// Some of these only fail at translation.
+			db := engine.NewDB(dom)
+			db.CreateTable("t", tuple.NewSchema("a"))
+			if _, terr := sqlfe.ParseAndTranslate(sql, db); terr == nil {
+				t.Errorf("no error for %q", sql)
+			}
+		}
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	db := engine.NewDB(dom)
+	db.CreateTable("t", tuple.NewSchema("a", "b"))
+	bad := []string{
+		`SELECT zzz FROM t`,
+		`SELECT a FROM nope`,
+		`SELECT a, count(*) AS c FROM t`,              // a not grouped
+		`SELECT a, count(*) AS c FROM t GROUP BY zzz`, // unknown group col
+		`SELECT a + 1, count(*) AS c FROM t GROUP BY a`,
+	}
+	for _, sql := range bad {
+		if _, err := sqlfe.ParseAndTranslate(sql, db); err == nil {
+			t.Errorf("no error for %q", sql)
+		}
+	}
+}
+
+func TestStatementWithoutSeqVT(t *testing.T) {
+	st, err := sqlfe.Parse(`SELECT a FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot {
+		t.Error("plain SELECT should not be marked Snapshot")
+	}
+	st2, err := sqlfe.Parse(`SEQ VT (SELECT a FROM t)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Snapshot {
+		t.Error("SEQ VT block must be marked Snapshot")
+	}
+}
+
+func TestGroupByDistinctStyle(t *testing.T) {
+	// GROUP BY without aggregates acts as snapshot-temporal DISTINCT.
+	db := exampleDB()
+	got := run(t, db, `SEQ VT (SELECT skill FROM works GROUP BY skill)`)
+	rel := got.ToPeriodRelation(alg)
+	ann := rel.Annotation(tuple.Tuple{str("SP")})
+	if alg.Timeslice(ann, 8) != 1 {
+		t.Fatalf("DISTINCT-style group by: SP at 8 = %d, want 1", alg.Timeslice(ann, 8))
+	}
+}
+
+func TestQueryStringRendering(t *testing.T) {
+	db := exampleDB()
+	q, err := sqlfe.ParseAndTranslate(`SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	if !strings.Contains(s, "works") || !strings.Contains(s, "count(*)") {
+		t.Errorf("query rendering = %q", s)
+	}
+	_ = algebra.BaseRelations(q)
+}

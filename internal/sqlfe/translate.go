@@ -1,0 +1,240 @@
+package sqlfe
+
+import (
+	"fmt"
+	"strings"
+
+	"snapk/internal/algebra"
+)
+
+// Translate turns a parsed statement into an algebra query, resolving
+// names against the catalog. The resulting tree is what REWR consumes.
+func Translate(st *Statement, cat algebra.Catalog) (algebra.Query, error) {
+	q, err := translateSet(st.Query, cat)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the full tree once so callers get errors at translation
+	// time rather than at execution time.
+	if _, err := algebra.OutSchema(q, cat); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParseAndTranslate is the one-call frontend entry point.
+func ParseAndTranslate(sql string, cat algebra.Catalog) (algebra.Query, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Translate(st, cat)
+}
+
+func translateSet(se setExpr, cat algebra.Catalog) (algebra.Query, error) {
+	switch n := se.(type) {
+	case setOp:
+		l, err := translateSet(n.l, cat)
+		if err != nil {
+			return nil, err
+		}
+		r, err := translateSet(n.r, cat)
+		if err != nil {
+			return nil, err
+		}
+		if n.op == "UNION" {
+			return algebra.Union{L: l, R: r}, nil
+		}
+		return algebra.Diff{L: l, R: r}, nil
+	case *selectStmt:
+		return translateSelect(n, cat)
+	default:
+		return nil, fmt.Errorf("sqlfe: unknown set expression %T", se)
+	}
+}
+
+func translateSelect(st *selectStmt, cat algebra.Catalog) (algebra.Query, error) {
+	q, err := translateFrom(st, cat)
+	if err != nil {
+		return nil, err
+	}
+	if st.where != nil {
+		q = algebra.Select{Pred: st.where, In: q}
+	}
+	if st.star {
+		return q, nil
+	}
+	hasAgg := false
+	for _, item := range st.items {
+		if item.agg != nil {
+			hasAgg = true
+			break
+		}
+	}
+	if hasAgg || len(st.groupBy) > 0 {
+		return translateAggregate(st, q, cat)
+	}
+	return translateProjection(st, q)
+}
+
+// translateFrom builds the join tree of the FROM clause, renaming columns
+// of aliased items to alias.column.
+func translateFrom(st *selectStmt, cat algebra.Catalog) (algebra.Query, error) {
+	build := func(fi fromItem) (algebra.Query, error) {
+		var base algebra.Query
+		if fi.sub != nil {
+			sub, err := translateSet(fi.sub.Query, cat)
+			if err != nil {
+				return nil, err
+			}
+			base = sub
+		} else {
+			base = algebra.Rel{Name: fi.table}
+		}
+		if fi.alias == "" {
+			return base, nil
+		}
+		schema, err := algebra.OutSchema(base, cat)
+		if err != nil {
+			return nil, err
+		}
+		exprs := make([]algebra.NamedExpr, schema.Arity())
+		for i, c := range schema.Cols {
+			exprs[i] = algebra.NamedExpr{Name: fi.alias + "." + c, E: algebra.Col(c)}
+		}
+		return algebra.Project{Exprs: exprs, In: base}, nil
+	}
+	q, err := build(st.from[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, fi := range st.from[1:] {
+		r, err := build(fi)
+		if err != nil {
+			return nil, err
+		}
+		// Comma joins: the cross product; the WHERE clause carries the
+		// join conditions, as in the paper's workload queries.
+		q = algebra.Join{L: q, R: r, Pred: algebra.BoolC(true)}
+	}
+	for _, jc := range st.joins {
+		r, err := build(jc.item)
+		if err != nil {
+			return nil, err
+		}
+		q = algebra.Join{L: q, R: r, Pred: jc.on}
+	}
+	return q, nil
+}
+
+// outputName picks the output column name of a select item: the AS alias,
+// the last path segment of a plain column reference, or a synthesized
+// name for computed expressions.
+func outputName(item selectItem, pos int) string {
+	if item.as != "" {
+		return item.as
+	}
+	if item.agg != nil {
+		return strings.TrimSuffix(item.agg.fn.String(), "(*)")
+	}
+	if c, ok := item.expr.(algebra.ColRef); ok {
+		if i := strings.LastIndexByte(c.Name, '.'); i >= 0 {
+			return c.Name[i+1:]
+		}
+		return c.Name
+	}
+	return fmt.Sprintf("col%d", pos+1)
+}
+
+func translateProjection(st *selectStmt, in algebra.Query) (algebra.Query, error) {
+	exprs := make([]algebra.NamedExpr, len(st.items))
+	seen := map[string]bool{}
+	for i, item := range st.items {
+		name := outputName(item, i)
+		if seen[name] {
+			return nil, fmt.Errorf("sqlfe: duplicate output column %q; disambiguate with AS", name)
+		}
+		seen[name] = true
+		exprs[i] = algebra.NamedExpr{Name: name, E: item.expr}
+	}
+	return algebra.Project{Exprs: exprs, In: in}, nil
+}
+
+func translateAggregate(st *selectStmt, in algebra.Query, cat algebra.Catalog) (algebra.Query, error) {
+	schema, err := algebra.OutSchema(in, cat)
+	if err != nil {
+		return nil, err
+	}
+	groupSet := map[string]bool{}
+	for _, g := range st.groupBy {
+		if schema.Index(g) < 0 {
+			return nil, fmt.Errorf("sqlfe: unknown GROUP BY column %q", g)
+		}
+		groupSet[g] = true
+	}
+	// Pre-project computed aggregate arguments into synthetic columns so
+	// the Agg node only ever aggregates plain columns.
+	var pre []algebra.NamedExpr
+	for _, g := range st.groupBy {
+		pre = append(pre, algebra.NamedExpr{Name: g, E: algebra.Col(g)})
+	}
+	var aggSpecs []algebra.AggSpec
+	type outCol struct {
+		name string // output name
+		from string // column in the Agg output
+	}
+	var outs []outCol
+	seen := map[string]bool{}
+	synth := 0
+	for i, item := range st.items {
+		name := outputName(item, i)
+		if seen[name] {
+			return nil, fmt.Errorf("sqlfe: duplicate output column %q; disambiguate with AS", name)
+		}
+		seen[name] = true
+		if item.agg == nil {
+			c, ok := item.expr.(algebra.ColRef)
+			if !ok || !groupSet[c.Name] {
+				return nil, fmt.Errorf("sqlfe: non-aggregate select item %q must be a GROUP BY column", name)
+			}
+			outs = append(outs, outCol{name: name, from: c.Name})
+			continue
+		}
+		spec := algebra.AggSpec{Fn: item.agg.fn, As: fmt.Sprintf("_agg%d", len(aggSpecs))}
+		if !item.agg.star {
+			if c, ok := item.agg.arg.(algebra.ColRef); ok && schema.Index(c.Name) >= 0 {
+				spec.Arg = c.Name
+				pre = append(pre, algebra.NamedExpr{Name: c.Name, E: item.agg.arg})
+			} else {
+				col := fmt.Sprintf("_aggarg%d", synth)
+				synth++
+				pre = append(pre, algebra.NamedExpr{Name: col, E: item.agg.arg})
+				spec.Arg = col
+			}
+		}
+		aggSpecs = append(aggSpecs, spec)
+		outs = append(outs, outCol{name: name, from: spec.As})
+	}
+	// Deduplicate the pre-projection columns (a column may be both
+	// grouped on and aggregated over).
+	dedup := pre[:0]
+	preSeen := map[string]bool{}
+	for _, ne := range pre {
+		if preSeen[ne.Name] {
+			continue
+		}
+		preSeen[ne.Name] = true
+		dedup = append(dedup, ne)
+	}
+	var agg algebra.Query = algebra.Agg{
+		GroupBy: st.groupBy,
+		Aggs:    aggSpecs,
+		In:      algebra.Project{Exprs: dedup, In: in},
+	}
+	// Final projection: select order and display names.
+	finals := make([]algebra.NamedExpr, len(outs))
+	for i, oc := range outs {
+		finals[i] = algebra.NamedExpr{Name: oc.name, E: algebra.Col(oc.from)}
+	}
+	return algebra.Project{Exprs: finals, In: agg}, nil
+}

@@ -1,0 +1,52 @@
+package telement
+
+import (
+	"testing"
+
+	"snapk/internal/interval"
+	"snapk/internal/semiring"
+)
+
+// TestLineagePeriodSemiring exercises Kᵀ over the which-provenance
+// semiring: annotations become interval-indexed supporting-tuple sets.
+func TestLineagePeriodSemiring(t *testing.T) {
+	a := NewAlgebra[semiring.LineageValue](semiring.L, dom)
+	w1 := a.Singleton(interval.New(3, 10), semiring.LineageOf("w1"))
+	w2 := a.Singleton(interval.New(8, 16), semiring.LineageOf("w2"))
+
+	// Projection (+): during the overlap both inputs support the tuple.
+	sum := a.Plus(w1, w2)
+	if got := a.Timeslice(sum, 9); got != semiring.LineageOf("w1", "w2") {
+		t.Fatalf("τ_9 = %v", got)
+	}
+	if got := a.Timeslice(sum, 4); got != semiring.LineageOf("w1") {
+		t.Fatalf("τ_4 = %v", got)
+	}
+	if got := a.Timeslice(sum, 20); got != semiring.L.Zero() {
+		t.Fatalf("τ_20 = %v", got)
+	}
+	// Join (·): provenance of joint derivations, only on the overlap.
+	prod := a.Times(w1, w2)
+	if prod.NumSegs() != 1 || prod.Segs()[0].Iv != interval.New(8, 10) {
+		t.Fatalf("product = %v", prod)
+	}
+	if prod.Segs()[0].Val != semiring.LineageOf("w1", "w2") {
+		t.Fatalf("product lineage = %v", prod.Segs()[0].Val)
+	}
+	// Coalescing merges intervals with identical provenance.
+	z := a.Coalesce([]Seg[semiring.LineageValue]{
+		{Iv: interval.New(0, 5), Val: semiring.LineageOf("x")},
+		{Iv: interval.New(5, 9), Val: semiring.LineageOf("x")},
+		{Iv: interval.New(9, 12), Val: semiring.LineageOf("y")},
+	})
+	if z.NumSegs() != 2 {
+		t.Fatalf("coalesce = %v", z)
+	}
+	// The bottom element ⊥ (absent) never appears as a stored segment.
+	zero := a.Coalesce([]Seg[semiring.LineageValue]{
+		{Iv: interval.New(0, 5), Val: semiring.L.Zero()},
+	})
+	if !zero.IsZero() {
+		t.Fatalf("⊥ segments must vanish: %v", zero)
+	}
+}

@@ -1,0 +1,321 @@
+// Package telement implements temporal K-elements (Section 5 of Dignös et
+// al., PVLDB 2019): functions from intervals to semiring values that record
+// how a tuple's annotation changes over time, together with the
+// K-coalescing normal form (Def 5.2/5.3) and the period-semiring
+// operations +Kᵀ, ·Kᵀ, −Kᵀ, 0Kᵀ, 1Kᵀ (Def 6.1, Thm 7.1).
+//
+// A normalized temporal K-element is kept as a sorted slice of segments:
+// pairwise disjoint intervals, none annotated 0K, and adjacent intervals
+// carrying different values — exactly the image of the C_K operator. All
+// semiring operations are computed interval-wise with endpoint sweeps
+// rather than per time point, which is what makes the logical model
+// practical (cf. the discussion after Thm 7.1).
+package telement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snapk/internal/interval"
+	"snapk/internal/semiring"
+)
+
+// Seg is one interval-annotation pair of a temporal K-element.
+type Seg[K comparable] struct {
+	Iv  interval.Interval
+	Val K
+}
+
+// Element is a temporal K-element in K-coalesced normal form. The zero
+// value is the temporal zero 0Kᵀ (every interval mapped to 0K).
+// Elements must only be combined under the Algebra that produced them.
+type Element[K comparable] struct {
+	segs []Seg[K]
+}
+
+// Segs returns the normalized segments. Callers must not modify the
+// returned slice.
+func (e Element[K]) Segs() []Seg[K] { return e.segs }
+
+// IsZero reports whether the element maps every interval to 0K.
+func (e Element[K]) IsZero() bool { return len(e.segs) == 0 }
+
+// NumSegs returns the number of maximal constant intervals.
+func (e Element[K]) NumSegs() int { return len(e.segs) }
+
+// Equal reports segment-wise equality. On normalized elements this
+// coincides with snapshot-equivalence (Lemma 5.1, uniqueness).
+func (e Element[K]) Equal(other Element[K]) bool {
+	if len(e.segs) != len(other.segs) {
+		return false
+	}
+	for i := range e.segs {
+		if e.segs[i] != other.segs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the element like {[3, 10) -> 1, [18, 20) -> 1}.
+func (e Element[K]) String() string {
+	if e.IsZero() {
+		return "{}"
+	}
+	parts := make([]string, len(e.segs))
+	for i, s := range e.segs {
+		parts[i] = fmt.Sprintf("%s -> %v", s.Iv, s.Val)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Algebra bundles a base semiring K with a time domain 𝕋 and provides the
+// temporal-element operations of the period semiring Kᵀ. The domain is
+// needed because 1Kᵀ maps [Tmin, Tmax) to 1K and because annotation
+// changepoints are defined relative to Tmin/Tmax (Def 5.2).
+type Algebra[K comparable] struct {
+	K   semiring.Semiring[K]
+	Dom interval.Domain
+}
+
+// NewAlgebra returns the temporal-element algebra for semiring k over dom.
+func NewAlgebra[K comparable](k semiring.Semiring[K], dom interval.Domain) Algebra[K] {
+	return Algebra[K]{K: k, Dom: dom}
+}
+
+// Zero returns 0Kᵀ.
+func (a Algebra[K]) Zero() Element[K] { return Element[K]{} }
+
+// One returns 1Kᵀ: [Tmin, Tmax) ↦ 1K.
+func (a Algebra[K]) One() Element[K] {
+	return Element[K]{segs: []Seg[K]{{Iv: a.Dom.All(), Val: a.K.One()}}}
+}
+
+// Singleton returns the coalesced element {iv ↦ k}; it is Zero if k = 0K.
+func (a Algebra[K]) Singleton(iv interval.Interval, k K) Element[K] {
+	if !iv.Valid() || k == a.K.Zero() {
+		return Element[K]{}
+	}
+	return Element[K]{segs: []Seg[K]{{Iv: iv, Val: k}}}
+}
+
+// Coalesce applies C_K (Def 5.3) to an arbitrary — possibly overlapping,
+// unsorted, zero-containing — set of interval-annotation pairs, summing
+// overlapping annotations pointwise and producing maximal constant
+// intervals. This is the generalized coalescing of Section 5.2; for
+// K = 𝔹 it coincides with classic set-semantics coalescing.
+func (a Algebra[K]) Coalesce(pairs []Seg[K]) Element[K] {
+	zero := a.K.Zero()
+	live := make([]Seg[K], 0, len(pairs))
+	for _, p := range pairs {
+		if p.Iv.Valid() && p.Val != zero {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return Element[K]{}
+	}
+	// Sort by begin so the active window can be advanced monotonically.
+	sort.Slice(live, func(i, j int) bool { return live[i].Iv.Less(live[j].Iv) })
+
+	// Elementary segments lie between consecutive endpoints.
+	pts := make([]interval.Time, 0, 2*len(live))
+	for _, p := range live {
+		pts = append(pts, p.Iv.Begin, p.Iv.End)
+	}
+	pts = interval.DedupTimes(pts)
+
+	segs := make([]Seg[K], 0, len(pts))
+	lo := 0 // first pair whose interval may still cover the current segment
+	for i := 0; i+1 < len(pts); i++ {
+		seg := interval.Interval{Begin: pts[i], End: pts[i+1]}
+		for lo < len(live) && live[lo].Iv.End <= seg.Begin {
+			lo++
+		}
+		sum := zero
+		for j := lo; j < len(live) && live[j].Iv.Begin <= seg.Begin; j++ {
+			if live[j].Iv.Contains(seg.Begin) {
+				sum = a.K.Plus(sum, live[j].Val)
+			}
+		}
+		if sum == zero {
+			continue
+		}
+		segs = appendMerged(segs, Seg[K]{Iv: seg, Val: sum})
+	}
+	return Element[K]{segs: segs}
+}
+
+// appendMerged appends s to segs, merging it into the previous segment if
+// they are adjacent and carry the same value (the maximality condition of
+// CPI, Def 5.2).
+func appendMerged[K comparable](segs []Seg[K], s Seg[K]) []Seg[K] {
+	if n := len(segs); n > 0 && segs[n-1].Iv.End == s.Iv.Begin && segs[n-1].Val == s.Val {
+		segs[n-1].Iv.End = s.Iv.End
+		return segs
+	}
+	return append(segs, s)
+}
+
+// Timeslice returns τ_T(e), the annotation valid at time t (Section 5.1).
+// On a normalized element at most one segment contains t.
+func (a Algebra[K]) Timeslice(e Element[K], t interval.Time) K {
+	i := sort.Search(len(e.segs), func(i int) bool { return e.segs[i].Iv.End > t })
+	if i < len(e.segs) && e.segs[i].Iv.Contains(t) {
+		return e.segs[i].Val
+	}
+	return a.K.Zero()
+}
+
+// SnapshotEquivalent reports whether x ~ y, i.e. τ_T(x) = τ_T(y) for all
+// T ∈ 𝕋. On normalized elements this is structural equality (Lemma 5.1),
+// which is how it is implemented.
+func (a Algebra[K]) SnapshotEquivalent(x, y Element[K]) bool { return x.Equal(y) }
+
+// Changepoints returns CP(e) restricted to the domain: Tmin plus every
+// time point where the annotation differs from its predecessor (Def 5.2).
+func (a Algebra[K]) Changepoints(e Element[K]) []interval.Time {
+	cps := []interval.Time{a.Dom.Min}
+	for _, s := range e.segs {
+		if s.Iv.Begin > a.Dom.Min {
+			cps = append(cps, s.Iv.Begin)
+		}
+		if s.Iv.End < a.Dom.Max {
+			cps = append(cps, s.Iv.End)
+		}
+	}
+	return interval.DedupTimes(cps)
+}
+
+// Plus returns x +Kᵀ y = C_K(x +KP y) (Def 6.1), computed by a merge
+// sweep over the union of both elements' endpoints.
+func (a Algebra[K]) Plus(x, y Element[K]) Element[K] {
+	if x.IsZero() {
+		return y
+	}
+	if y.IsZero() {
+		return x
+	}
+	pairs := make([]Seg[K], 0, len(x.segs)+len(y.segs))
+	pairs = append(pairs, x.segs...)
+	pairs = append(pairs, y.segs...)
+	return a.Coalesce(pairs)
+}
+
+// PlusAll sums all elements under +Kᵀ in a single sweep.
+func (a Algebra[K]) PlusAll(es ...Element[K]) Element[K] {
+	total := 0
+	for _, e := range es {
+		total += len(e.segs)
+	}
+	pairs := make([]Seg[K], 0, total)
+	for _, e := range es {
+		pairs = append(pairs, e.segs...)
+	}
+	return a.Coalesce(pairs)
+}
+
+// Times returns x ·Kᵀ y = C_K(x ·KP y) (Def 6.1). Because normalized
+// inputs are pairwise disjoint, every time point is covered by at most one
+// segment per side, so the pointwise product is obtained by intersecting
+// segments with a two-pointer sweep.
+func (a Algebra[K]) Times(x, y Element[K]) Element[K] {
+	if x.IsZero() || y.IsZero() {
+		return Element[K]{}
+	}
+	zero := a.K.Zero()
+	segs := make([]Seg[K], 0, len(x.segs)+len(y.segs))
+	i, j := 0, 0
+	for i < len(x.segs) && j < len(y.segs) {
+		xs, ys := x.segs[i], y.segs[j]
+		if iv, ok := xs.Iv.Intersect(ys.Iv); ok {
+			if v := a.K.Times(xs.Val, ys.Val); v != zero {
+				segs = appendMerged(segs, Seg[K]{Iv: iv, Val: v})
+			}
+		}
+		if xs.Iv.End <= ys.Iv.End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Element[K]{segs: segs}
+}
+
+// MAlgebra is an Algebra whose base semiring has a well-defined monus, so
+// the period semiring Kᵀ is an m-semiring too (Thm 7.1).
+type MAlgebra[K comparable] struct {
+	Algebra[K]
+	MK semiring.MSemiring[K]
+}
+
+// NewMAlgebra returns the m-semiring temporal-element algebra for k.
+func NewMAlgebra[K comparable](k semiring.MSemiring[K], dom interval.Domain) MAlgebra[K] {
+	return MAlgebra[K]{Algebra: Algebra[K]{K: k, Dom: dom}, MK: k}
+}
+
+// Monus returns x −Kᵀ y = C_K(x −KP y) (Thm 7.1). Instead of singleton
+// intervals it aligns both inputs on the union of their endpoints, where
+// the pointwise monus is constant per aligned segment — the efficient
+// normalization described after Thm 7.1.
+func (m MAlgebra[K]) Monus(x, y Element[K]) Element[K] {
+	if x.IsZero() {
+		return Element[K]{}
+	}
+	zero := m.K.Zero()
+	pts := make([]interval.Time, 0, 2*(len(x.segs)+len(y.segs)))
+	for _, s := range x.segs {
+		pts = append(pts, s.Iv.Begin, s.Iv.End)
+	}
+	for _, s := range y.segs {
+		pts = append(pts, s.Iv.Begin, s.Iv.End)
+	}
+	pts = interval.DedupTimes(pts)
+
+	segs := make([]Seg[K], 0, len(x.segs))
+	xi, yi := 0, 0
+	for i := 0; i+1 < len(pts); i++ {
+		seg := interval.Interval{Begin: pts[i], End: pts[i+1]}
+		for xi < len(x.segs) && x.segs[xi].Iv.End <= seg.Begin {
+			xi++
+		}
+		for yi < len(y.segs) && y.segs[yi].Iv.End <= seg.Begin {
+			yi++
+		}
+		xv, yv := zero, zero
+		if xi < len(x.segs) && x.segs[xi].Iv.Contains(seg.Begin) {
+			xv = x.segs[xi].Val
+		}
+		if yi < len(y.segs) && y.segs[yi].Iv.Contains(seg.Begin) {
+			yv = y.segs[yi].Val
+		}
+		if v := m.MK.Monus(xv, yv); v != zero {
+			segs = appendMerged(segs, Seg[K]{Iv: seg, Val: v})
+		}
+	}
+	return Element[K]{segs: segs}
+}
+
+// Leq reports x ≤Kᵀ y in the natural order of Kᵀ, which holds iff
+// τ_T(x) ≤K τ_T(y) for every T (see the proof sketch of Thm 7.1). It is
+// decided on the aligned segments rather than per time point.
+func (m MAlgebra[K]) Leq(x, y Element[K]) bool {
+	// x ≤ y  ⇔  x − y = 0 would be wrong in general m-semirings, but
+	// pointwise it is exactly: ∀T τ(x) ≤K τ(y). Align and compare.
+	pts := make([]interval.Time, 0, 2*(len(x.segs)+len(y.segs)))
+	for _, s := range x.segs {
+		pts = append(pts, s.Iv.Begin, s.Iv.End)
+	}
+	for _, s := range y.segs {
+		pts = append(pts, s.Iv.Begin, s.Iv.End)
+	}
+	pts = interval.DedupTimes(pts)
+	for i := 0; i+1 < len(pts); i++ {
+		t := pts[i]
+		if !m.MK.Leq(m.Timeslice(x, t), m.Timeslice(y, t)) {
+			return false
+		}
+	}
+	return true
+}

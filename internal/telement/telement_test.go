@@ -1,0 +1,393 @@
+package telement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snapk/internal/interval"
+	"snapk/internal/semiring"
+)
+
+var dom = interval.NewDomain(0, 24)
+
+func nAlg() MAlgebra[int64] { return NewMAlgebra[int64](semiring.N, dom) }
+func bAlg() MAlgebra[bool]  { return NewMAlgebra[bool](semiring.B, dom) }
+
+func seg(b, e interval.Time, v int64) Seg[int64] {
+	return Seg[int64]{Iv: interval.New(b, e), Val: v}
+}
+
+// randomElement builds a random normalized temporal ℕ-element.
+func randomElement(r *rand.Rand, a MAlgebra[int64]) Element[int64] {
+	n := r.Intn(5)
+	pairs := make([]Seg[int64], 0, n)
+	for i := 0; i < n; i++ {
+		b := dom.Min + int64(r.Intn(int(dom.Size()-1)))
+		e := b + 1 + int64(r.Intn(int(dom.Max-b)))
+		pairs = append(pairs, seg(b, e, int64(r.Intn(4))))
+	}
+	return a.Coalesce(pairs)
+}
+
+func TestExample51And52CoalesceUniqueness(t *testing.T) {
+	a := nAlg()
+	// T1 = {[03,09) ↦ 3, [18,20) ↦ 2} and the snapshot-equivalent T2, T3
+	// from Example 5.2 must all coalesce to the same normal form.
+	t1 := a.Coalesce([]Seg[int64]{seg(3, 9, 3), seg(18, 20, 2)})
+	t2 := a.Coalesce([]Seg[int64]{seg(3, 9, 1), seg(3, 6, 2), seg(6, 9, 2), seg(18, 20, 2)})
+	t3 := a.Coalesce([]Seg[int64]{seg(3, 5, 3), seg(5, 9, 3), seg(18, 20, 2)})
+	if !t1.Equal(t2) || !t1.Equal(t3) {
+		t.Fatalf("equivalent elements have different normal forms:\n%v\n%v\n%v", t1, t2, t3)
+	}
+	if t1.NumSegs() != 2 {
+		t.Fatalf("normal form = %v, want 2 segments", t1)
+	}
+}
+
+func TestExample53NCoalesce(t *testing.T) {
+	a := nAlg()
+	// T30k = {[3,10) ↦ 1, [3,13) ↦ 1}; C_N = {[3,10) ↦ 2, [10,13) ↦ 1}.
+	got := a.Coalesce([]Seg[int64]{seg(3, 10, 1), seg(3, 13, 1)})
+	want := a.Coalesce([]Seg[int64]{seg(3, 10, 2), seg(10, 13, 1)})
+	if !got.Equal(want) {
+		t.Fatalf("C_N = %v, want %v", got, want)
+	}
+}
+
+func TestExample53BCoalesce(t *testing.T) {
+	b := bAlg()
+	// Same relation under 𝔹: C_B({[3,10)↦true, [3,13)↦true}) = {[3,13)↦true}.
+	got := b.Coalesce([]Seg[bool]{
+		{Iv: interval.New(3, 10), Val: true},
+		{Iv: interval.New(3, 13), Val: true},
+	})
+	if got.NumSegs() != 1 || got.Segs()[0].Iv != interval.New(3, 13) {
+		t.Fatalf("C_B = %v, want {[3,13) -> true}", got)
+	}
+}
+
+func TestTimesliceOverlapSemantics(t *testing.T) {
+	a := nAlg()
+	// §5.1: annotation at T is the sum over intervals containing T.
+	e := a.Coalesce([]Seg[int64]{seg(0, 5, 2), seg(4, 5, 1)})
+	if got := a.Timeslice(e, 4); got != 3 {
+		t.Fatalf("τ_4 = %d, want 3", got)
+	}
+	if got := a.Timeslice(e, 3); got != 2 {
+		t.Fatalf("τ_3 = %d, want 2", got)
+	}
+	if got := a.Timeslice(e, 5); got != 0 {
+		t.Fatalf("τ_5 = %d, want 0", got)
+	}
+}
+
+func TestLemma51Idempotence(t *testing.T) {
+	a := nAlg()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		e := randomElement(r, a)
+		again := a.Coalesce(e.Segs())
+		if !e.Equal(again) {
+			t.Fatalf("C_K not idempotent: %v vs %v", e, again)
+		}
+	}
+}
+
+func TestLemma51UniquenessAndEquivalencePreservation(t *testing.T) {
+	a := nAlg()
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		// Build raw pairs, coalesce, and verify per-timepoint equivalence.
+		n := r.Intn(6)
+		pairs := make([]Seg[int64], 0, n)
+		for j := 0; j < n; j++ {
+			b := int64(r.Intn(23))
+			e := b + 1 + int64(r.Intn(int(24-b-1))+1)
+			if e > 24 {
+				e = 24
+			}
+			pairs = append(pairs, seg(b, e, int64(r.Intn(3))))
+		}
+		e := a.Coalesce(pairs)
+		for tp := dom.Min; tp < dom.Max; tp++ {
+			want := int64(0)
+			for _, p := range pairs {
+				if p.Iv.Contains(tp) {
+					want += p.Val
+				}
+			}
+			if got := a.Timeslice(e, tp); got != want {
+				t.Fatalf("τ_%d = %d, want %d (pairs %v, coalesced %v)", tp, got, want, pairs, e)
+			}
+		}
+	}
+}
+
+func TestNormalFormInvariants(t *testing.T) {
+	a := nAlg()
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		e := randomElement(r, a)
+		segs := e.Segs()
+		for j, s := range segs {
+			if !s.Iv.Valid() || s.Val == 0 {
+				t.Fatalf("invalid segment %v in %v", s, e)
+			}
+			if j > 0 {
+				prev := segs[j-1]
+				if prev.Iv.End > s.Iv.Begin {
+					t.Fatalf("overlapping segments in %v", e)
+				}
+				if prev.Iv.End == s.Iv.Begin && prev.Val == s.Val {
+					t.Fatalf("unmerged adjacent equal segments in %v", e)
+				}
+			}
+		}
+	}
+}
+
+func TestExample61ProjectionSum(t *testing.T) {
+	a := nAlg()
+	// T1 + T2 from Example 6.1.
+	t1 := a.Coalesce([]Seg[int64]{seg(3, 10, 1), seg(18, 20, 1)})
+	t2 := a.Coalesce([]Seg[int64]{seg(8, 16, 1)})
+	got := a.Plus(t1, t2)
+	want := a.Coalesce([]Seg[int64]{seg(3, 8, 1), seg(8, 10, 2), seg(10, 16, 1), seg(18, 20, 1)})
+	if !got.Equal(want) {
+		t.Fatalf("T1 + T2 = %v, want %v", got, want)
+	}
+}
+
+func TestSection71MonusExample(t *testing.T) {
+	a := nAlg()
+	// Qskillreq annotation computation for result tuple (SP) from §7.1.
+	lhs := a.Plus(
+		a.Singleton(interval.New(3, 12), 1),
+		a.Singleton(interval.New(6, 14), 1),
+	)
+	rhs := a.PlusAll(
+		a.Singleton(interval.New(3, 10), 1),
+		a.Singleton(interval.New(8, 16), 1),
+		a.Singleton(interval.New(18, 20), 1),
+	)
+	wantLHS := a.Coalesce([]Seg[int64]{seg(3, 6, 1), seg(6, 12, 2), seg(12, 14, 1)})
+	if !lhs.Equal(wantLHS) {
+		t.Fatalf("lhs = %v, want %v", lhs, wantLHS)
+	}
+	wantRHS := a.Coalesce([]Seg[int64]{seg(3, 8, 1), seg(8, 10, 2), seg(10, 16, 1), seg(18, 20, 1)})
+	if !rhs.Equal(wantRHS) {
+		t.Fatalf("rhs = %v, want %v", rhs, wantRHS)
+	}
+	got := a.Monus(lhs, rhs)
+	want := a.Coalesce([]Seg[int64]{seg(6, 8, 1), seg(10, 12, 1)})
+	if !got.Equal(want) {
+		t.Fatalf("monus = %v, want %v", got, want)
+	}
+}
+
+func TestZeroOneSingleton(t *testing.T) {
+	a := nAlg()
+	if !a.Zero().IsZero() {
+		t.Error("Zero not zero")
+	}
+	one := a.One()
+	if one.NumSegs() != 1 || one.Segs()[0].Iv != dom.All() || one.Segs()[0].Val != 1 {
+		t.Errorf("One = %v", one)
+	}
+	if !a.Singleton(interval.Interval{}, 5).IsZero() {
+		t.Error("Singleton of invalid interval should be Zero")
+	}
+	if !a.Singleton(interval.New(1, 2), 0).IsZero() {
+		t.Error("Singleton of 0K should be Zero")
+	}
+	if got := a.Zero().String(); got != "{}" {
+		t.Errorf("Zero String = %q", got)
+	}
+	if got := a.Singleton(interval.New(3, 10), 2).String(); got != "{[3, 10) -> 2}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestChangepoints(t *testing.T) {
+	a := nAlg()
+	// Example 5.3: C_N(T30k) over domain [0,24) has changepoints 0 (Tmin),
+	// 3, 10, and 13.
+	e := a.Coalesce([]Seg[int64]{seg(3, 10, 1), seg(3, 13, 1)})
+	got := a.Changepoints(e)
+	want := []interval.Time{0, 3, 10, 13}
+	if len(got) != len(want) {
+		t.Fatalf("CP = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CP = %v, want %v", got, want)
+		}
+	}
+	// A segment ending at Tmax contributes no changepoint at Tmax.
+	e2 := a.Singleton(interval.New(20, 24), 1)
+	got2 := a.Changepoints(e2)
+	want2 := []interval.Time{0, 20}
+	if len(got2) != len(want2) || got2[0] != 0 || got2[1] != 20 {
+		t.Fatalf("CP = %v, want %v", got2, want2)
+	}
+}
+
+// TestPeriodSemiringLaws checks the semiring axioms of ℕᵀ (Thm 6.2) on
+// randomly generated normalized elements.
+func TestPeriodSemiringLaws(t *testing.T) {
+	a := nAlg()
+	r := rand.New(rand.NewSource(17))
+	sample := make([]Element[int64], 0, 8)
+	sample = append(sample, a.Zero(), a.One())
+	for i := 0; i < 6; i++ {
+		sample = append(sample, randomElement(r, a))
+	}
+	for _, x := range sample {
+		if !a.Plus(x, a.Zero()).Equal(x) {
+			t.Fatalf("x + 0 != x for %v", x)
+		}
+		if !a.Times(x, a.One()).Equal(x) {
+			t.Fatalf("x · 1 != x for %v: %v", x, a.Times(x, a.One()))
+		}
+		if !a.Times(x, a.Zero()).IsZero() {
+			t.Fatalf("x · 0 != 0 for %v", x)
+		}
+		for _, y := range sample {
+			if !a.Plus(x, y).Equal(a.Plus(y, x)) {
+				t.Fatalf("+ not commutative: %v, %v", x, y)
+			}
+			if !a.Times(x, y).Equal(a.Times(y, x)) {
+				t.Fatalf("· not commutative: %v, %v", x, y)
+			}
+			for _, z := range sample {
+				if !a.Plus(a.Plus(x, y), z).Equal(a.Plus(x, a.Plus(y, z))) {
+					t.Fatalf("+ not associative")
+				}
+				if !a.Times(a.Times(x, y), z).Equal(a.Times(x, a.Times(y, z))) {
+					t.Fatalf("· not associative")
+				}
+				lhs := a.Times(x, a.Plus(y, z))
+				rhs := a.Plus(a.Times(x, y), a.Times(x, z))
+				if !lhs.Equal(rhs) {
+					t.Fatalf("distributivity fails: x=%v y=%v z=%v: %v vs %v", x, y, z, lhs, rhs)
+				}
+			}
+		}
+	}
+}
+
+// TestTimesliceHomomorphism checks Thm 6.3/7.2: τ_T is an (m-)semiring
+// homomorphism Kᵀ → K, pointwise for every T.
+func TestTimesliceHomomorphism(t *testing.T) {
+	a := nAlg()
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 100; i++ {
+		x, y := randomElement(r, a), randomElement(r, a)
+		sum, prod, diff := a.Plus(x, y), a.Times(x, y), a.Monus(x, y)
+		for tp := dom.Min; tp < dom.Max; tp++ {
+			xv, yv := a.Timeslice(x, tp), a.Timeslice(y, tp)
+			if got := a.Timeslice(sum, tp); got != xv+yv {
+				t.Fatalf("τ(x+y) = %d, want %d at %d", got, xv+yv, tp)
+			}
+			if got := a.Timeslice(prod, tp); got != xv*yv {
+				t.Fatalf("τ(x·y) = %d, want %d at %d", got, xv*yv, tp)
+			}
+			want := semiring.N.Monus(xv, yv)
+			if got := a.Timeslice(diff, tp); got != want {
+				t.Fatalf("τ(x−y) = %d, want %d at %d (x=%v y=%v)", got, want, tp, x, y)
+			}
+		}
+	}
+	// Zero/one preservation.
+	if a.Timeslice(a.Zero(), 5) != 0 || a.Timeslice(a.One(), 5) != 1 {
+		t.Fatal("τ does not preserve 0/1")
+	}
+}
+
+// TestLemma61PushCoalesce verifies C(x +KP y) = C(C(x) +KP y) on random
+// inputs by checking that coalescing raw pairs equals coalescing after
+// normalizing one side first.
+func TestLemma61PushCoalesce(t *testing.T) {
+	a := nAlg()
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 200; i++ {
+		raw1 := make([]Seg[int64], r.Intn(4))
+		raw2 := make([]Seg[int64], r.Intn(4))
+		for j := range raw1 {
+			b := int64(r.Intn(20))
+			raw1[j] = seg(b, b+1+int64(r.Intn(4)), int64(r.Intn(3)))
+		}
+		for j := range raw2 {
+			b := int64(r.Intn(20))
+			raw2[j] = seg(b, b+1+int64(r.Intn(4)), int64(r.Intn(3)))
+		}
+		direct := a.Coalesce(append(append([]Seg[int64]{}, raw1...), raw2...))
+		viaNorm := a.Plus(a.Coalesce(raw1), a.Coalesce(raw2))
+		if !direct.Equal(viaNorm) {
+			t.Fatalf("Lemma 6.1 violated:\nraw1=%v raw2=%v\ndirect=%v viaNorm=%v", raw1, raw2, direct, viaNorm)
+		}
+	}
+}
+
+func TestMonusLeq(t *testing.T) {
+	a := nAlg()
+	x := a.Coalesce([]Seg[int64]{seg(3, 10, 2)})
+	y := a.Coalesce([]Seg[int64]{seg(3, 10, 2), seg(12, 14, 1)})
+	if !a.Leq(x, y) {
+		t.Error("x should be ≤ y")
+	}
+	if a.Leq(y, x) {
+		t.Error("y should not be ≤ x")
+	}
+	if !a.Monus(x, y).IsZero() {
+		t.Error("x − y should be 0 when x ≤ y")
+	}
+	// Natural-order characterization: x ≤ y ⇒ y = x + (y − x).
+	if !a.Plus(x, a.Monus(y, x)).Equal(y) {
+		t.Error("y != x + (y − x)")
+	}
+}
+
+func TestBooleanCoalesceMatchesClassicCoalescing(t *testing.T) {
+	b := bAlg()
+	// Overlapping + adjacent true intervals merge into one maximal interval.
+	e := b.Coalesce([]Seg[bool]{
+		{Iv: interval.New(1, 5), Val: true},
+		{Iv: interval.New(4, 8), Val: true},
+		{Iv: interval.New(8, 12), Val: true},
+		{Iv: interval.New(15, 17), Val: true},
+	})
+	if e.NumSegs() != 2 {
+		t.Fatalf("B-coalesce = %v, want 2 maximal intervals", e)
+	}
+	if e.Segs()[0].Iv != interval.New(1, 12) || e.Segs()[1].Iv != interval.New(15, 17) {
+		t.Fatalf("B-coalesce = %v", e)
+	}
+}
+
+// Property: Plus/Times/Monus results are always in normal form.
+func TestOperationsPreserveNormalForm(t *testing.T) {
+	a := nAlg()
+	checkNF := func(e Element[int64]) bool {
+		segs := e.Segs()
+		for j, s := range segs {
+			if !s.Iv.Valid() || s.Val == 0 {
+				return false
+			}
+			if j > 0 && (segs[j-1].Iv.End > s.Iv.Begin ||
+				(segs[j-1].Iv.End == s.Iv.Begin && segs[j-1].Val == s.Val)) {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randomElement(r, a), randomElement(r, a)
+		return checkNF(a.Plus(x, y)) && checkNF(a.Times(x, y)) && checkNF(a.Monus(x, y))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package telement
+
+import (
+	"testing"
+
+	"snapk/internal/interval"
+	"snapk/internal/semiring"
+)
+
+// TestViterbiPeriodSemiring exercises the Kᵀ construction on the
+// probability semiring: annotations become interval-indexed confidence
+// histories, the §11 "probabilistic + temporal" combination.
+func TestViterbiPeriodSemiring(t *testing.T) {
+	a := NewAlgebra[float64](semiring.V, dom)
+	// A sensor reading trusted at 0.9 during [0,10) and re-observed at
+	// 0.6 during [5, 15): the most likely support during the overlap is
+	// max(0.9, 0.6) = 0.9.
+	x := a.Singleton(interval.New(0, 10), 0.9)
+	y := a.Singleton(interval.New(5, 15), 0.6)
+	sum := a.Plus(x, y)
+	if got := a.Timeslice(sum, 7); got != 0.9 {
+		t.Fatalf("τ_7 = %v, want 0.9", got)
+	}
+	if got := a.Timeslice(sum, 12); got != 0.6 {
+		t.Fatalf("τ_12 = %v, want 0.6", got)
+	}
+	// A join multiplies confidences on the overlap only.
+	prod := a.Times(x, y)
+	if prod.NumSegs() != 1 || prod.Segs()[0].Iv != interval.New(5, 10) {
+		t.Fatalf("product = %v", prod)
+	}
+	if got := prod.Segs()[0].Val; got != 0.9*0.6 {
+		t.Fatalf("joint confidence = %v", got)
+	}
+	// Coalescing merges adjacent equal confidences.
+	z := a.Coalesce([]Seg[float64]{
+		{Iv: interval.New(0, 5), Val: 0.5},
+		{Iv: interval.New(5, 9), Val: 0.5},
+	})
+	if z.NumSegs() != 1 || z.Segs()[0].Iv != interval.New(0, 9) {
+		t.Fatalf("coalesce = %v", z)
+	}
+}

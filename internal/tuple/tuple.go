@@ -1,0 +1,345 @@
+// Package tuple provides the typed values, tuples and relation schemas
+// shared by every model layer (abstract, logical and implementation) of
+// the snapshot-semantics framework.
+package tuple
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The value kinds. Null is its own kind, mirroring SQL's untyped NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "TEXT"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero value is SQL NULL.
+// Value is comparable, so tuples of values can be compared and hashed
+// field-wise.
+type Value struct {
+	kind Kind
+	i    int64 // ints and bools (0/1)
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. (Named with a trailing underscore to
+// avoid colliding with the fmt.Stringer method on Value.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind returns the value's dynamic kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; it panics on non-integers so type
+// errors surface at the point of misuse rather than as corrupt data.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("tuple: AsInt on %s value", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the value as float64, converting integers.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("tuple: AsFloat on %s value", v.kind))
+	}
+}
+
+// AsString returns the string payload; it panics on non-strings.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("tuple: AsString on %s value", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload; it panics on non-booleans.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("tuple: AsBool on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare orders values: NULL sorts first; numeric kinds compare
+// numerically across int/float; strings and bools compare within kind.
+// Cross-kind non-numeric comparisons order by kind. It returns -1, 0, 1.
+func Compare(a, b Value) int {
+	an, bn := a.kind == KindInt || a.kind == KindFloat, b.kind == KindInt || b.kind == KindFloat
+	switch {
+	case a.kind == KindNull || b.kind == KindNull:
+		return cmpInt(int64(boolToInt(a.kind != KindNull)), int64(boolToInt(b.kind != KindNull)))
+	case an && bn:
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	case a.kind != b.kind:
+		return cmpInt(int64(a.kind), int64(b.kind))
+	case a.kind == KindString:
+		return strings.Compare(a.s, b.s)
+	default: // bools
+		return cmpInt(a.i, b.i)
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Equal reports SQL-style equality used for grouping and joins: values are
+// equal if Compare returns 0. Note that unlike SQL three-valued logic,
+// NULLs group together (as in GROUP BY).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Tuple is an ordered list of values, one per schema column.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Key returns a compact string key that is equal for exactly the tuples
+// that are field-wise equal (under Equal). It is used to hash tuples in
+// maps for K-relations, grouping and joins. Integers and floats that
+// represent the same number produce the same key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.Grow(len(t) * 8)
+	for _, v := range t {
+		switch v.kind {
+		case KindNull:
+			b.WriteByte('n')
+		case KindInt:
+			b.WriteByte('i')
+			b.WriteString(strconv.FormatInt(v.i, 10))
+		case KindFloat:
+			// Encode integral floats like ints so Equal ⇒ same Key.
+			if f := v.f; f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e15 {
+				b.WriteByte('i')
+				b.WriteString(strconv.FormatInt(int64(f), 10))
+			} else {
+				b.WriteByte('f')
+				b.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+			}
+		case KindString:
+			b.WriteByte('s')
+			b.WriteString(strconv.Itoa(len(v.s)))
+			b.WriteByte(':')
+			b.WriteString(v.s)
+		case KindBool:
+			b.WriteByte('b')
+			b.WriteByte(byte('0' + v.i))
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Project returns the sub-tuple at the given column indexes.
+func (t Tuple) Project(idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// Concat returns the concatenation of two tuples.
+func Concat(a, b Tuple) Tuple {
+	out := make(Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// Schema names the columns of a relation.
+type Schema struct {
+	Cols []string
+}
+
+// NewSchema returns a schema with the given column names. It panics on
+// duplicate names, which always indicate a query-construction bug.
+func NewSchema(cols ...string) Schema {
+	seen := make(map[string]struct{}, len(cols))
+	for _, c := range cols {
+		if _, dup := seen[c]; dup {
+			panic(fmt.Sprintf("tuple: duplicate column %q", c))
+		}
+		seen[c] = struct{}{}
+	}
+	return Schema{Cols: cols}
+}
+
+// Arity returns the number of columns.
+func (s Schema) Arity() int { return len(s.Cols) }
+
+// Index returns the position of column name, or -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, c := range s.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndex returns the position of column name and panics if absent.
+func (s Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("tuple: unknown column %q in schema %v", name, s.Cols))
+	}
+	return i
+}
+
+// Indexes maps column names to positions, panicking on unknown names.
+func (s Schema) Indexes(names ...string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = s.MustIndex(n)
+	}
+	return out
+}
+
+// Equal reports whether both schemas have the same columns in order.
+func (s Schema) Equal(other Schema) bool {
+	if len(s.Cols) != len(other.Cols) {
+		return false
+	}
+	for i := range s.Cols {
+		if s.Cols[i] != other.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concat returns the concatenation of two schemas, renaming collisions on
+// the right side with the given prefix (e.g. "r.").
+func (s Schema) Concat(other Schema, rightPrefix string) Schema {
+	cols := make([]string, 0, len(s.Cols)+len(other.Cols))
+	cols = append(cols, s.Cols...)
+	seen := make(map[string]struct{}, len(cols))
+	for _, c := range cols {
+		seen[c] = struct{}{}
+	}
+	for _, c := range other.Cols {
+		name := c
+		if _, dup := seen[name]; dup {
+			name = rightPrefix + c
+		}
+		seen[name] = struct{}{}
+		cols = append(cols, name)
+	}
+	return Schema{Cols: cols}
+}
+
+// String renders the schema as (a, b, c).
+func (s Schema) String() string { return "(" + strings.Join(s.Cols, ", ") + ")" }

@@ -1,0 +1,290 @@
+// Package workload defines the two benchmark query workloads of the
+// paper's evaluation (§10.1): the ten Employee queries (join-1..4,
+// agg-1..3, agg-join, diff-1..2) and the nine TPC-H queries evaluated
+// under snapshot semantics over the valid-time TPC-BiH dataset. Queries
+// are written in the middleware's SQL dialect and translated through the
+// sqlfe frontend, exactly as a middleware user would submit them.
+package workload
+
+import (
+	"fmt"
+
+	"snapk/internal/algebra"
+	"snapk/internal/sqlfe"
+)
+
+// Query is one benchmark workload entry.
+type Query struct {
+	// ID is the paper's query name, e.g. "join-1" or "Q5".
+	ID string
+	// SQL is the snapshot query in the middleware dialect.
+	SQL string
+	// Bug names the bug ("AG" or "BD") that native approaches exhibit on
+	// this query per Table 3, or "" if none.
+	Bug string
+	// Description is a one-line summary from §10.1.
+	Description string
+}
+
+// Translate parses the workload query against the catalog.
+func (q Query) Translate(cat algebra.Catalog) (algebra.Query, error) {
+	aq, err := sqlfe.ParseAndTranslate(q.SQL, cat)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", q.ID, err)
+	}
+	return aq, nil
+}
+
+// Employees returns the ten Employee-dataset queries of §10.1.
+func Employees() []Query {
+	return []Query{
+		{
+			ID:          "join-1",
+			Description: "salary and department for each employee",
+			SQL: `SEQ VT (
+				SELECT s.emp_no AS emp_no, s.salary AS salary, d.dept_no AS dept_no
+				FROM salaries s JOIN dept_emp d ON s.emp_no = d.emp_no
+			)`,
+		},
+		{
+			ID:          "join-2",
+			Description: "salary and title for each employee",
+			SQL: `SEQ VT (
+				SELECT s.emp_no AS emp_no, s.salary AS salary, t.title AS title
+				FROM salaries s JOIN titles t ON s.emp_no = t.emp_no
+			)`,
+		},
+		{
+			ID:          "join-3",
+			Description: "departments of managers earning more than $70,000",
+			SQL: `SEQ VT (
+				SELECT m.dept_no AS dept_no
+				FROM dept_manager m JOIN salaries s ON m.emp_no = s.emp_no
+				WHERE s.salary > 70000
+			)`,
+		},
+		{
+			ID:          "join-4",
+			Description: "all information for each manager",
+			SQL: `SEQ VT (
+				SELECT m.emp_no AS emp_no, m.dept_no AS dept_no, s.salary AS salary, e.name AS name
+				FROM dept_manager m
+				JOIN salaries s ON m.emp_no = s.emp_no
+				JOIN employees e ON m.emp_no = e.emp_no
+			)`,
+		},
+		{
+			ID:          "agg-1",
+			Description: "average salary of employees per department",
+			SQL: `SEQ VT (
+				SELECT d.dept_no AS dept_no, avg(s.salary) AS avg_salary
+				FROM salaries s JOIN dept_emp d ON s.emp_no = d.emp_no
+				GROUP BY d.dept_no
+			)`,
+		},
+		{
+			ID:          "agg-2",
+			Bug:         "AG",
+			Description: "average salary of managers (aggregation without grouping)",
+			SQL: `SEQ VT (
+				SELECT avg(s.salary) AS avg_salary
+				FROM dept_manager m JOIN salaries s ON m.emp_no = s.emp_no
+			)`,
+		},
+		{
+			ID:          "agg-3",
+			Bug:         "AG",
+			Description: "number of departments with more than 21 employees",
+			SQL: `SEQ VT (
+				SELECT count(*) AS cnt
+				FROM (
+					SELECT d.dept_no AS dept_no, count(*) AS emps
+					FROM dept_emp d GROUP BY d.dept_no
+				) AS x
+				WHERE x.emps > 21
+			)`,
+		},
+		{
+			ID:          "agg-join",
+			Description: "names of employees with the highest salary in their department",
+			SQL: `SEQ VT (
+				SELECT e.name AS name
+				FROM employees e
+				JOIN dept_emp de ON e.emp_no = de.emp_no
+				JOIN salaries s ON e.emp_no = s.emp_no
+				JOIN (
+					SELECT d.dept_no AS dept_no, max(s2.salary) AS max_salary
+					FROM salaries s2 JOIN dept_emp d ON s2.emp_no = d.emp_no
+					GROUP BY d.dept_no
+				) AS mx ON de.dept_no = mx.dept_no
+				WHERE s.salary = mx.max_salary
+			)`,
+		},
+		{
+			ID:          "diff-1",
+			Bug:         "BD",
+			Description: "employees that are not managers",
+			SQL: `SEQ VT (
+				SELECT e.emp_no AS emp_no FROM employees e
+				EXCEPT ALL
+				SELECT m.emp_no AS emp_no FROM dept_manager m
+			)`,
+		},
+		{
+			ID:          "diff-2",
+			Bug:         "BD",
+			Description: "salaries of employees that are not managers",
+			SQL: `SEQ VT (
+				SELECT s.salary AS salary FROM salaries s
+				EXCEPT ALL
+				SELECT s2.salary AS salary
+				FROM dept_manager m JOIN salaries s2 ON m.emp_no = s2.emp_no
+			)`,
+		},
+	}
+}
+
+// TPCH returns the nine TPC-H queries the paper evaluates under snapshot
+// semantics over TPC-BiH (Q1, Q5–Q9, Q12, Q14, Q19; date predicates are
+// dropped because the valid-time dimension itself provides the temporal
+// scoping, and unsupported CASE expressions are simplified to their
+// filtering core, as the paper does for ORDER BY).
+func TPCH() []Query {
+	return []Query{
+		{
+			ID:          "Q1",
+			Description: "pricing summary report per returnflag/linestatus",
+			SQL: `SEQ VT (
+				SELECT l_returnflag, l_linestatus,
+				       sum(l_quantity) AS sum_qty,
+				       sum(l_extendedprice) AS sum_base_price,
+				       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+				       avg(l_quantity) AS avg_qty,
+				       avg(l_extendedprice) AS avg_price,
+				       avg(l_discount) AS avg_disc,
+				       count(*) AS count_order
+				FROM lineitem
+				GROUP BY l_returnflag, l_linestatus
+			)`,
+		},
+		{
+			ID:          "Q5",
+			Description: "local supplier volume per nation in ASIA",
+			SQL: `SEQ VT (
+				SELECT n.n_name AS n_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+				FROM customer c
+				JOIN orders o ON c.c_custkey = o.o_custkey
+				JOIN lineitem l ON l.l_orderkey = o.o_orderkey
+				JOIN supplier s ON l.l_suppkey = s.s_suppkey
+				JOIN nation n ON s.s_nationkey = n.n_nationkey
+				JOIN region r ON n.n_regionkey = r.r_regionkey
+				WHERE c.c_nationkey = s.s_nationkey AND r.r_name = 'ASIA'
+				GROUP BY n.n_name
+			)`,
+		},
+		{
+			ID:          "Q6",
+			Bug:         "AG",
+			Description: "forecast revenue change (global aggregation)",
+			SQL: `SEQ VT (
+				SELECT sum(l_extendedprice * l_discount) AS revenue
+				FROM lineitem
+				WHERE l_discount >= 0.05 AND l_discount <= 0.07 AND l_quantity < 24
+			)`,
+		},
+		{
+			ID:          "Q7",
+			Description: "volume shipping between FRANCE and GERMANY",
+			SQL: `SEQ VT (
+				SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+				       sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+				FROM supplier s
+				JOIN lineitem l ON s.s_suppkey = l.l_suppkey
+				JOIN orders o ON o.o_orderkey = l.l_orderkey
+				JOIN customer c ON c.c_custkey = o.o_custkey
+				JOIN nation n1 ON s.s_nationkey = n1.n_nationkey
+				JOIN nation n2 ON c.c_nationkey = n2.n_nationkey
+				WHERE (n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+				   OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')
+				GROUP BY n1.n_name, n2.n_name
+			)`,
+		},
+		{
+			ID:          "Q8",
+			Description: "national market share volume in AMERICA",
+			SQL: `SEQ VT (
+				SELECT n2.n_name AS nation, sum(l.l_extendedprice * (1 - l.l_discount)) AS volume
+				FROM part p
+				JOIN lineitem l ON p.p_partkey = l.l_partkey
+				JOIN supplier s ON l.l_suppkey = s.s_suppkey
+				JOIN orders o ON l.l_orderkey = o.o_orderkey
+				JOIN customer c ON o.o_custkey = c.c_custkey
+				JOIN nation n1 ON c.c_nationkey = n1.n_nationkey
+				JOIN region r ON n1.n_regionkey = r.r_regionkey
+				JOIN nation n2 ON s.s_nationkey = n2.n_nationkey
+				WHERE r.r_name = 'AMERICA' AND p.p_type = 'ECONOMY ANODIZED STEEL'
+				GROUP BY n2.n_name
+			)`,
+		},
+		{
+			ID:          "Q9",
+			Description: "product type profit per nation",
+			SQL: `SEQ VT (
+				SELECT n.n_name AS nation,
+				       sum(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity) AS profit
+				FROM part p
+				JOIN lineitem l ON p.p_partkey = l.l_partkey
+				JOIN supplier s ON l.l_suppkey = s.s_suppkey
+				JOIN partsupp ps ON ps.ps_suppkey = l.l_suppkey AND ps.ps_partkey = l.l_partkey
+				JOIN nation n ON s.s_nationkey = n.n_nationkey
+				WHERE p.p_category = 'ECONOMY'
+				GROUP BY n.n_name
+			)`,
+		},
+		{
+			ID:          "Q12",
+			Description: "shipping mode line counts for MAIL and SHIP",
+			SQL: `SEQ VT (
+				SELECT l.l_shipmode AS l_shipmode, count(*) AS line_count
+				FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+				WHERE l.l_shipmode = 'MAIL' OR l.l_shipmode = 'SHIP'
+				GROUP BY l.l_shipmode
+			)`,
+		},
+		{
+			ID:          "Q14",
+			Bug:         "AG",
+			Description: "promotion effect revenue (global aggregation)",
+			SQL: `SEQ VT (
+				SELECT sum(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+				FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey
+				WHERE p.p_category = 'PROMO'
+			)`,
+		},
+		{
+			ID:          "Q19",
+			Bug:         "AG",
+			Description: "discounted revenue for qualified parts (global aggregation)",
+			SQL: `SEQ VT (
+				SELECT sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+				FROM lineitem l JOIN part p ON p.p_partkey = l.l_partkey
+				WHERE (p.p_brand = 'Brand#12' AND l.l_quantity >= 1 AND l.l_quantity <= 11 AND p.p_size <= 5
+				       AND l.l_shipinstruct = 'DELIVER IN PERSON')
+				   OR (p.p_brand = 'Brand#23' AND l.l_quantity >= 10 AND l.l_quantity <= 20 AND p.p_size <= 10
+				       AND l.l_shipinstruct = 'DELIVER IN PERSON')
+				   OR (p.p_brand = 'Brand#34' AND l.l_quantity >= 20 AND l.l_quantity <= 30 AND p.p_size <= 15
+				       AND l.l_shipinstruct = 'DELIVER IN PERSON')
+			)`,
+		},
+	}
+}
+
+// ByID returns the query with the given ID from qs, or false.
+func ByID(qs []Query, id string) (Query, bool) {
+	for _, q := range qs {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return Query{}, false
+}

@@ -1,0 +1,220 @@
+package snapk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snapk/internal/algebra"
+	"snapk/internal/baseline"
+	"snapk/internal/engine"
+	"snapk/internal/rewrite"
+	"snapk/internal/sqlfe"
+)
+
+// Approach selects how a snapshot query is evaluated. The default, Seq,
+// is the paper's provably correct middleware. The remaining approaches
+// reproduce prior systems, including their bugs, for comparison studies.
+type Approach int
+
+const (
+	// Seq is the paper's approach: REWR with a single final coalescing
+	// step and pre-aggregated splits (§9). Correct and the unique
+	// encoding.
+	Seq Approach = iota
+	// SeqNaive is Seq without the §9 optimizations: coalescing after
+	// every operator and materialized splits. Correct but slower; used
+	// for the ablation study.
+	SeqNaive
+	// NativeIntervalPreservation emulates ATSQL/DBX-style native snapshot
+	// support. Exhibits the AG and BD bugs; results are not coalesced.
+	NativeIntervalPreservation
+	// NativeAlignment emulates the PG-Nat temporal alignment kernel
+	// approach. Exhibits the AG bug and set-semantics difference.
+	NativeAlignment
+)
+
+// String returns the display name used in experiment output.
+func (a Approach) String() string {
+	switch a {
+	case Seq:
+		return "Seq"
+	case SeqNaive:
+		return "Seq-naive"
+	case NativeIntervalPreservation:
+		return "Nat-ip"
+	case NativeAlignment:
+		return "Nat-align"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Row is one period-encoded result row: the data values plus the validity
+// interval [Begin, End).
+type Row struct {
+	Values []any
+	Begin  int64
+	End    int64
+}
+
+// Result is a period-encoded query result. Under the Seq approach it is
+// the unique K-coalesced interval encoding of the snapshot result.
+type Result struct {
+	Columns []string
+	Rows    []Row
+}
+
+// Len returns the number of result rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// String renders the result as an aligned text table, sorted by data
+// values then period, e.g. for display in the examples and the CLI.
+func (r *Result) String() string {
+	header := append(append([]string{}, r.Columns...), "period")
+	rows := make([][]string, 0, len(r.Rows)+1)
+	rows = append(rows, header)
+	sorted := append([]Row{}, r.Rows...)
+	sort.Slice(sorted, func(i, j int) bool { return rowLess(sorted[i], sorted[j]) })
+	for _, row := range sorted {
+		line := make([]string, 0, len(row.Values)+1)
+		for _, v := range row.Values {
+			line = append(line, formatValue(v))
+		}
+		line = append(line, fmt.Sprintf("[%d, %d)", row.Begin, row.End))
+		rows = append(rows, line)
+	}
+	widths := make([]int, len(header))
+	for _, line := range rows {
+		for i, cell := range line {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for li, line := range rows {
+		for i, cell := range line {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if li == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func rowLess(a, b Row) bool {
+	for i := range a.Values {
+		if i >= len(b.Values) {
+			return false
+		}
+		av, bv := formatValue(a.Values[i]), formatValue(b.Values[i])
+		if av != bv {
+			return av < bv
+		}
+	}
+	if a.Begin != b.Begin {
+		return a.Begin < b.Begin
+	}
+	return a.End < b.End
+}
+
+func formatValue(v any) string {
+	if v == nil {
+		return "NULL"
+	}
+	if f, ok := v.(float64); ok {
+		return fmt.Sprintf("%g", f)
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// At returns the snapshot of the result at time t: the data rows of all
+// result rows whose period contains t. This is the timeslice operator
+// τ_t on the encoded result.
+func (r *Result) At(t int64) [][]any {
+	var out [][]any
+	for _, row := range r.Rows {
+		if row.Begin <= t && t < row.End {
+			out = append(out, row.Values)
+		}
+	}
+	return out
+}
+
+// Query evaluates a snapshot SQL query with the default (Seq) approach.
+// The statement may optionally be wrapped in SEQ VT ( ... ); either way
+// it is interpreted under snapshot semantics over the period tables
+// registered with CreateTable.
+func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryWith(sql, Seq)
+}
+
+// QueryWith evaluates a snapshot SQL query with the chosen approach.
+func (db *DB) QueryWith(sql string, ap Approach) (*Result, error) {
+	q, err := sqlfe.ParseAndTranslate(sql, db.eng)
+	if err != nil {
+		return nil, err
+	}
+	return db.evalAlgebra(q, ap)
+}
+
+func (db *DB) evalAlgebra(q algebra.Query, ap Approach) (*Result, error) {
+	var tbl *engine.Table
+	var err error
+	switch ap {
+	case Seq:
+		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeOptimized})
+	case SeqNaive:
+		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeNaive})
+	case NativeIntervalPreservation:
+		tbl, err = baseline.Eval(db.eng, q, baseline.IntervalPreservation)
+	case NativeAlignment:
+		tbl, err = baseline.Eval(db.eng, q, baseline.Alignment)
+	default:
+		return nil, fmt.Errorf("snapk: unknown approach %d", ap)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tableToResult(tbl), nil
+}
+
+func tableToResult(t *engine.Table) *Result {
+	res := &Result{Columns: append([]string{}, t.DataSchema().Cols...)}
+	n := t.DataArity()
+	for _, row := range t.Rows {
+		vals := make([]any, n)
+		for i := 0; i < n; i++ {
+			vals[i] = fromValue(row[i])
+		}
+		iv := t.Interval(row)
+		res.Rows = append(res.Rows, Row{Values: vals, Begin: iv.Begin, End: iv.End})
+	}
+	return res
+}
+
+// Explain returns the physical plan the middleware would execute for the
+// given snapshot query under the Seq approach.
+func (db *DB) Explain(sql string) (string, error) {
+	q, err := sqlfe.ParseAndTranslate(sql, db.eng)
+	if err != nil {
+		return "", err
+	}
+	p, err := rewrite.Rewrite(q, db.eng, rewrite.Options{Mode: rewrite.ModeOptimized})
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}

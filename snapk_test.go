@@ -1,0 +1,198 @@
+package snapk_test
+
+import (
+	"strings"
+	"testing"
+
+	snapk "snapk"
+)
+
+func factoryDB(t *testing.T) *snapk.DB {
+	t.Helper()
+	db := snapk.New(0, 24)
+	works, err := db.CreateTable("works", "name", "skill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []struct {
+		b, e  int64
+		name  string
+		skill string
+	}{
+		{3, 10, "Ann", "SP"}, {8, 16, "Joe", "NS"}, {8, 16, "Sam", "SP"}, {18, 20, "Ann", "SP"},
+	} {
+		if err := works.Insert(r.b, r.e, r.name, r.skill); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assign, err := db.CreateTable("assign", "mach", "skill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []struct {
+		b, e  int64
+		mach  string
+		skill string
+	}{
+		{3, 12, "M1", "SP"}, {6, 14, "M2", "SP"}, {3, 16, "M3", "NS"},
+	} {
+		if err := assign.Insert(r.b, r.e, r.mach, r.skill); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestQuickstartQonduty(t *testing.T) {
+	db := factoryDB(t)
+	res, err := db.Query(`SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 7 {
+		t.Fatalf("Qonduty has %d rows, want 7 (Figure 1b):\n%s", res.Len(), res)
+	}
+	// Snapshot at 08:00 has exactly one row with cnt = 2.
+	snap := res.At(8)
+	if len(snap) != 1 || snap[0][0].(int64) != 2 {
+		t.Fatalf("At(8) = %v", snap)
+	}
+	// Gaps report 0.
+	if snap := res.At(0); len(snap) != 1 || snap[0][0].(int64) != 0 {
+		t.Fatalf("At(0) = %v", snap)
+	}
+	s := res.String()
+	if !strings.Contains(s, "cnt") || !strings.Contains(s, "[0, 3)") {
+		t.Errorf("String missing pieces:\n%s", s)
+	}
+}
+
+func TestBagDifferenceViaFacade(t *testing.T) {
+	db := factoryDB(t)
+	res, err := db.Query(`SEQ VT (SELECT skill FROM assign EXCEPT ALL SELECT skill FROM works)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("Qskillreq has %d rows, want 3 (Figure 1c):\n%s", res.Len(), res)
+	}
+}
+
+func TestApproachesDisagreeOnBugs(t *testing.T) {
+	db := factoryDB(t)
+	q := `SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')`
+	correct, err := db.QueryWith(q, snapk.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := db.QueryWith(q, snapk.SeqNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Len() != correct.Len() {
+		t.Fatal("SeqNaive must agree with Seq")
+	}
+	for _, ap := range []snapk.Approach{snapk.NativeIntervalPreservation, snapk.NativeAlignment} {
+		buggy, err := db.QueryWith(q, ap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range buggy.Rows {
+			if row.Values[0].(int64) == 0 {
+				t.Fatalf("%v should exhibit the AG bug (no count-0 rows)", ap)
+			}
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := snapk.New(0, 10)
+	tb, err := db.CreateTable("t", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		b, e int64
+		vals []any
+	}{
+		{5, 5, []any{1, 2}},          // empty period
+		{8, 12, []any{1, 2}},         // outside domain
+		{0, 5, []any{1}},             // arity
+		{0, 5, []any{1, struct{}{}}}, // bad type
+	}
+	for i, c := range cases {
+		if err := tb.Insert(c.b, c.e, c.vals...); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+	if err := tb.Insert(0, 5, nil, 2.5); err != nil {
+		t.Errorf("null/float insert failed: %v", err)
+	}
+	if tb.Rows() != 1 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+	if tb.Name() != "t" || len(tb.Columns()) != 2 {
+		t.Error("metadata accessors broken")
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := snapk.New(0, 10)
+	if _, err := db.CreateTable("t"); err == nil {
+		t.Error("no columns should error")
+	}
+	if _, err := db.CreateTable("t", "_begin"); err == nil {
+		t.Error("reserved column should error")
+	}
+	if _, err := db.CreateTable("t", "a", "a"); err == nil {
+		t.Error("duplicate column should error")
+	}
+	if _, err := db.CreateTable("t", "a"); err != nil {
+		t.Error(err)
+	}
+	if _, err := db.CreateTable("t", "a"); err == nil {
+		t.Error("duplicate table should error")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := snapk.New(0, 10)
+	if _, err := db.Query(`SELECT * FROM nope`); err == nil {
+		t.Error("unknown table should error")
+	}
+	if _, err := db.Query(`not sql`); err == nil {
+		t.Error("parse error expected")
+	}
+	if _, err := db.QueryWith(`SELECT 1 AS one FROM nope`, snapk.Approach(99)); err == nil {
+		t.Error("unknown approach should error")
+	}
+}
+
+func TestDomainAccessorsAndExplain(t *testing.T) {
+	db := factoryDB(t)
+	if db.MinTime() != 0 || db.MaxTime() != 24 {
+		t.Error("domain accessors broken")
+	}
+	plan, err := db.Explain(`SEQ VT (SELECT count(*) AS cnt FROM works)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Coalesce") || !strings.Contains(plan, "TAgg") {
+		t.Errorf("Explain = %q", plan)
+	}
+	if _, err := db.Explain(`bad`); err == nil {
+		t.Error("Explain must propagate parse errors")
+	}
+}
+
+func TestApproachString(t *testing.T) {
+	names := map[snapk.Approach]string{
+		snapk.Seq: "Seq", snapk.SeqNaive: "Seq-naive",
+		snapk.NativeIntervalPreservation: "Nat-ip", snapk.NativeAlignment: "Nat-align",
+	}
+	for ap, want := range names {
+		if got := ap.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(ap), got, want)
+		}
+	}
+}
