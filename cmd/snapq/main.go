@@ -33,7 +33,7 @@ func main() {
 	domain := flag.String("domain", "0,1000000", "with -data csv: time domain min,max")
 	sql := flag.String("sql", "", "snapshot SQL to run (SEQ VT optional)")
 	queryID := flag.String("query", "", "run a named workload query (join-1..diff-2, Q1..Q19)")
-	approach := flag.String("approach", "seq", "seq|seq-naive|nat-ip|nat-align")
+	approach := flag.String("approach", "seq", "seq|seq-naive|seq-mat|nat-ip|nat-align")
 	limit := flag.Int("limit", 50, "maximum rows to print (0 = all)")
 	explain := flag.Bool("explain", false, "print the rewritten plan instead of executing")
 	out := flag.String("out", "", "write the result as CSV to this file instead of printing")
@@ -155,6 +155,8 @@ func parseApproach(s string) (harness.Approach, error) {
 		return harness.NatIP, nil
 	case "nat-align":
 		return harness.NatAlign, nil
+	case "seq-mat":
+		return harness.SeqMat, nil
 	default:
 		return 0, fmt.Errorf("unknown approach %q", s)
 	}

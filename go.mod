@@ -1,0 +1,3 @@
+module snapk
+
+go 1.24

@@ -97,8 +97,12 @@ func emitRows(out *Table, data tuple.Tuple, iv interval.Interval, mult int64) {
 	row := make(tuple.Tuple, 0, len(data)+2)
 	row = append(row, data...)
 	row = append(row, tuple.Int(iv.Begin), tuple.Int(iv.End))
-	for i := int64(0); i < mult; i++ {
-		out.Rows = append(out.Rows, row)
+	// Each duplicate gets its own backing slice: emitted siblings must
+	// not alias, or an in-place mutation of one output row silently
+	// corrupts the others.
+	out.Rows = append(out.Rows, row)
+	for i := int64(1); i < mult; i++ {
+		out.Rows = append(out.Rows, row.Clone())
 	}
 }
 

@@ -110,68 +110,20 @@ func extractEquiKeys(pred algebra.Expr, lSchema, joined tuple.Schema, lArity int
 // TemporalJoin implements the REWR join pattern (Fig 4): an inner join on
 // the non-temporal predicate conjoined with interval overlap, emitting the
 // intersection of the input periods as the output period. Equality
-// conjuncts between the two sides are executed as a hash join; remaining
-// conjuncts are evaluated as residual predicates.
+// conjuncts between the two sides are executed as a hash join with the
+// probe side streamed; remaining conjuncts are evaluated as residual
+// predicates. Predicates without any equality conjunct run as an
+// endpoint-sorted interval-overlap sweep (see overlapjoin.go) instead of
+// a degenerate single-bucket hash join. Both physical strategies are
+// shared with the streaming executor (stream.go); this entry point
+// merely materializes the joint stream.
 func TemporalJoin(l, r *Table, pred algebra.Expr) (*Table, error) {
-	lData, rData := l.DataSchema(), r.DataSchema()
-	joined := lData.Concat(rData, "r.")
-	keys, residual := extractEquiKeys(pred, lData, joined, lData.Arity())
-	res, err := algebra.Compile(residual, joined)
+	it, err := newJoinIter(NewTableIter(l), NewTableIter(r), pred)
 	if err != nil {
 		return nil, err
 	}
-	out := NewTable(joined)
-	lA, rA := lData.Arity(), rData.Arity()
-
-	// Build hash table on the smaller input's key columns.
-	hashKeyOf := func(row tuple.Tuple, idx []int) string {
-		return row.Project(idx).Key()
-	}
-	lIdx := make([]int, len(keys))
-	rIdx := make([]int, len(keys))
-	for i, k := range keys {
-		lIdx[i], rIdx[i] = k.l, k.r
-	}
-	// SQL comparison semantics: a NULL in any join key compares unknown,
-	// so such rows can never match and are excluded from the hash table.
-	hasNullKey := func(row tuple.Tuple, idx []int) bool {
-		for _, i := range idx {
-			if row[i].IsNull() {
-				return true
-			}
-		}
-		return false
-	}
-	build := make(map[string][]tuple.Tuple, len(r.Rows))
-	for _, row := range r.Rows {
-		if hasNullKey(row, rIdx) {
-			continue
-		}
-		k := hashKeyOf(row, rIdx)
-		build[k] = append(build[k], row)
-	}
-	for _, lrow := range l.Rows {
-		if hasNullKey(lrow, lIdx) {
-			continue
-		}
-		liv := l.Interval(lrow)
-		for _, rrow := range build[hashKeyOf(lrow, lIdx)] {
-			riv := r.Interval(rrow)
-			iv, ok := liv.Intersect(riv) // the overlaps() condition of Fig 4
-			if !ok {
-				continue
-			}
-			data := make(tuple.Tuple, 0, lA+rA+2)
-			data = append(data, lrow[:lA]...)
-			data = append(data, rrow[:rA]...)
-			if !algebra.Truthy(res(data)) {
-				continue
-			}
-			data = append(data, tuple.Int(iv.Begin), tuple.Int(iv.End))
-			out.Rows = append(out.Rows, data)
-		}
-	}
-	return out, nil
+	defer it.Close()
+	return Materialize(it), nil
 }
 
 // Split implements the split operator N_G (Def 8.3): every row of r1 is
@@ -252,8 +204,12 @@ func TemporalDiff(l, r *Table) (*Table, error) {
 				seg := interval.New(segStart, t)
 				nr := g.data.Clone()
 				nr = append(nr, tuple.Int(seg.Begin), tuple.Int(seg.End))
-				for i := int64(0); i < emitting; i++ {
-					out.Rows = append(out.Rows, nr)
+				// Each duplicate gets its own backing slice: emitted
+				// siblings must not alias, or an in-place mutation of one
+				// output row silently corrupts the others.
+				out.Rows = append(out.Rows, nr)
+				for i := int64(1); i < emitting; i++ {
+					out.Rows = append(out.Rows, nr.Clone())
 				}
 			}
 			cur += g.deltas[t]

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"sort"
+
+	"snapk/internal/algebra"
+	"snapk/internal/tuple"
+)
+
+// overlapJoinIter is the temporal join fallback for predicates without
+// any equality conjunct. The previous implementation collapsed all build
+// rows into one hash bucket, degenerating into a bare cartesian loop;
+// this iterator instead sorts both inputs by interval begin once and
+// runs a forward-scan plane sweep, so pure-overlap joins cost
+// O(n log n + output) instead of O(n·m).
+//
+// Sweep invariant: each overlapping pair (l, r) is reported exactly once
+// by whichever row begins first (ties go to the left input). When row x
+// is the reference, the opposite input is scanned forward from its
+// cursor while the scanned rows begin before x ends; every such row is
+// guaranteed to overlap x, because it begins at or after x does.
+type overlapJoinIter struct {
+	schema tuple.Schema
+	l, r   []tuple.Tuple // sorted ascending by interval begin
+	lA, rA int
+	res    algebra.Compiled
+	i, j   int  // sweep cursors into l and r
+	k      int  // forward-scan cursor into the non-reference input
+	refL   bool // current reference row is l[i] (else r[j])
+	active bool // a forward scan is in progress
+}
+
+// newOverlapJoinIter drains both inputs, sorts them by interval begin
+// and returns the lazy sweep iterator. joined is the concatenated data
+// schema; res the compiled residual predicate over it. Both inputs are
+// fully consumed and closed here; the sweep holds no child resources.
+func newOverlapJoinIter(l, r RowIter, joined tuple.Schema, res algebra.Compiled) (RowIter, error) {
+	lA := l.Schema().Arity() - 2
+	rA := r.Schema().Arity() - 2
+	lRows := drainRows(l)
+	rRows := drainRows(r)
+	l.Close()
+	r.Close()
+	byBegin := func(rows []tuple.Tuple) func(i, j int) bool {
+		return func(i, j int) bool {
+			return rows[i][len(rows[i])-2].AsInt() < rows[j][len(rows[j])-2].AsInt()
+		}
+	}
+	sort.Slice(lRows, byBegin(lRows))
+	sort.Slice(rRows, byBegin(rRows))
+	return &overlapJoinIter{
+		schema: PeriodSchema(joined),
+		l:      lRows,
+		r:      rRows,
+		lA:     lA,
+		rA:     rA,
+		res:    res,
+	}, nil
+}
+
+func drainRows(it RowIter) []tuple.Tuple {
+	var rows []tuple.Tuple
+	for {
+		row, ok := it.Next()
+		if !ok {
+			return rows
+		}
+		rows = append(rows, row)
+	}
+}
+
+func (it *overlapJoinIter) Schema() tuple.Schema { return it.schema }
+
+// emit composes the output row for one overlapping pair, or reports
+// false if the residual predicate rejects it.
+func (it *overlapJoinIter) emit(lrow, rrow tuple.Tuple) (tuple.Tuple, bool) {
+	iv, ok := rowInterval(lrow).Intersect(rowInterval(rrow))
+	if !ok {
+		return nil, false
+	}
+	data := make(tuple.Tuple, 0, it.lA+it.rA+2)
+	data = append(data, lrow[:it.lA]...)
+	data = append(data, rrow[:it.rA]...)
+	if !algebra.Truthy(it.res(data)) {
+		return nil, false
+	}
+	data = append(data, tuple.Int(iv.Begin), tuple.Int(iv.End))
+	return data, true
+}
+
+func (it *overlapJoinIter) Next() (tuple.Tuple, bool) {
+	for {
+		if it.active {
+			if it.refL {
+				lrow := it.l[it.i]
+				end := rowInterval(lrow).End
+				for it.k < len(it.r) {
+					rrow := it.r[it.k]
+					if rowInterval(rrow).Begin >= end {
+						break
+					}
+					it.k++
+					if out, ok := it.emit(lrow, rrow); ok {
+						return out, true
+					}
+				}
+				it.active = false
+				it.i++
+			} else {
+				rrow := it.r[it.j]
+				end := rowInterval(rrow).End
+				for it.k < len(it.l) {
+					lrow := it.l[it.k]
+					if rowInterval(lrow).Begin >= end {
+						break
+					}
+					it.k++
+					if out, ok := it.emit(lrow, rrow); ok {
+						return out, true
+					}
+				}
+				it.active = false
+				it.j++
+			}
+			continue
+		}
+		if it.i >= len(it.l) || it.j >= len(it.r) {
+			return nil, false
+		}
+		if rowInterval(it.l[it.i]).Begin <= rowInterval(it.r[it.j]).Begin {
+			it.refL = true
+			it.k = it.j
+		} else {
+			it.refL = false
+			it.k = it.i
+		}
+		it.active = true
+	}
+}
+
+func (it *overlapJoinIter) Close() {}

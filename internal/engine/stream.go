@@ -1,0 +1,390 @@
+package engine
+
+import (
+	"fmt"
+
+	"snapk/internal/algebra"
+	"snapk/internal/interval"
+	"snapk/internal/tuple"
+)
+
+// RowIter is a pull-based iterator over period-encoded rows: the volcano
+// interface of the streaming executor. Schema returns the full period
+// schema (data columns plus BeginCol/EndCol) of the produced rows. Next
+// returns the next row and true, or nil and false when the stream is
+// exhausted. Close releases the iterator's resources and those of its
+// children; it is safe to call more than once.
+//
+// Rows returned by Next are treated as immutable by all operators;
+// consumers that mutate a row must Clone it first.
+type RowIter interface {
+	Schema() tuple.Schema
+	Next() (tuple.Tuple, bool)
+	Close()
+}
+
+// rowInterval returns the validity interval encoded in the last two
+// columns of a period row.
+func rowInterval(row tuple.Tuple) interval.Interval {
+	n := len(row)
+	return interval.Interval{Begin: row[n-2].AsInt(), End: row[n-1].AsInt()}
+}
+
+// tableIter streams the rows of a materialized table.
+type tableIter struct {
+	t *Table
+	i int
+}
+
+// NewTableIter returns an iterator over the rows of t.
+func NewTableIter(t *Table) RowIter { return &tableIter{t: t} }
+
+func (it *tableIter) Schema() tuple.Schema { return it.t.Schema }
+
+func (it *tableIter) Next() (tuple.Tuple, bool) {
+	if it.i >= len(it.t.Rows) {
+		return nil, false
+	}
+	row := it.t.Rows[it.i]
+	it.i++
+	return row, true
+}
+
+func (it *tableIter) Close() {}
+
+// Materialize drains the iterator into a table. It does not Close it.
+func Materialize(it RowIter) *Table {
+	t := &Table{Schema: it.Schema()}
+	for {
+		row, ok := it.Next()
+		if !ok {
+			return t
+		}
+		t.Rows = append(t.Rows, row)
+	}
+}
+
+// filterIter streams the rows of its input satisfying a predicate —
+// the pipelined form of Filter.
+type filterIter struct {
+	in   RowIter
+	pred algebra.Compiled
+}
+
+// newFilterIter takes ownership of in: on error the child is closed, so
+// the caller only ever closes the returned iterator.
+func newFilterIter(in RowIter, pred algebra.Expr) (RowIter, error) {
+	c, err := algebra.Compile(pred, in.Schema())
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	return &filterIter{in: in, pred: c}, nil
+}
+
+func (it *filterIter) Schema() tuple.Schema { return it.in.Schema() }
+
+func (it *filterIter) Next() (tuple.Tuple, bool) {
+	for {
+		row, ok := it.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if algebra.Truthy(it.pred(row)) {
+			return row, true
+		}
+	}
+}
+
+func (it *filterIter) Close() { it.in.Close() }
+
+// projectIter evaluates projection expressions row-at-a-time, carrying
+// the period attributes through unchanged — the pipelined form of
+// Project (the Π_{A, Abegin, Aend} pattern of Fig 4).
+type projectIter struct {
+	in     RowIter
+	fns    []algebra.Compiled
+	schema tuple.Schema
+}
+
+// newProjectIter takes ownership of in: on error the child is closed,
+// so the caller only ever closes the returned iterator.
+func newProjectIter(in RowIter, exprs []algebra.NamedExpr) (RowIter, error) {
+	fns := make([]algebra.Compiled, len(exprs))
+	cols := make([]string, len(exprs))
+	for i, ne := range exprs {
+		c, err := algebra.Compile(ne.E, in.Schema())
+		if err != nil {
+			in.Close()
+			return nil, err
+		}
+		fns[i] = c
+		cols[i] = ne.Name
+	}
+	return &projectIter{in: in, fns: fns, schema: PeriodSchema(tuple.NewSchema(cols...))}, nil
+}
+
+func (it *projectIter) Schema() tuple.Schema { return it.schema }
+
+func (it *projectIter) Next() (tuple.Tuple, bool) {
+	row, ok := it.in.Next()
+	if !ok {
+		return nil, false
+	}
+	n := len(row)
+	res := make(tuple.Tuple, len(it.fns)+2)
+	for i, f := range it.fns {
+		res[i] = f(row)
+	}
+	res[len(it.fns)] = row[n-2]
+	res[len(it.fns)+1] = row[n-1]
+	return res, true
+}
+
+func (it *projectIter) Close() { it.in.Close() }
+
+// unionIter concatenates two union-compatible streams — the pipelined
+// form of UnionAll.
+type unionIter struct {
+	l, r  RowIter
+	lDone bool // l exhausted, now draining r
+}
+
+// newUnionIter takes ownership of both inputs: on error the children
+// are closed, so the caller only ever closes the returned iterator.
+func newUnionIter(l, r RowIter) (RowIter, error) {
+	if l.Schema().Arity() != r.Schema().Arity() {
+		arities := [2]int{l.Schema().Arity(), r.Schema().Arity()}
+		l.Close()
+		r.Close()
+		return nil, fmt.Errorf("engine: union-incompatible arities %d and %d", arities[0], arities[1])
+	}
+	return &unionIter{l: l, r: r}, nil
+}
+
+func (it *unionIter) Schema() tuple.Schema { return it.l.Schema() }
+
+func (it *unionIter) Next() (tuple.Tuple, bool) {
+	if !it.lDone {
+		if row, ok := it.l.Next(); ok {
+			return row, true
+		}
+		it.lDone = true
+	}
+	return it.r.Next()
+}
+
+func (it *unionIter) Close() {
+	it.l.Close()
+	it.r.Close()
+}
+
+// hashJoinIter is the pipelined temporal hash join: the build side
+// (right input) is drained into a hash table on the extracted equi-key
+// columns at construction; the probe side (left input) then streams, so
+// pipeline chains above and below the probe side never materialize.
+type hashJoinIter struct {
+	schema tuple.Schema
+	l      RowIter
+	build  map[string][]tuple.Tuple
+	lIdx   []int
+	res    algebra.Compiled
+	lA, rA int
+	// probe state: current probe row and its pending bucket suffix.
+	lrow   tuple.Tuple
+	liv    interval.Interval
+	bucket []tuple.Tuple
+	bi     int
+}
+
+// newJoinIter builds the streaming temporal join over two input streams.
+// Equality conjuncts of pred become hash-join keys with the right input
+// as build side; without any equi key the join degrades to the
+// endpoint-sorted interval-overlap sweep (newOverlapJoinIter) instead of
+// a single-bucket hash table. newJoinIter takes ownership of both
+// inputs: consumed or failed children are closed here, so the caller
+// only ever closes the returned iterator.
+func newJoinIter(l, r RowIter, pred algebra.Expr) (RowIter, error) {
+	lData := tuple.Schema{Cols: l.Schema().Cols[:l.Schema().Arity()-2]}
+	rData := tuple.Schema{Cols: r.Schema().Cols[:r.Schema().Arity()-2]}
+	joined := lData.Concat(rData, "r.")
+	keys, residual := extractEquiKeys(pred, lData, joined, lData.Arity())
+	res, err := algebra.Compile(residual, joined)
+	if err != nil {
+		l.Close()
+		r.Close()
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return newOverlapJoinIter(l, r, joined, res)
+	}
+	lIdx := make([]int, len(keys))
+	rIdx := make([]int, len(keys))
+	for i, k := range keys {
+		lIdx[i], rIdx[i] = k.l, k.r
+	}
+	build := make(map[string][]tuple.Tuple)
+	for {
+		rrow, ok := r.Next()
+		if !ok {
+			break
+		}
+		// SQL comparison semantics: a NULL in any join key compares
+		// unknown, so such rows can never match.
+		if hasNullAt(rrow, rIdx) {
+			continue
+		}
+		k := rrow.Project(rIdx).Key()
+		build[k] = append(build[k], rrow)
+	}
+	// The build side is fully drained; release it now, the probe side
+	// stays open until the joint iterator is closed.
+	r.Close()
+	return &hashJoinIter{
+		schema: PeriodSchema(joined),
+		l:      l,
+		build:  build,
+		lIdx:   lIdx,
+		res:    res,
+		lA:     lData.Arity(),
+		rA:     rData.Arity(),
+	}, nil
+}
+
+func hasNullAt(row tuple.Tuple, idx []int) bool {
+	for _, i := range idx {
+		if row[i].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func (it *hashJoinIter) Schema() tuple.Schema { return it.schema }
+
+func (it *hashJoinIter) Next() (tuple.Tuple, bool) {
+	for {
+		for it.bi < len(it.bucket) {
+			rrow := it.bucket[it.bi]
+			it.bi++
+			iv, ok := it.liv.Intersect(rowInterval(rrow)) // the overlaps() condition of Fig 4
+			if !ok {
+				continue
+			}
+			data := make(tuple.Tuple, 0, it.lA+it.rA+2)
+			data = append(data, it.lrow[:it.lA]...)
+			data = append(data, rrow[:it.rA]...)
+			if !algebra.Truthy(it.res(data)) {
+				continue
+			}
+			data = append(data, tuple.Int(iv.Begin), tuple.Int(iv.End))
+			return data, true
+		}
+		lrow, ok := it.l.Next()
+		if !ok {
+			return nil, false
+		}
+		if hasNullAt(lrow, it.lIdx) {
+			continue
+		}
+		it.lrow = lrow
+		it.liv = rowInterval(lrow)
+		it.bucket = it.build[lrow.Project(it.lIdx).Key()]
+		it.bi = 0
+	}
+}
+
+func (it *hashJoinIter) Close() { it.l.Close() }
+
+// ExecStream evaluates a physical plan to a pull-based row stream.
+// Filter, Project, UnionAll and the probe side of the temporal join are
+// fully pipelined; the blocking operators (Split-based aggregation,
+// difference and coalesce) consume their input streams and keep their
+// endpoint-sweep internals. The caller must Close the returned iterator.
+func (db *DB) ExecStream(p Plan) (RowIter, error) {
+	switch n := p.(type) {
+	case ScanP:
+		t, err := db.Table(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return NewTableIter(t), nil
+	case FilterP:
+		in, err := db.ExecStream(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return newFilterIter(in, n.Pred)
+	case ProjectP:
+		in, err := db.ExecStream(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return newProjectIter(in, n.Exprs)
+	case JoinP:
+		l, err := db.ExecStream(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.ExecStream(n.R)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		return newJoinIter(l, r, n.Pred)
+	case UnionP:
+		l, err := db.ExecStream(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.ExecStream(n.R)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		return newUnionIter(l, r)
+	case DiffP:
+		l, err := db.streamToTable(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.streamToTable(n.R)
+		if err != nil {
+			return nil, err
+		}
+		out, err := TemporalDiff(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return NewTableIter(out), nil
+	case AggP:
+		in, err := db.streamToTable(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out, err := TemporalAggregate(in, n.GroupBy, n.Aggs, n.PreAgg, db.dom)
+		if err != nil {
+			return nil, err
+		}
+		return NewTableIter(out), nil
+	case CoalesceP:
+		in, err := db.streamToTable(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return NewTableIter(Coalesce(in, n.Impl)), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown plan node %T", p)
+	}
+}
+
+// streamToTable materializes the streaming evaluation of a subplan —
+// the input boundary of the blocking operators.
+func (db *DB) streamToTable(p Plan) (*Table, error) {
+	it, err := db.ExecStream(p)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	return Materialize(it), nil
+}

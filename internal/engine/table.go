@@ -73,8 +73,11 @@ func (t *Table) Append(data tuple.Tuple, iv interval.Interval, mult int64) {
 	row := make(tuple.Tuple, 0, len(data)+2)
 	row = append(row, data...)
 	row = append(row, tuple.Int(iv.Begin), tuple.Int(iv.End))
-	for i := int64(0); i < mult; i++ {
-		t.Rows = append(t.Rows, row)
+	// Each duplicate gets its own backing slice so stored siblings never
+	// alias (mirroring the emission sites in coalesce and difference).
+	t.Rows = append(t.Rows, row)
+	for i := int64(1); i < mult; i++ {
+		t.Rows = append(t.Rows, row.Clone())
 	}
 }
 

@@ -46,6 +46,11 @@ type Options struct {
 	// REWR is snapshot-reducible, the optimized plan computes the same
 	// unique encoding.
 	Pushdown bool
+	// Materialize executes the plan on the node-at-a-time materializing
+	// executor (engine.DB.Exec) instead of the default streaming iterator
+	// engine (engine.DB.ExecStream). Kept as the ablation baseline for
+	// the pipelining study; results are multiset-identical.
+	Materialize bool
 }
 
 // Rewrite reduces a snapshot query to a physical plan over the period
@@ -147,13 +152,24 @@ func rewr(q algebra.Query, cat algebra.Catalog, opt Options) (engine.Plan, error
 }
 
 // Run is the one-call middleware entry point: rewrite q and execute it on
-// db, returning the coalesced period-encoded result.
+// db, returning the coalesced period-encoded result. By default the plan
+// runs on the streaming iterator engine, so Filter/Project/Union/join
+// pipelines never materialize intermediates; Options.Materialize selects
+// the operator-at-a-time executor instead.
 func Run(db *engine.DB, q algebra.Query, opt Options) (*engine.Table, error) {
 	p, err := Rewrite(q, db, opt)
 	if err != nil {
 		return nil, err
 	}
-	return db.Exec(p)
+	if opt.Materialize {
+		return db.Exec(p)
+	}
+	it, err := db.ExecStream(p)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	return engine.Materialize(it), nil
 }
 
 // OutSchema returns the data schema of the result of q on db, mirroring

@@ -32,6 +32,11 @@ const (
 	// NativeAlignment emulates the PG-Nat temporal alignment kernel
 	// approach. Exhibits the AG bug and set-semantics difference.
 	NativeAlignment
+	// SeqMaterialized is Seq executed on the operator-at-a-time
+	// materializing executor instead of the default streaming iterator
+	// engine. Results are identical to Seq; it exists as the ablation
+	// baseline for the pipelining study.
+	SeqMaterialized
 )
 
 // String returns the display name used in experiment output.
@@ -45,6 +50,8 @@ func (a Approach) String() string {
 		return "Nat-ip"
 	case NativeAlignment:
 		return "Nat-align"
+	case SeqMaterialized:
+		return "Seq-mat"
 	default:
 		return fmt.Sprintf("Approach(%d)", int(a))
 	}
@@ -178,6 +185,8 @@ func (db *DB) evalAlgebra(q algebra.Query, ap Approach) (*Result, error) {
 		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeOptimized})
 	case SeqNaive:
 		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeNaive})
+	case SeqMaterialized:
+		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeOptimized, Materialize: true})
 	case NativeIntervalPreservation:
 		tbl, err = baseline.Eval(db.eng, q, baseline.IntervalPreservation)
 	case NativeAlignment:

@@ -18,7 +18,12 @@
 // period K-relations over the period semiring Kᵀ (internal/telement and
 // internal/period, the logical model), and the REWR rewriting over SQL
 // period relations executed by an embedded multiset engine
-// (internal/rewrite and internal/engine, the implementation).
+// (internal/rewrite and internal/engine, the implementation). Rewritten
+// plans run on a pull-based streaming iterator engine: selection,
+// projection, union and the probe side of the temporal join are
+// pipelined and never materialize intermediates, while the blocking
+// sweep operators (split, aggregation, difference, coalesce) consume
+// their input streams at a materialization boundary.
 //
 // Quick start:
 //
