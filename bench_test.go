@@ -10,12 +10,14 @@
 package snapk_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"snapk/internal/algebra"
 	"snapk/internal/dataset"
 	"snapk/internal/engine"
+	"snapk/internal/engine/parallel"
 	"snapk/internal/harness"
 	"snapk/internal/krel"
 	"snapk/internal/rewrite"
@@ -283,6 +285,31 @@ func BenchmarkAblationPushdown(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := rewrite.Run(db, q, rewrite.Options{Pushdown: mode.pushdown}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelPipeline measures the parallel exchange executor on
+// the Filter→Join→Project pipeline at several worker counts, against
+// the sequential streaming engine as the 1-worker baseline. Speedup
+// tracks the available cores (GOMAXPROCS).
+func BenchmarkParallelPipeline(b *testing.B) {
+	db := dataset.Employees(benchEmployees)
+	plan := streamingPipelinePlan()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				it, err := parallel.Exec(context.Background(), db, plan, parallel.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tbl := engine.Materialize(it)
+				it.Close()
+				if tbl.Len() == 0 {
+					b.Fatal("empty pipeline result")
 				}
 			}
 		})

@@ -9,10 +9,14 @@
 //	snapbench -exp table3emp  Table 3 (Employee): Seq vs Nat runtimes
 //	snapbench -exp table3tpc  Table 3 (TPC-BiH): Seq vs Nat at two scales
 //	snapbench -exp ablation   §9 ablations (E7, E8, E9)
+//	snapbench -exp scaling    parallel exchange executor speedup at 1/2/4/8 workers
 //	snapbench -exp all        everything above
 //
 // -quick shrinks datasets for a fast smoke run; -runs sets the number of
-// repetitions per measurement (the median is reported).
+// repetitions per measurement (the median is reported); -json writes the
+// per-experiment median runtimes as machine-readable JSON to the given
+// path (e.g. BENCH_2026-07.json) so the performance trajectory can be
+// tracked across PRs.
 package main
 
 import (
@@ -24,9 +28,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|all")
+	exp := flag.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|all")
 	quick := flag.Bool("quick", false, "use small datasets (smoke run)")
 	runs := flag.Int("runs", 0, "repetitions per measurement (0 = scale default)")
+	jsonPath := flag.String("json", "", "write per-experiment medians as JSON to this path")
 	flag.Parse()
 
 	sc := harness.Full
@@ -36,6 +41,7 @@ func main() {
 	if *runs > 0 {
 		sc.Runs = *runs
 	}
+	rep := harness.NewReport(sc)
 
 	type experiment struct {
 		name string
@@ -44,11 +50,12 @@ func main() {
 	all := []experiment{
 		{"fig1", func() error { return harness.Fig1(os.Stdout) }},
 		{"table1", func() error { return harness.Table1(os.Stdout) }},
-		{"fig5", func() error { return harness.Fig5(os.Stdout, sc) }},
+		{"fig5", func() error { return harness.Fig5(os.Stdout, sc, rep) }},
 		{"table2", func() error { return harness.Table2(os.Stdout, sc) }},
-		{"table3emp", func() error { return harness.Table3Employees(os.Stdout, sc) }},
-		{"table3tpc", func() error { return harness.Table3TPC(os.Stdout, sc) }},
-		{"ablation", func() error { return harness.Ablations(os.Stdout, sc) }},
+		{"table3emp", func() error { return harness.Table3Employees(os.Stdout, sc, rep) }},
+		{"table3tpc", func() error { return harness.Table3TPC(os.Stdout, sc, rep) }},
+		{"ablation", func() error { return harness.Ablations(os.Stdout, sc, rep) }},
+		{"scaling", func() error { return harness.Scaling(os.Stdout, sc, rep) }},
 	}
 	ran := false
 	for _, e := range all {
@@ -66,5 +73,12 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "snapbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d metrics to %s\n", len(rep.Metrics), *jsonPath)
 	}
 }

@@ -7,9 +7,12 @@
 //	snapq -data tpcbih -query Q5 -limit 20
 //	snapq -data employees -query diff-2 -approach nat-ip   # observe the BD bug
 //	snapq -data factory -explain -sql "SEQ VT (SELECT count(*) AS cnt FROM works)"
+//	snapq -data employees -query join-1 -approach seq-par  # parallel exchange executor
+//	snapq -data employees -query join-1 -stream -limit 0   # stream rows as they arrive
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,9 +36,10 @@ func main() {
 	domain := flag.String("domain", "0,1000000", "with -data csv: time domain min,max")
 	sql := flag.String("sql", "", "snapshot SQL to run (SEQ VT optional)")
 	queryID := flag.String("query", "", "run a named workload query (join-1..diff-2, Q1..Q19)")
-	approach := flag.String("approach", "seq", "seq|seq-naive|seq-mat|nat-ip|nat-align")
+	approach := flag.String("approach", "seq", "seq|seq-naive|seq-mat|seq-par|nat-ip|nat-align")
 	limit := flag.Int("limit", 50, "maximum rows to print (0 = all)")
 	explain := flag.Bool("explain", false, "print the rewritten plan instead of executing")
+	stream := flag.Bool("stream", false, "print rows as the pipeline produces them instead of materializing and sorting (seq approaches only)")
 	out := flag.String("out", "", "write the result as CSV to this file instead of printing")
 	flag.Parse()
 
@@ -78,6 +82,14 @@ func main() {
 	ap, err := parseApproach(*approach)
 	if err != nil {
 		fail(err)
+	}
+	if *stream {
+		opt, err := streamOptions(ap)
+		if err != nil {
+			fail(err)
+		}
+		streamRows(db, q, opt, *limit)
+		return
 	}
 	res, err := harness.Run(db, q, ap)
 	if err != nil {
@@ -157,9 +169,51 @@ func parseApproach(s string) (harness.Approach, error) {
 		return harness.NatAlign, nil
 	case "seq-mat":
 		return harness.SeqMat, nil
+	case "seq-par":
+		return harness.SeqPar, nil
 	default:
 		return 0, fmt.Errorf("unknown approach %q", s)
 	}
+}
+
+// streamOptions maps a seq-family approach to rewrite options for the
+// cursor path; the native baselines have no streaming form.
+func streamOptions(ap harness.Approach) (rewrite.Options, error) {
+	switch ap {
+	case harness.Seq:
+		return rewrite.Options{Mode: rewrite.ModeOptimized}, nil
+	case harness.SeqNaive:
+		return rewrite.Options{Mode: rewrite.ModeNaive}, nil
+	case harness.SeqPar:
+		return rewrite.Options{Mode: rewrite.ModeOptimized, Parallelism: harness.DefaultWorkers}, nil
+	default:
+		return rewrite.Options{}, fmt.Errorf("-stream supports seq, seq-naive and seq-par, not %s", ap)
+	}
+}
+
+// streamRows evaluates q through the streaming cursor path and prints
+// rows in pipeline arrival order, without materializing the result.
+func streamRows(db *engine.DB, q algebra.Query, opt rewrite.Options, limit int) {
+	it, err := rewrite.Stream(context.Background(), db, q, opt)
+	if err != nil {
+		fail(err)
+	}
+	defer it.Close()
+	fmt.Printf("%s\n", it.Schema())
+	n := 0
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		if limit > 0 && n >= limit {
+			fmt.Println("... (more rows; raise -limit)")
+			return
+		}
+		fmt.Printf("%v\n", row)
+		n++
+	}
+	fmt.Printf("(%d rows)\n", n)
 }
 
 func printTable(t *engine.Table, limit int) {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,6 +66,30 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("snapshot at 08:00 -> cnt = %v\n", res.At(8)[0][0])
+
+	// The streaming cursor API: QueryRows consumes the rewritten plan's
+	// pipeline row by row instead of materializing a Result — the way to
+	// process huge results in constant client memory. Canceling the
+	// context stops the stream and tears down the pipeline.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := db.QueryRows(ctx, `SEQ VT (SELECT name FROM works WHERE skill = 'SP')`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	fmt.Println("\nstreaming cursor over Q_names:")
+	for rows.Next() {
+		var name string
+		if err := rows.Scan(&name); err != nil {
+			log.Fatal(err)
+		}
+		begin, end := rows.Period()
+		fmt.Printf("  %s on duty during [%d, %d)\n", name, begin, end)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func must(err error) {

@@ -1,0 +1,196 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"snapk/internal/engine"
+	"snapk/internal/tuple"
+)
+
+// batch is the unit of exchange between pipeline fragments: a bounded
+// slice of period-encoded rows. Batching amortizes channel synchronization
+// over many rows, which is what makes exchange operators cheaper than a
+// channel send per row.
+type batch []tuple.Tuple
+
+// morselTableIter is the partitioned scan source: workers claim morsels
+// (contiguous row ranges) of a shared table through an atomic cursor, so
+// fragment load balances even when per-row costs are skewed. One iterator
+// per worker; the counter is shared across all of them.
+type morselTableIter struct {
+	t      *engine.Table
+	ctr    *atomic.Int64
+	size   int
+	i, end int // current claimed morsel [i, end)
+}
+
+func (it *morselTableIter) Schema() tuple.Schema { return it.t.Schema }
+
+func (it *morselTableIter) Next() (tuple.Tuple, bool) {
+	for {
+		if it.i < it.end {
+			row := it.t.Rows[it.i]
+			it.i++
+			return row, true
+		}
+		start := int(it.ctr.Add(int64(it.size))) - it.size
+		if start >= len(it.t.Rows) {
+			return nil, false
+		}
+		end := start + it.size
+		if end > len(it.t.Rows) {
+			end = len(it.t.Rows)
+		}
+		it.i, it.end = start, end
+	}
+}
+
+func (it *morselTableIter) Close() {}
+
+// chanIter is the receiving end of a repartition exchange: one of W
+// worker-side iterators pulling batches from a shared channel fed by a
+// distributor goroutine. Cancellation of the execution context unblocks
+// the receive.
+type chanIter struct {
+	ctx    context.Context
+	schema tuple.Schema
+	ch     <-chan batch
+	cur    batch
+	i      int
+}
+
+func (it *chanIter) Schema() tuple.Schema { return it.schema }
+
+func (it *chanIter) Next() (tuple.Tuple, bool) {
+	for {
+		if it.i < len(it.cur) {
+			row := it.cur[it.i]
+			it.i++
+			return row, true
+		}
+		select {
+		case <-it.ctx.Done():
+			return nil, false
+		case b, ok := <-it.ch:
+			if !ok {
+				return nil, false
+			}
+			it.cur, it.i = b, 0
+		}
+	}
+}
+
+func (it *chanIter) Close() {}
+
+// mergeIter is the merge exchange: W fragment goroutines each drain one
+// per-worker iterator into batches and push them onto a shared bounded
+// channel; the iterator pulls batches off in arrival order. Merge order
+// is nondeterministic, which is sound because period relations are
+// multisets. Goroutine lifetime is owned by the executor: cancellation
+// of the execution context stops every producer, and the channel is
+// closed once all of them have exited.
+type mergeIter struct {
+	ctx    context.Context
+	schema tuple.Schema
+	ch     <-chan batch
+	cur    batch
+	i      int
+}
+
+func (it *mergeIter) Schema() tuple.Schema { return it.schema }
+
+func (it *mergeIter) Next() (tuple.Tuple, bool) {
+	if it.ctx.Err() != nil {
+		return nil, false
+	}
+	for {
+		if it.i < len(it.cur) {
+			row := it.cur[it.i]
+			it.i++
+			return row, true
+		}
+		b, ok := <-it.ch
+		if !ok {
+			return nil, false
+		}
+		it.cur, it.i = b, 0
+	}
+}
+
+func (it *mergeIter) Close() {}
+
+// startMerge spawns one producer goroutine per part and returns the
+// merged stream. Producers exit when their input is exhausted or the
+// execution context is canceled; a closer goroutine closes the channel
+// once all producers are done, which is how the consumer observes
+// end-of-stream.
+func (e *executor) startMerge(parts []engine.RowIter) engine.RowIter {
+	schema := parts[0].Schema()
+	ch := make(chan batch, len(parts))
+	var producers sync.WaitGroup
+	for _, part := range parts {
+		part := part
+		producers.Add(1)
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer producers.Done()
+			defer part.Close()
+			e.drainInto(part, ch)
+		}()
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		producers.Wait()
+		close(ch)
+	}()
+	return &mergeIter{ctx: e.ctx, schema: schema, ch: ch}
+}
+
+// drainInto pumps it into ch in morsel-sized batches until exhaustion or
+// cancellation.
+func (e *executor) drainInto(it engine.RowIter, ch chan<- batch) {
+	b := make(batch, 0, e.morsel)
+	for {
+		row, ok := it.Next()
+		if ok {
+			b = append(b, row)
+		}
+		if (!ok || len(b) == e.morsel) && len(b) > 0 {
+			select {
+			case <-e.ctx.Done():
+				return
+			case ch <- b:
+			}
+			b = make(batch, 0, e.morsel)
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// repartition converts a sequential stream into W worker-side iterators
+// by round-robin batch distribution: a single distributor goroutine reads
+// the source and every worker pulls from the shared bounded channel —
+// morsel-driven scheduling for sources that are not indexable tables
+// (e.g. the output of a blocking operator feeding a join probe side).
+func (e *executor) repartition(src engine.RowIter) []engine.RowIter {
+	schema := src.Schema()
+	ch := make(chan batch, e.workers)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer close(ch)
+		defer src.Close()
+		e.drainInto(src, ch)
+	}()
+	parts := make([]engine.RowIter, e.workers)
+	for i := range parts {
+		parts[i] = &chanIter{ctx: e.ctx, schema: schema, ch: ch}
+	}
+	return parts
+}

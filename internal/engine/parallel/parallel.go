@@ -1,0 +1,366 @@
+// Package parallel is the multi-core execution subsystem of the engine:
+// it evaluates a physical plan as a set of concurrently running pipeline
+// fragments connected by exchange operators (partition / merge over
+// bounded row-batch channels), in the morsel-driven style.
+//
+// The plan is split at exchange boundaries: table scans are partitioned
+// into morsels claimed by W workers through a shared atomic cursor, and
+// the streaming operators above a scan — Filter, Project, the probe side
+// of the temporal hash join — are replicated into each worker's
+// fragment, so an entire Filter→Probe→Project chain runs W-wide without
+// synchronization until the final merge. The hash-join build side is
+// drained once into an immutable shared table (engine.JoinBuild) that
+// all probe fragments read concurrently. Blocking operators (split-based
+// aggregation, difference, coalesce) remain sequential materialization
+// boundaries, exactly as in the sequential streaming engine; their
+// inputs are still produced in parallel.
+//
+// Because period relations are multisets, the nondeterministic arrival
+// order at a merge exchange is semantically invisible: the result is
+// multiset-identical to sequential execution (enforced by the qgen
+// equivalence suite).
+//
+// Cancellation: Exec threads a context.Context through iterator
+// creation. Canceling it — or closing the returned iterator — tears
+// down every fragment goroutine; Close blocks until all of them have
+// exited and is idempotent.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"snapk/internal/engine"
+	"snapk/internal/tuple"
+)
+
+// Options configures parallel plan execution.
+type Options struct {
+	// Workers is the number of fragment goroutines per exchange. Values
+	// below 1 default to GOMAXPROCS. Workers == 1 degenerates to the
+	// sequential streaming engine (plus context cancellation).
+	Workers int
+	// MorselSize is the number of rows per scan morsel and per exchange
+	// batch; 0 selects the default (256).
+	MorselSize int
+}
+
+// DefaultMorselSize is the scan-morsel / exchange-batch row count used
+// when Options.MorselSize is zero: large enough to amortize channel
+// synchronization, small enough to load-balance skewed fragments.
+const DefaultMorselSize = 256
+
+// executor carries the per-Exec state: the cancellable execution
+// context and the WaitGroup tracking every spawned fragment goroutine.
+type executor struct {
+	ctx     context.Context
+	db      *engine.DB
+	workers int
+	morsel  int
+	wg      sync.WaitGroup
+}
+
+// pstream is a stream in one of two physical forms: a single sequential
+// iterator, or W per-worker fragment iterators awaiting a merge.
+type pstream struct {
+	seq    engine.RowIter   // exactly one of seq / parts is set
+	parts  []engine.RowIter // one fragment per worker
+	schema tuple.Schema
+}
+
+func (s *pstream) close() {
+	if s.seq != nil {
+		s.seq.Close()
+	}
+	for _, p := range s.parts {
+		p.Close()
+	}
+}
+
+// dataSchema strips the period attributes from the stream schema.
+func (s *pstream) dataSchema() tuple.Schema {
+	return tuple.Schema{Cols: s.schema.Cols[:s.schema.Arity()-2]}
+}
+
+// Exec evaluates p on db with opt.Workers parallel fragments and returns
+// a single merged row stream. The caller must Close the returned
+// iterator; Close (or cancellation of ctx) stops and reaps every
+// fragment goroutine. With Workers <= 1 execution is sequential and only
+// the cancellation wrapper is added.
+func Exec(ctx context.Context, db *engine.DB, p engine.Plan, opt Options) (engine.RowIter, error) {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	morsel := opt.MorselSize
+	if morsel <= 0 {
+		morsel = DefaultMorselSize
+	}
+	ectx, cancel := context.WithCancel(ctx)
+	e := &executor{ctx: ectx, db: db, workers: workers, morsel: morsel}
+	s, err := e.build(p)
+	if err != nil {
+		cancel()
+		e.wg.Wait()
+		return nil, err
+	}
+	return &execIter{ctx: ectx, cancel: cancel, e: e, it: e.merge(s)}, nil
+}
+
+// execIter is the root iterator returned by Exec: it owns the execution
+// context and reaps all fragment goroutines on Close.
+type execIter struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	e      *executor
+	it     engine.RowIter
+	closed atomic.Bool
+}
+
+func (it *execIter) Schema() tuple.Schema { return it.it.Schema() }
+
+func (it *execIter) Next() (tuple.Tuple, bool) {
+	if it.ctx.Err() != nil {
+		return nil, false
+	}
+	return it.it.Next()
+}
+
+// Close cancels the execution context, closes the merged stream and
+// blocks until every fragment goroutine has exited. It is idempotent
+// and safe to call concurrently with Next.
+func (it *execIter) Close() {
+	if it.closed.Swap(true) {
+		return
+	}
+	it.cancel()
+	it.it.Close()
+	it.e.wg.Wait()
+}
+
+// merge collapses a stream to a single iterator, inserting a merge
+// exchange over partitioned fragments.
+func (e *executor) merge(s *pstream) engine.RowIter {
+	if s.seq != nil {
+		return s.seq
+	}
+	return e.startMerge(s.parts)
+}
+
+// partition converts a stream to W fragment iterators, inserting a
+// repartition exchange under sequential sources.
+func (e *executor) partition(s *pstream) []engine.RowIter {
+	if s.parts != nil {
+		return s.parts
+	}
+	return e.repartition(s.seq)
+}
+
+// build compiles a plan node to a pstream, pushing streaming operators
+// into partitioned fragments and placing exchanges only where the plan
+// shape requires them.
+func (e *executor) build(p engine.Plan) (*pstream, error) {
+	switch n := p.(type) {
+	case engine.ScanP:
+		t, err := e.db.Table(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		if e.workers <= 1 {
+			return &pstream{seq: engine.NewTableIter(t), schema: t.Schema}, nil
+		}
+		ctr := new(atomic.Int64)
+		parts := make([]engine.RowIter, e.workers)
+		for i := range parts {
+			parts[i] = &morselTableIter{t: t, ctr: ctr, size: e.morsel}
+		}
+		return &pstream{parts: parts, schema: t.Schema}, nil
+	case engine.FilterP:
+		in, err := e.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return e.mapStream(in, func(it engine.RowIter) (engine.RowIter, error) {
+			return engine.NewFilterIter(it, n.Pred)
+		})
+	case engine.ProjectP:
+		in, err := e.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return e.mapStream(in, func(it engine.RowIter) (engine.RowIter, error) {
+			return engine.NewProjectIter(it, n.Exprs)
+		})
+	case engine.JoinP:
+		return e.buildJoin(n)
+	case engine.UnionP:
+		l, err := e.build(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.build(n.R)
+		if err != nil {
+			l.close()
+			return nil, err
+		}
+		if l.seq != nil && r.seq != nil {
+			u, err := engine.NewUnionIter(l.seq, r.seq)
+			if err != nil {
+				return nil, err
+			}
+			return &pstream{seq: u, schema: u.Schema()}, nil
+		}
+		// Pair the fragments of both sides: fragment i concatenates
+		// l_i and r_i, so the union itself needs no extra exchange.
+		lp, rp := e.partition(l), e.partition(r)
+		parts := make([]engine.RowIter, len(lp))
+		for i := range parts {
+			u, err := engine.NewUnionIter(lp[i], rp[i])
+			if err != nil {
+				for j := i + 1; j < len(lp); j++ {
+					lp[j].Close()
+					rp[j].Close()
+				}
+				for j := 0; j < i; j++ {
+					parts[j].Close()
+				}
+				return nil, err
+			}
+			parts[i] = u
+		}
+		return &pstream{parts: parts, schema: parts[0].Schema()}, nil
+	case engine.DiffP:
+		l, err := e.table(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.table(n.R)
+		if err != nil {
+			return nil, err
+		}
+		out, err := engine.TemporalDiff(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+	case engine.AggP:
+		in, err := e.table(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out, err := engine.TemporalAggregate(in, n.GroupBy, n.Aggs, n.PreAgg, e.db.Domain())
+		if err != nil {
+			return nil, err
+		}
+		return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+	case engine.CoalesceP:
+		in, err := e.table(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out := engine.Coalesce(in, n.Impl)
+		return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+	default:
+		return nil, fmt.Errorf("parallel: unknown plan node %T", p)
+	}
+}
+
+// buildJoin compiles the temporal join: the build side is drained once
+// into a shared immutable hash table, then every probe fragment streams
+// its partition of the left input against it. Joins without an equality
+// conjunct fall back to the sequential endpoint-sorted overlap sweep
+// (which drains both inputs anyway), still fed by parallel children.
+func (e *executor) buildJoin(n engine.JoinP) (*pstream, error) {
+	l, err := e.build(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.build(n.R)
+	if err != nil {
+		l.close()
+		return nil, err
+	}
+	prep, err := engine.PrepareJoin(l.dataSchema(), r.dataSchema(), n.Pred)
+	if err != nil {
+		l.close()
+		r.close()
+		return nil, err
+	}
+	if !prep.HasEquiKey() {
+		j, err := engine.NewJoinIter(e.merge(l), e.merge(r), n.Pred)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.ctx.Err(); err != nil {
+			j.Close()
+			return nil, err
+		}
+		return &pstream{seq: j, schema: j.Schema()}, nil
+	}
+	// Drain the build side eagerly (as the sequential engine does); a
+	// canceled context surfaces as an error rather than a silently
+	// truncated hash table.
+	jb := prep.Build(e.merge(r))
+	if err := e.ctx.Err(); err != nil {
+		l.close()
+		return nil, err
+	}
+	if e.workers <= 1 {
+		it := jb.Probe(e.merge(l))
+		return &pstream{seq: it, schema: it.Schema()}, nil
+	}
+	lp := e.partition(l)
+	parts := make([]engine.RowIter, len(lp))
+	for i, part := range lp {
+		parts[i] = jb.Probe(part)
+	}
+	return &pstream{parts: parts, schema: prep.Schema()}, nil
+}
+
+// mapStream wraps every fragment (or the sequential iterator) of in with
+// a streaming operator constructor. wrap takes ownership of its input on
+// error, matching the engine constructors' contract.
+func (e *executor) mapStream(in *pstream, wrap func(engine.RowIter) (engine.RowIter, error)) (*pstream, error) {
+	if in.seq != nil {
+		it, err := wrap(in.seq)
+		if err != nil {
+			return nil, err
+		}
+		return &pstream{seq: it, schema: it.Schema()}, nil
+	}
+	out := make([]engine.RowIter, len(in.parts))
+	for i, part := range in.parts {
+		it, err := wrap(part)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				out[j].Close()
+			}
+			for j := i + 1; j < len(in.parts); j++ {
+				in.parts[j].Close()
+			}
+			return nil, err
+		}
+		out[i] = it
+	}
+	return &pstream{parts: out, schema: out[0].Schema()}, nil
+}
+
+// table materializes a subplan — the input boundary of the blocking
+// operators. The subplan itself still runs with parallel fragments; a
+// canceled context surfaces as an error rather than a truncated table.
+func (e *executor) table(p engine.Plan) (*engine.Table, error) {
+	s, err := e.build(p)
+	if err != nil {
+		return nil, err
+	}
+	it := e.merge(s)
+	defer it.Close()
+	t := engine.Materialize(it)
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -197,6 +197,88 @@ type hashJoinIter struct {
 	bi     int
 }
 
+// JoinPrep is the compiled form of a temporal join predicate: extracted
+// equi-key columns plus the compiled residual over the concatenated data
+// schema. It separates predicate analysis from execution so the build
+// phase can run once while several probe iterators (one per parallel
+// fragment) share its output.
+type JoinPrep struct {
+	joined     tuple.Schema
+	res        algebra.Compiled
+	lIdx, rIdx []int
+	lA, rA     int
+}
+
+// PrepareJoin analyses pred over the two data schemas (period attributes
+// excluded). The returned prep reports via HasEquiKey whether a hash
+// join applies; without any equality conjunct the join must fall back to
+// the interval-overlap sweep.
+func PrepareJoin(lData, rData tuple.Schema, pred algebra.Expr) (*JoinPrep, error) {
+	joined := lData.Concat(rData, "r.")
+	keys, residual := extractEquiKeys(pred, lData, joined, lData.Arity())
+	res, err := algebra.Compile(residual, joined)
+	if err != nil {
+		return nil, err
+	}
+	p := &JoinPrep{joined: joined, res: res, lA: lData.Arity(), rA: rData.Arity()}
+	for _, k := range keys {
+		p.lIdx = append(p.lIdx, k.l)
+		p.rIdx = append(p.rIdx, k.r)
+	}
+	return p, nil
+}
+
+// HasEquiKey reports whether the predicate contains at least one
+// equality conjunct usable as a hash-join key.
+func (p *JoinPrep) HasEquiKey() bool { return len(p.lIdx) > 0 }
+
+// Schema returns the period schema of the join output.
+func (p *JoinPrep) Schema() tuple.Schema { return PeriodSchema(p.joined) }
+
+// JoinBuild is a drained, immutable hash-join build side. It is safe to
+// probe from multiple goroutines concurrently: every Probe iterator
+// carries its own cursor state and only reads the shared table.
+type JoinBuild struct {
+	prep  *JoinPrep
+	build map[string][]tuple.Tuple
+}
+
+// Build drains the right (build-side) input into a hash table on the
+// equi-key columns and closes it. It must only be called when HasEquiKey
+// reports true.
+func (p *JoinPrep) Build(r RowIter) *JoinBuild {
+	build := make(map[string][]tuple.Tuple)
+	for {
+		rrow, ok := r.Next()
+		if !ok {
+			break
+		}
+		// SQL comparison semantics: a NULL in any join key compares
+		// unknown, so such rows can never match.
+		if hasNullAt(rrow, p.rIdx) {
+			continue
+		}
+		k := rrow.Project(p.rIdx).Key()
+		build[k] = append(build[k], rrow)
+	}
+	r.Close()
+	return &JoinBuild{prep: p, build: build}
+}
+
+// Probe returns a streaming probe iterator over l against the shared
+// build table. The iterator takes ownership of l.
+func (b *JoinBuild) Probe(l RowIter) RowIter {
+	return &hashJoinIter{
+		schema: b.prep.Schema(),
+		l:      l,
+		build:  b.build,
+		lIdx:   b.prep.lIdx,
+		res:    b.prep.res,
+		lA:     b.prep.lA,
+		rA:     b.prep.rA,
+	}
+}
+
 // newJoinIter builds the streaming temporal join over two input streams.
 // Equality conjuncts of pred become hash-join keys with the right input
 // as build side; without any equi key the join degrades to the
@@ -207,48 +289,18 @@ type hashJoinIter struct {
 func newJoinIter(l, r RowIter, pred algebra.Expr) (RowIter, error) {
 	lData := tuple.Schema{Cols: l.Schema().Cols[:l.Schema().Arity()-2]}
 	rData := tuple.Schema{Cols: r.Schema().Cols[:r.Schema().Arity()-2]}
-	joined := lData.Concat(rData, "r.")
-	keys, residual := extractEquiKeys(pred, lData, joined, lData.Arity())
-	res, err := algebra.Compile(residual, joined)
+	prep, err := PrepareJoin(lData, rData, pred)
 	if err != nil {
 		l.Close()
 		r.Close()
 		return nil, err
 	}
-	if len(keys) == 0 {
-		return newOverlapJoinIter(l, r, joined, res)
+	if !prep.HasEquiKey() {
+		return newOverlapJoinIter(l, r, prep.joined, prep.res)
 	}
-	lIdx := make([]int, len(keys))
-	rIdx := make([]int, len(keys))
-	for i, k := range keys {
-		lIdx[i], rIdx[i] = k.l, k.r
-	}
-	build := make(map[string][]tuple.Tuple)
-	for {
-		rrow, ok := r.Next()
-		if !ok {
-			break
-		}
-		// SQL comparison semantics: a NULL in any join key compares
-		// unknown, so such rows can never match.
-		if hasNullAt(rrow, rIdx) {
-			continue
-		}
-		k := rrow.Project(rIdx).Key()
-		build[k] = append(build[k], rrow)
-	}
-	// The build side is fully drained; release it now, the probe side
-	// stays open until the joint iterator is closed.
-	r.Close()
-	return &hashJoinIter{
-		schema: PeriodSchema(joined),
-		l:      l,
-		build:  build,
-		lIdx:   lIdx,
-		res:    res,
-		lA:     lData.Arity(),
-		rA:     rData.Arity(),
-	}, nil
+	// The build side is fully drained and released by Build; the probe
+	// side stays open until the joint iterator is closed.
+	return prep.Build(r).Probe(l), nil
 }
 
 func hasNullAt(row tuple.Tuple, idx []int) bool {
@@ -376,6 +428,31 @@ func (db *DB) ExecStream(p Plan) (RowIter, error) {
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", p)
 	}
+}
+
+// NewFilterIter wraps in with the pipelined Filter operator. It takes
+// ownership of in: on error the child is closed.
+func NewFilterIter(in RowIter, pred algebra.Expr) (RowIter, error) {
+	return newFilterIter(in, pred)
+}
+
+// NewProjectIter wraps in with the pipelined Project operator. It takes
+// ownership of in: on error the child is closed.
+func NewProjectIter(in RowIter, exprs []algebra.NamedExpr) (RowIter, error) {
+	return newProjectIter(in, exprs)
+}
+
+// NewUnionIter concatenates two union-compatible streams, taking
+// ownership of both.
+func NewUnionIter(l, r RowIter) (RowIter, error) {
+	return newUnionIter(l, r)
+}
+
+// NewJoinIter builds the streaming temporal join over two input streams,
+// taking ownership of both. It is the exported form of the JoinP case of
+// ExecStream, used by the parallel executor for its sequential fallback.
+func NewJoinIter(l, r RowIter, pred algebra.Expr) (RowIter, error) {
+	return newJoinIter(l, r, pred)
 }
 
 // streamToTable materializes the streaming evaluation of a subplan —

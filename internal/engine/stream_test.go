@@ -7,11 +7,13 @@
 package engine_test
 
 import (
+	"context"
 	"sort"
 	"testing"
 
 	"snapk/internal/algebra"
 	"snapk/internal/engine"
+	"snapk/internal/engine/parallel"
 	"snapk/internal/qgen"
 	"snapk/internal/rewrite"
 	"snapk/internal/tuple"
@@ -51,6 +53,22 @@ func runStream(t *testing.T, db *engine.DB, p engine.Plan) *engine.Table {
 	return engine.Materialize(it)
 }
 
+// runParallel evaluates p through the parallel exchange executor and
+// materializes the result. The tiny morsel size forces real partitioning
+// even on qgen's small tables.
+func runParallel(t *testing.T, db *engine.DB, p engine.Plan) *engine.Table {
+	t.Helper()
+	it, err := parallel.Exec(context.Background(), db, p, parallel.Options{Workers: 4, MorselSize: 4})
+	if err != nil {
+		t.Fatalf("parallel.Exec(%s): %v", p, err)
+	}
+	defer it.Close()
+	return engine.Materialize(it)
+}
+
+// All three executors — Exec (the SeqMaterialized ablation), ExecStream
+// (the default Seq engine) and the parallel exchange executor — must
+// produce multiset-identical results on every generated plan.
 func TestStreamMaterializeEquivalence(t *testing.T) {
 	for seed := int64(0); seed < 200; seed++ {
 		g := qgen.New(seed)
@@ -70,6 +88,11 @@ func TestStreamMaterializeEquivalence(t *testing.T) {
 			if !sameMultiset(sortedKeys(mat), sortedKeys(str)) {
 				t.Fatalf("seed %d mode %d: streaming result diverges from materializing result\nplan: %s\nmaterialized:\n%s\nstreamed:\n%s",
 					seed, mode, p, mat, str)
+			}
+			par := runParallel(t, db, p)
+			if !sameMultiset(sortedKeys(mat), sortedKeys(par)) {
+				t.Fatalf("seed %d mode %d: parallel result diverges from materializing result\nplan: %s\nmaterialized:\n%s\nparallel:\n%s",
+					seed, mode, p, mat, par)
 			}
 		}
 	}

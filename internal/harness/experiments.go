@@ -195,8 +195,9 @@ func probeUnique(ap Approach) (bool, error) {
 // Fig5 regenerates Figure 5: multiset coalescing runtime for varying
 // input size, for both coalescing implementations. Runtimes should grow
 // linearly in the input size (§10.2).
-func Fig5(w io.Writer, sc Scale) error {
+func Fig5(w io.Writer, sc Scale, rep *Report) error {
 	tw := NewTable("rows", "native (s)", "native ns/row", "analytic (s)", "analytic ns/row")
+	implName := map[engine.CoalesceImpl]string{engine.CoalesceNative: "native", engine.CoalesceAnalytic: "analytic"}
 	for _, n := range sc.Fig5Sizes {
 		db := dataset.CoalesceInput(n, 3)
 		tbl, err := db.Table("sal")
@@ -214,6 +215,7 @@ func Fig5(w io.Writer, sc Scale) error {
 				return err
 			}
 			cells = append(cells, FormatDuration(d), fmt.Sprintf("%d", d.Nanoseconds()/int64(n)))
+			rep.Add("fig5", fmt.Sprintf("coalesce-%s/rows=%d", implName[impl], n), d, nil)
 		}
 		tw.AddRow(cells...)
 	}
@@ -258,7 +260,7 @@ func Table2(w io.Writer, sc Scale) error {
 
 // Table3Employees regenerates the Employee half of Table 3: runtimes per
 // query and approach plus the Bug column.
-func Table3Employees(w io.Writer, sc Scale) error {
+func Table3Employees(w io.Writer, sc Scale, rep *Report) error {
 	db := dataset.Employees(sc.Employees)
 	fmt.Fprintf(w, "Employee dataset %s — runtimes (s)\n", sc.Employees)
 	tw := NewTable("query", "Seq", "Nat-ip", "Nat-align", "Bug")
@@ -277,6 +279,7 @@ func Table3Employees(w io.Writer, sc Scale) error {
 				return err
 			}
 			cells = append(cells, FormatDuration(d))
+			rep.Add("table3emp", fmt.Sprintf("%s/%s", wq.ID, ap), d, nil)
 		}
 		cells = append(cells, wq.Bug)
 		tw.AddRow(cells...)
@@ -286,7 +289,7 @@ func Table3Employees(w io.Writer, sc Scale) error {
 }
 
 // Table3TPC regenerates the TPC-BiH half of Table 3 at two scales.
-func Table3TPC(w io.Writer, sc Scale) error {
+func Table3TPC(w io.Writer, sc Scale, rep *Report) error {
 	for _, cfg := range []dataset.TPCBiHConfig{sc.TPCSmall, sc.TPCLarge} {
 		db := dataset.TPCBiH(cfg)
 		fmt.Fprintf(w, "%s — runtimes (s)\n", cfg)
@@ -306,6 +309,7 @@ func Table3TPC(w io.Writer, sc Scale) error {
 					return err
 				}
 				cells = append(cells, FormatDuration(d))
+				rep.Add("table3tpc", fmt.Sprintf("%s/%s/%s", cfg, wq.ID, ap), d, nil)
 			}
 			cells = append(cells, wq.Bug)
 			tw.AddRow(cells...)
@@ -321,7 +325,7 @@ func Table3TPC(w io.Writer, sc Scale) error {
 // Ablations regenerates the §9 optimization studies: coalesce placement
 // (single final vs per-operator), pre-aggregation vs materialized split,
 // and the two coalescing implementations.
-func Ablations(w io.Writer, sc Scale) error {
+func Ablations(w io.Writer, sc Scale, rep *Report) error {
 	db := dataset.Employees(sc.Employees)
 
 	fmt.Fprintln(w, "Ablation E7 — coalesce placement (§9, Lemma 6.1)")
@@ -350,6 +354,8 @@ func Ablations(w io.Writer, sc Scale) error {
 		}
 		tw.AddRow(id, FormatDuration(dOpt), FormatDuration(dNaive),
 			fmt.Sprintf("%d", engine.CountCoalesce(pOpt)), fmt.Sprintf("%d", engine.CountCoalesce(pNaive)))
+		rep.Add("ablation", "E7/"+id+"/final-coalesce", dOpt, nil)
+		rep.Add("ablation", "E7/"+id+"/every-op-coalesce", dNaive, nil)
 	}
 	if _, err := tw.WriteTo(w); err != nil {
 		return err
@@ -379,6 +385,11 @@ func Ablations(w io.Writer, sc Scale) error {
 				return err
 			}
 			cells = append(cells, FormatDuration(d))
+			name := "E8/" + id + "/preagg"
+			if !preAgg {
+				name = "E8/" + id + "/naive-split"
+			}
+			rep.Add("ablation", name, d, nil)
 		}
 		tw.AddRow(cells...)
 	}
@@ -406,6 +417,8 @@ func Ablations(w io.Writer, sc Scale) error {
 			return err
 		}
 		tw.AddRow(fmt.Sprintf("%d", n), FormatDuration(dN), FormatDuration(dA))
+		rep.Add("ablation", fmt.Sprintf("E9/rows=%d/native", n), dN, nil)
+		rep.Add("ablation", fmt.Sprintf("E9/rows=%d/analytic", n), dA, nil)
 	}
 	_, err := tw.WriteTo(w)
 	return err

@@ -5,8 +5,11 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -26,14 +29,21 @@ type Approach int
 
 // The approaches compared by Table 3, plus SeqMat — Seq executed on the
 // operator-at-a-time materializing executor instead of the streaming
-// iterator engine — used by the pipelining ablation.
+// iterator engine, used by the pipelining ablation — and SeqPar — Seq on
+// the parallel exchange executor with DefaultWorkers fragments.
 const (
 	Seq Approach = iota
 	SeqNaive
 	NatIP
 	NatAlign
 	SeqMat
+	SeqPar
 )
+
+// DefaultWorkers is the exchange worker count used by SeqPar: every
+// available CPU, but at least 2 so the parallel subsystem is actually
+// exercised on single-core machines.
+var DefaultWorkers = max(2, runtime.NumCPU())
 
 // String returns the label used in experiment tables.
 func (a Approach) String() string {
@@ -48,6 +58,8 @@ func (a Approach) String() string {
 		return "Nat-align"
 	case SeqMat:
 		return "Seq-mat"
+	case SeqPar:
+		return "Seq-par"
 	default:
 		return fmt.Sprintf("Approach(%d)", int(a))
 	}
@@ -55,7 +67,8 @@ func (a Approach) String() string {
 
 // Run evaluates q over db under the given approach and returns the
 // result table. Seq and SeqNaive run on the streaming iterator engine;
-// SeqMat is the materializing ablation baseline.
+// SeqMat is the materializing ablation baseline; SeqPar runs the plan on
+// the parallel exchange executor.
 func Run(db *engine.DB, q algebra.Query, ap Approach) (*engine.Table, error) {
 	switch ap {
 	case Seq:
@@ -64,6 +77,8 @@ func Run(db *engine.DB, q algebra.Query, ap Approach) (*engine.Table, error) {
 		return rewrite.Run(db, q, rewrite.Options{Mode: rewrite.ModeNaive})
 	case SeqMat:
 		return rewrite.Run(db, q, rewrite.Options{Mode: rewrite.ModeOptimized, Materialize: true})
+	case SeqPar:
+		return rewrite.Run(db, q, rewrite.Options{Mode: rewrite.ModeOptimized, Parallelism: DefaultWorkers})
 	case NatIP:
 		return baseline.Eval(db, q, baseline.IntervalPreservation)
 	case NatAlign:
@@ -186,4 +201,55 @@ func (t *TableWriter) WriteTo(w io.Writer) (int64, error) {
 // (seconds with two to three significant decimals).
 func FormatDuration(d time.Duration) string {
 	return fmt.Sprintf("%.4f", d.Seconds())
+}
+
+// Metric is one machine-readable measurement of an experiment run: a
+// median runtime plus optional derived values (e.g. speedup factors).
+type Metric struct {
+	// Experiment is the snapbench experiment id (e.g. "scaling").
+	Experiment string `json:"experiment"`
+	// Name identifies the measured configuration within the experiment,
+	// e.g. "join-pipeline/workers=4".
+	Name string `json:"name"`
+	// Seconds is the median runtime.
+	Seconds float64 `json:"seconds"`
+	// Extra holds derived values such as {"speedup": 2.7} or row counts.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report accumulates experiment measurements for machine-readable output
+// (snapbench -json), so the performance trajectory can be tracked as
+// BENCH_*.json across PRs. A nil *Report is valid and records nothing,
+// letting experiments thread it unconditionally.
+type Report struct {
+	Scale   string   `json:"scale"`
+	Workers int      `json:"workers"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// NewReport returns an empty report for the given scale.
+func NewReport(sc Scale) *Report {
+	return &Report{Scale: sc.Name, Workers: DefaultWorkers}
+}
+
+// Add records one measurement; it is a no-op on a nil report.
+func (r *Report) Add(experiment, name string, d time.Duration, extra map[string]float64) {
+	if r == nil {
+		return
+	}
+	r.Metrics = append(r.Metrics, Metric{
+		Experiment: experiment,
+		Name:       name,
+		Seconds:    d.Seconds(),
+		Extra:      extra,
+	})
+}
+
+// WriteJSON writes the report to path, indented for diff-friendliness.
+func (r *Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

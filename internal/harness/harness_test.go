@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"encoding/json"
 	"errors"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -56,7 +58,7 @@ func TestTable1Probes(t *testing.T) {
 
 func TestFig5Runs(t *testing.T) {
 	var b strings.Builder
-	if err := Fig5(&b, tiny); err != nil {
+	if err := Fig5(&b, tiny, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "500") {
@@ -108,14 +110,14 @@ func TestTable2Writes(t *testing.T) {
 
 func TestTable3Runs(t *testing.T) {
 	var b strings.Builder
-	if err := Table3Employees(&b, tiny); err != nil {
+	if err := Table3Employees(&b, tiny, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "agg-join") || !strings.Contains(b.String(), "BD") {
 		t.Errorf("Table3Employees output:\n%s", b.String())
 	}
 	b.Reset()
-	if err := Table3TPC(&b, tiny); err != nil {
+	if err := Table3TPC(&b, tiny, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Q14") || !strings.Contains(b.String(), "AG") {
@@ -125,7 +127,7 @@ func TestTable3Runs(t *testing.T) {
 
 func TestAblationsRun(t *testing.T) {
 	var b strings.Builder
-	if err := Ablations(&b, tiny); err != nil {
+	if err := Ablations(&b, tiny, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -187,5 +189,83 @@ func TestApproachStringAndRunErrors(t *testing.T) {
 func TestFormatDuration(t *testing.T) {
 	if got := FormatDuration(1500 * time.Millisecond); got != "1.5000" {
 		t.Errorf("FormatDuration = %q", got)
+	}
+}
+
+func TestScalingRunsAndReports(t *testing.T) {
+	var b strings.Builder
+	rep := NewReport(tiny)
+	if err := Scaling(&b, tiny, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"workers", "speedup", "1", "8"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Scaling output missing %q:\n%s", frag, out)
+		}
+	}
+	if len(rep.Metrics) != len(ScalingWorkers) {
+		t.Fatalf("report has %d metrics, want %d", len(rep.Metrics), len(ScalingWorkers))
+	}
+	for _, m := range rep.Metrics {
+		if m.Experiment != "scaling" || m.Seconds <= 0 || m.Extra["speedup"] <= 0 || m.Extra["rows"] <= 0 {
+			t.Errorf("bad metric %+v", m)
+		}
+	}
+	// Every worker count must see the identical result cardinality.
+	rows := rep.Metrics[0].Extra["rows"]
+	for _, m := range rep.Metrics[1:] {
+		if m.Extra["rows"] != rows {
+			t.Errorf("row count varies across worker counts: %v vs %v", m.Extra["rows"], rows)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := NewReport(tiny)
+	rep.Add("scaling", "join-pipeline/workers=2", 1500*time.Millisecond, map[string]float64{"speedup": 1.8})
+	var nilRep *Report
+	nilRep.Add("x", "y", time.Second, nil) // must not panic
+	path := t.TempDir() + "/bench.json"
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != "tiny" || len(got.Metrics) != 1 || got.Metrics[0].Seconds != 1.5 ||
+		got.Metrics[0].Extra["speedup"] != 1.8 {
+		t.Fatalf("round-tripped report = %+v", got)
+	}
+}
+
+func TestSeqParApproach(t *testing.T) {
+	if SeqPar.String() != "Seq-par" {
+		t.Errorf("SeqPar label = %q", SeqPar)
+	}
+	db := RunningExample()
+	seq, err := Run(db, QOnduty(), Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(db, QOnduty(), SeqPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par = seq.Clone(), par.Clone()
+	seq.Sort()
+	par.Sort()
+	if seq.Len() != par.Len() {
+		t.Fatalf("SeqPar rows %d != Seq rows %d", par.Len(), seq.Len())
+	}
+	for i := range seq.Rows {
+		if seq.Rows[i].Key() != par.Rows[i].Key() {
+			t.Fatalf("SeqPar row %d differs: %v vs %v", i, par.Rows[i], seq.Rows[i])
+		}
 	}
 }

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"snapk/internal/algebra"
+	"snapk/internal/dataset"
+	"snapk/internal/engine"
+	"snapk/internal/engine/parallel"
+)
+
+// ScalingWorkers are the exchange worker counts measured by the scaling
+// experiment.
+var ScalingWorkers = []int{1, 2, 4, 8}
+
+// scalingPlan is the join-heavy pipeline used to measure multi-core
+// speedup: a selective Filter feeding the partitioned probe side of the
+// temporal hash join on titles, streamed through a Project — the Fig 4
+// chain shape in which every operator runs inside parallel fragments.
+func scalingPlan() engine.Plan {
+	return engine.ProjectP{
+		Exprs: []algebra.NamedExpr{
+			{Name: "emp_no", E: algebra.Col("emp_no")},
+			{Name: "salary", E: algebra.Col("salary")},
+			{Name: "title", E: algebra.Col("title")},
+		},
+		In: engine.JoinP{
+			L: engine.FilterP{
+				Pred: algebra.Gt(algebra.Col("salary"), algebra.IntC(45000)),
+				In:   engine.ScanP{Name: "salaries"},
+			},
+			R:    engine.ScanP{Name: "titles"},
+			Pred: algebra.Eq(algebra.Col("emp_no"), algebra.Col("r.emp_no")),
+		},
+	}
+}
+
+// Scaling measures the parallel execution subsystem: the join-heavy
+// pipeline is run at 1, 2, 4 and 8 exchange workers and the speedup over
+// the single-worker run is reported. Speedup tracks the number of
+// available cores (GOMAXPROCS); on a single-core machine all worker
+// counts collapse to interleaved execution and the honest speedup is
+// ~1x.
+func Scaling(w io.Writer, sc Scale, rep *Report) error {
+	db := dataset.Employees(sc.Employees)
+	plan := scalingPlan()
+	tw := NewTable("workers", "median (s)", "speedup", "rows")
+	var base float64
+	for _, workers := range ScalingWorkers {
+		var rows int
+		d, err := Median(sc.Runs, func() error {
+			it, err := parallel.Exec(context.Background(), db, plan, parallel.Options{Workers: workers})
+			if err != nil {
+				return err
+			}
+			defer it.Close()
+			t := engine.Materialize(it)
+			if t.Len() == 0 {
+				return fmt.Errorf("scaling: empty pipeline result")
+			}
+			rows = t.Len()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if workers == ScalingWorkers[0] {
+			base = d.Seconds()
+		}
+		speedup := base / d.Seconds()
+		tw.AddRow(fmt.Sprintf("%d", workers), FormatDuration(d),
+			fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%d", rows))
+		rep.Add("scaling", fmt.Sprintf("join-pipeline/workers=%d", workers), d,
+			map[string]float64{"speedup": speedup, "rows": float64(rows)})
+	}
+	_, err := tw.WriteTo(w)
+	return err
+}

@@ -15,10 +15,12 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 
 	"snapk/internal/algebra"
 	"snapk/internal/engine"
+	"snapk/internal/engine/parallel"
 	"snapk/internal/tuple"
 )
 
@@ -51,6 +53,12 @@ type Options struct {
 	// engine (engine.DB.ExecStream). Kept as the ablation baseline for
 	// the pipelining study; results are multiset-identical.
 	Materialize bool
+	// Parallelism is the number of worker goroutines per exchange when
+	// the plan runs on the parallel execution subsystem
+	// (internal/engine/parallel). Values <= 1 select the sequential
+	// streaming engine. Ignored when Materialize is set. Results are
+	// multiset-identical at every worker count.
+	Parallelism int
 }
 
 // Rewrite reduces a snapshot query to a physical plan over the period
@@ -155,21 +163,38 @@ func rewr(q algebra.Query, cat algebra.Catalog, opt Options) (engine.Plan, error
 // db, returning the coalesced period-encoded result. By default the plan
 // runs on the streaming iterator engine, so Filter/Project/Union/join
 // pipelines never materialize intermediates; Options.Materialize selects
-// the operator-at-a-time executor instead.
+// the operator-at-a-time executor instead and Options.Parallelism > 1
+// the parallel exchange executor.
 func Run(db *engine.DB, q algebra.Query, opt Options) (*engine.Table, error) {
-	p, err := Rewrite(q, db, opt)
-	if err != nil {
-		return nil, err
-	}
 	if opt.Materialize {
+		p, err := Rewrite(q, db, opt)
+		if err != nil {
+			return nil, err
+		}
 		return db.Exec(p)
 	}
-	it, err := db.ExecStream(p)
+	it, err := Stream(context.Background(), db, q, opt)
 	if err != nil {
 		return nil, err
 	}
 	defer it.Close()
 	return engine.Materialize(it), nil
+}
+
+// Stream rewrites q and returns a pull-based row stream over the
+// period-encoded result, without materializing it: the streaming cursor
+// entry point behind snapk.DB.QueryRows. With Options.Parallelism > 1
+// the plan runs on the parallel exchange executor; either way ctx
+// cancellation tears the pipeline (and any fragment goroutines) down.
+// The caller must Close the returned iterator.
+func Stream(ctx context.Context, db *engine.DB, q algebra.Query, opt Options) (engine.RowIter, error) {
+	p, err := Rewrite(q, db, opt)
+	if err != nil {
+		return nil, err
+	}
+	// The parallel executor also serves Parallelism <= 1: it degenerates
+	// to the sequential streaming engine wrapped with ctx cancellation.
+	return parallel.Exec(ctx, db, p, parallel.Options{Workers: max(opt.Parallelism, 1)})
 }
 
 // OutSchema returns the data schema of the result of q on db, mirroring

@@ -10,6 +10,7 @@ import (
 	"snapk/internal/engine"
 	"snapk/internal/rewrite"
 	"snapk/internal/sqlfe"
+	"snapk/internal/tuple"
 )
 
 // Approach selects how a snapshot query is evaluated. The default, Seq,
@@ -126,15 +127,28 @@ func rowLess(a, b Row) bool {
 		if i >= len(b.Values) {
 			return false
 		}
-		av, bv := formatValue(a.Values[i]), formatValue(b.Values[i])
-		if av != bv {
-			return av < bv
+		if cmp := compareAny(a.Values[i], b.Values[i]); cmp != 0 {
+			return cmp < 0
 		}
 	}
 	if a.Begin != b.Begin {
 		return a.Begin < b.Begin
 	}
 	return a.End < b.End
+}
+
+// compareAny orders result values by type, matching tuple.Compare: NULL
+// first, then numerics compared numerically across int64/float64 (so 9
+// sorts before 10 — not lexicographically), then strings, then bools.
+func compareAny(a, b any) int {
+	av, errA := toValue(a)
+	bv, errB := toValue(b)
+	if errA != nil || errB != nil {
+		// Unknown value types cannot come from the engine; fall back to a
+		// stable display-order comparison rather than panicking.
+		return strings.Compare(formatValue(a), formatValue(b))
+	}
+	return tuple.Compare(av, bv)
 }
 
 func formatValue(v any) string {
@@ -182,7 +196,7 @@ func (db *DB) evalAlgebra(q algebra.Query, ap Approach) (*Result, error) {
 	var err error
 	switch ap {
 	case Seq:
-		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeOptimized})
+		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeOptimized, Parallelism: db.parallelism})
 	case SeqNaive:
 		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeNaive})
 	case SeqMaterialized:

@@ -1,0 +1,179 @@
+package snapk
+
+import (
+	"context"
+	"fmt"
+
+	"snapk/internal/engine"
+	"snapk/internal/rewrite"
+	"snapk/internal/sqlfe"
+	"snapk/internal/tuple"
+)
+
+// Rows is a streaming cursor over a snapshot query result: the
+// database/sql-style Next/Scan/Close triple. Unlike Query, which hands
+// back a fully materialized Result, a Rows consumes the rewritten plan's
+// pull-based pipeline row by row, so huge results can be processed in
+// constant client memory. Canceling the context passed to QueryRows
+// stops the stream (Next returns false and Err reports the cause) and
+// tears down any parallel fragment goroutines.
+//
+// A Rows is not safe for concurrent use. Always Close it; Close is
+// idempotent.
+type Rows struct {
+	ctx    context.Context
+	it     engine.RowIter
+	cols   []string
+	cur    tuple.Tuple
+	err    error
+	closed bool
+	done   bool
+}
+
+// QueryRows evaluates a snapshot SQL query under the Seq approach and
+// returns a streaming cursor over the period-encoded result. The
+// statement may optionally be wrapped in SEQ VT ( ... ). The query runs
+// with the database's configured parallelism (SetParallelism).
+func (db *DB) QueryRows(ctx context.Context, sql string) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q, err := sqlfe.ParseAndTranslate(sql, db.eng)
+	if err != nil {
+		return nil, err
+	}
+	it, err := rewrite.Stream(ctx, db.eng, q, rewrite.Options{
+		Mode:        rewrite.ModeOptimized,
+		Parallelism: db.parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sch := it.Schema()
+	return &Rows{
+		ctx:  ctx,
+		it:   it,
+		cols: append([]string{}, sch.Cols[:sch.Arity()-2]...),
+	}, nil
+}
+
+// Columns returns the data column names of the result (the validity
+// period is exposed separately through Period).
+func (r *Rows) Columns() []string { return append([]string{}, r.cols...) }
+
+// Next advances to the next result row, returning false when the stream
+// is exhausted, canceled or closed. After Next returns false, check Err.
+func (r *Rows) Next() bool {
+	if r.closed || r.done {
+		return false
+	}
+	row, ok := r.it.Next()
+	if !ok {
+		r.done = true
+		r.cur = nil
+		// Distinguish a natural end of stream from a canceled pipeline at
+		// the moment the stream ends, so a cancel issued after full
+		// consumption does not retroactively become an error.
+		r.err = r.ctx.Err()
+		return false
+	}
+	r.cur = row
+	return true
+}
+
+// Err returns the error that ended iteration early — currently only
+// context cancellation — or nil after a natural end of stream.
+func (r *Rows) Err() error {
+	return r.err
+}
+
+// Period returns the validity interval [begin, end) of the current row,
+// or zeros when called without a successful Next.
+func (r *Rows) Period() (begin, end int64) {
+	if r.cur == nil {
+		return 0, 0
+	}
+	n := len(r.cur)
+	return r.cur[n-2].AsInt(), r.cur[n-1].AsInt()
+}
+
+// Values returns the data column values of the current row as Go values
+// (int64, float64, string, bool or nil), or nil when called without a
+// successful Next.
+func (r *Rows) Values() []any {
+	if r.cur == nil {
+		return nil
+	}
+	out := make([]any, len(r.cols))
+	for i := range r.cols {
+		out[i] = fromValue(r.cur[i])
+	}
+	return out
+}
+
+// Scan copies the data columns of the current row into dest, which must
+// contain one pointer per column: *int64, *float64, *string, *bool or
+// *any. NULL scans only into *any (as nil); numeric widening from BIGINT
+// into *float64 is supported. It must only be called after a successful
+// Next.
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("snapk: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cols) {
+		return fmt.Errorf("snapk: Scan expects %d destinations, got %d", len(r.cols), len(dest))
+	}
+	for i, d := range dest {
+		v := r.cur[i]
+		if err := scanValue(v, d); err != nil {
+			return fmt.Errorf("snapk: column %s: %w", r.cols[i], err)
+		}
+	}
+	return nil
+}
+
+func scanValue(v tuple.Value, dest any) error {
+	if p, ok := dest.(*any); ok {
+		*p = fromValue(v)
+		return nil
+	}
+	if v.IsNull() {
+		return fmt.Errorf("cannot scan NULL into %T (use *any)", dest)
+	}
+	switch p := dest.(type) {
+	case *int64:
+		if v.Kind() != tuple.KindInt {
+			return fmt.Errorf("cannot scan %s into *int64", v.Kind())
+		}
+		*p = v.AsInt()
+	case *float64:
+		if v.Kind() != tuple.KindFloat && v.Kind() != tuple.KindInt {
+			return fmt.Errorf("cannot scan %s into *float64", v.Kind())
+		}
+		*p = v.AsFloat()
+	case *string:
+		if v.Kind() != tuple.KindString {
+			return fmt.Errorf("cannot scan %s into *string", v.Kind())
+		}
+		*p = v.AsString()
+	case *bool:
+		if v.Kind() != tuple.KindBool {
+			return fmt.Errorf("cannot scan %s into *bool", v.Kind())
+		}
+		*p = v.AsBool()
+	default:
+		return fmt.Errorf("unsupported Scan destination %T", dest)
+	}
+	return nil
+}
+
+// Close releases the cursor and tears down the underlying pipeline,
+// including any parallel fragment goroutines. It is idempotent.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.it.Close()
+	return nil
+}

@@ -1,0 +1,178 @@
+package snapk_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	snapk "snapk"
+)
+
+// The cursor must stream the same rows Query materializes, and expose
+// them through Columns/Scan/Values/Period.
+func TestQueryRowsMatchesQuery(t *testing.T) {
+	db := factoryDB(t)
+	const sql = `SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')`
+	want, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryRows(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) != 1 || cols[0] != "cnt" {
+		t.Fatalf("Columns = %v", cols)
+	}
+	type key struct {
+		cnt        int64
+		begin, end int64
+	}
+	got := map[key]int{}
+	n := 0
+	for rows.Next() {
+		var cnt int64
+		if err := rows.Scan(&cnt); err != nil {
+			t.Fatal(err)
+		}
+		b, e := rows.Period()
+		got[key{cnt, b, e}]++
+		if v := rows.Values(); len(v) != 1 || v[0].(int64) != cnt {
+			t.Fatalf("Values = %v, want [%d]", v, cnt)
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != want.Len() {
+		t.Fatalf("cursor yielded %d rows, Query %d", n, want.Len())
+	}
+	for _, r := range want.Rows {
+		k := key{r.Values[0].(int64), r.Begin, r.End}
+		if got[k] == 0 {
+			t.Fatalf("cursor missing row %v", k)
+		}
+		got[k]--
+	}
+}
+
+// Parallel evaluation through the public API must agree with sequential
+// on both the materialized and the cursor path.
+func TestQueryRowsParallelAgrees(t *testing.T) {
+	db := factoryDB(t)
+	const sql = `SEQ VT (
+		SELECT skill FROM assign
+		EXCEPT ALL
+		SELECT skill FROM works
+	)`
+	seq, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := db.SetParallelism(4).Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("parallel result differs:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+	rows, err := db.QueryRows(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if n != seq.Len() {
+		t.Fatalf("parallel cursor yielded %d rows, want %d", n, seq.Len())
+	}
+}
+
+// Scan type checking: mismatches and NULLs must error with the column
+// name; *any accepts everything.
+func TestRowsScanTypes(t *testing.T) {
+	db := snapk.New(0, 10)
+	tbl, err := db.CreateTable("t", "s", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(0, 5, "hello", nil); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryRows(context.Background(), `SELECT s, n FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatal("no rows")
+	}
+	var s string
+	var n any
+	if err := rows.Scan(&s, &n); err != nil {
+		t.Fatal(err)
+	}
+	if s != "hello" || n != nil {
+		t.Fatalf("scanned (%q, %v)", s, n)
+	}
+	var i int64
+	if err := rows.Scan(&i, &n); err == nil || !strings.Contains(err.Error(), "column s") {
+		t.Fatalf("type mismatch error = %v", err)
+	}
+	if err := rows.Scan(&s, &i); err == nil || !strings.Contains(err.Error(), "NULL") {
+		t.Fatalf("NULL scan error = %v", err)
+	}
+	if err := rows.Scan(&s); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+}
+
+// Canceling the context mid-iteration must end the stream and surface
+// through Err; Close stays idempotent.
+func TestQueryRowsCancellation(t *testing.T) {
+	db := snapk.New(0, 1000)
+	tbl, err := db.CreateTable("t", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 500; i++ {
+		if err := tbl.Insert(i%900, i%900+10, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := db.SetParallelism(4).QueryRows(ctx, `SELECT x FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("no first row")
+	}
+	cancel()
+	for rows.Next() { // drains whatever was already buffered, then stops
+	}
+	if rows.Err() == nil {
+		t.Fatal("Err must report the cancellation")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Next() {
+		t.Fatal("Next after Close must be false")
+	}
+}
+
+// QueryRows on bad SQL must fail up front, not at iteration time.
+func TestQueryRowsParseError(t *testing.T) {
+	db := factoryDB(t)
+	if _, err := db.QueryRows(context.Background(), `THIS IS NOT SQL`); err == nil {
+		t.Fatal("parse error expected")
+	}
+}

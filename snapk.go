@@ -47,6 +47,9 @@ import (
 // a finite integer time domain [Min, Max).
 type DB struct {
 	eng *engine.DB
+	// parallelism is the worker count used by Seq query evaluation and
+	// QueryRows; <= 1 means sequential.
+	parallelism int
 }
 
 // New returns an empty database over the time domain [minTime, maxTime).
@@ -55,6 +58,16 @@ type DB struct {
 // maxTime.
 func New(minTime, maxTime int64) *DB {
 	return &DB{eng: engine.NewDB(interval.NewDomain(minTime, maxTime))}
+}
+
+// SetParallelism sets the number of worker goroutines per exchange used
+// by Seq query evaluation (Query, QueryWith and QueryRows): n > 1 runs
+// rewritten plans on the parallel execution subsystem, n <= 1 (the
+// default) on the sequential streaming engine. Results are
+// multiset-identical at every setting. It returns db for chaining.
+func (db *DB) SetParallelism(n int) *DB {
+	db.parallelism = n
+	return db
 }
 
 // MinTime returns the inclusive lower bound of the time domain.

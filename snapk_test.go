@@ -196,3 +196,62 @@ func TestApproachString(t *testing.T) {
 		}
 	}
 }
+
+// Result.String must sort numeric columns numerically: 9 before 10, not
+// the lexicographic "10" < "9" the old formatValue-based comparison
+// produced.
+func TestResultSortsNumericallyNotLexicographically(t *testing.T) {
+	db := snapk.New(0, 100)
+	tbl, err := db.CreateTable("t", "n", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{10, 9, 100, 2} {
+		if err := tbl.Insert(0, 10, n, float64(n)/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(`SELECT n, f FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	order := []string{"2 ", "9 ", "10 ", "100 "}
+	last := -1
+	for _, frag := range order {
+		i := strings.Index(out, "\n"+frag)
+		if i < 0 {
+			t.Fatalf("row starting with %q missing:\n%s", frag, out)
+		}
+		if i < last {
+			t.Fatalf("row %q out of numeric order:\n%s", frag, out)
+		}
+		last = i
+	}
+	// Mixed int/float and NULL ordering must not panic and puts NULL first.
+	mixed, err := db.CreateTable("m", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(e error) {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	must(mixed.Insert(0, 5, 2))
+	must(mixed.Insert(0, 5, 1.5))
+	must(mixed.Insert(0, 5, nil))
+	res, err = db.Query(`SELECT v FROM m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(res.String()), "\n")
+	if len(lines) != 5 { // header + separator + 3 rows
+		t.Fatalf("unexpected output:\n%s", res)
+	}
+	for i, want := range []string{"NULL", "1.5", "2"} {
+		if !strings.HasPrefix(lines[2+i], want) {
+			t.Fatalf("row %d = %q, want prefix %q\n%s", i, lines[2+i], want, res)
+		}
+	}
+}
