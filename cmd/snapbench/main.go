@@ -10,6 +10,7 @@
 //	snapbench -exp table3tpc  Table 3 (TPC-BiH): Seq vs Nat at two scales
 //	snapbench -exp ablation   §9 ablations (E7, E8, E9)
 //	snapbench -exp scaling    parallel exchange executor speedup at 1/2/4/8 workers
+//	snapbench -exp sweep      streaming vs materializing vs partitioned sweep operators
 //	snapbench -exp all        everything above
 //
 // -quick shrinks datasets for a fast smoke run; -runs sets the number of
@@ -20,20 +21,37 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"snapk/internal/harness"
 )
 
-func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|all")
-	quick := flag.Bool("quick", false, "use small datasets (smoke run)")
-	runs := flag.Int("runs", 0, "repetitions per measurement (0 = scale default)")
-	jsonPath := flag.String("json", "", "write per-experiment medians as JSON to this path")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
+// config is the parsed command line of one snapbench invocation.
+type config struct {
+	Exp      string
+	Scale    harness.Scale
+	JSONPath string
+}
+
+// parseFlags parses the command line into a config. It is separated
+// from run so tests can assert flag handling without executing
+// experiments. Flag diagnostics and -help usage go to out.
+func parseFlags(args []string, out io.Writer) (config, error) {
+	fs := flag.NewFlagSet("snapbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|all")
+	quick := fs.Bool("quick", false, "use small datasets (smoke run)")
+	runs := fs.Int("runs", 0, "repetitions per measurement (0 = scale default)")
+	jsonPath := fs.String("json", "", "write per-experiment medians as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
 	sc := harness.Full
 	if *quick {
 		sc = harness.Quick
@@ -41,44 +59,66 @@ func main() {
 	if *runs > 0 {
 		sc.Runs = *runs
 	}
-	rep := harness.NewReport(sc)
+	return config{Exp: *exp, Scale: sc, JSONPath: *jsonPath}, nil
+}
 
-	type experiment struct {
-		name string
-		run  func() error
+// experiment is one named entry of the experiment registry.
+type experiment struct {
+	Name string
+	Run  func() error
+}
+
+// experiments returns the experiment registry in execution order; every
+// experiment writes its tables to w and its medians into rep.
+func experiments(w io.Writer, sc harness.Scale, rep *harness.Report) []experiment {
+	return []experiment{
+		{"fig1", func() error { return harness.Fig1(w) }},
+		{"table1", func() error { return harness.Table1(w) }},
+		{"fig5", func() error { return harness.Fig5(w, sc, rep) }},
+		{"table2", func() error { return harness.Table2(w, sc) }},
+		{"table3emp", func() error { return harness.Table3Employees(w, sc, rep) }},
+		{"table3tpc", func() error { return harness.Table3TPC(w, sc, rep) }},
+		{"ablation", func() error { return harness.Ablations(w, sc, rep) }},
+		{"scaling", func() error { return harness.Scaling(w, sc, rep) }},
+		{"sweep", func() error { return harness.Sweep(w, sc, rep) }},
 	}
-	all := []experiment{
-		{"fig1", func() error { return harness.Fig1(os.Stdout) }},
-		{"table1", func() error { return harness.Table1(os.Stdout) }},
-		{"fig5", func() error { return harness.Fig5(os.Stdout, sc, rep) }},
-		{"table2", func() error { return harness.Table2(os.Stdout, sc) }},
-		{"table3emp", func() error { return harness.Table3Employees(os.Stdout, sc, rep) }},
-		{"table3tpc", func() error { return harness.Table3TPC(os.Stdout, sc, rep) }},
-		{"ablation", func() error { return harness.Ablations(os.Stdout, sc, rep) }},
-		{"scaling", func() error { return harness.Scaling(os.Stdout, sc, rep) }},
+}
+
+// run executes the selected experiments, returning the process exit
+// code. All output goes through the given writers, which is what makes
+// the command testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0 // the flag package already printed the usage text
 	}
+	if err != nil {
+		return 2 // diagnostics already written by the flag package
+	}
+	rep := harness.NewReport(cfg.Scale)
 	ran := false
-	for _, e := range all {
-		if *exp != "all" && *exp != e.name {
+	for _, e := range experiments(stdout, cfg.Scale, rep) {
+		if cfg.Exp != "all" && cfg.Exp != e.Name {
 			continue
 		}
 		ran = true
-		fmt.Printf("==== %s (scale: %s) ====\n", e.name, sc.Name)
-		if err := e.run(); err != nil {
-			fmt.Fprintf(os.Stderr, "snapbench: %s: %v\n", e.name, err)
-			os.Exit(1)
+		fmt.Fprintf(stdout, "==== %s (scale: %s) ====\n", e.Name, cfg.Scale.Name)
+		if err := e.Run(); err != nil {
+			fmt.Fprintf(stderr, "snapbench: %s: %v\n", e.Name, err)
+			return 1
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "snapbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "snapbench: unknown experiment %q\n", cfg.Exp)
+		return 2
 	}
-	if *jsonPath != "" {
-		if err := rep.WriteJSON(*jsonPath); err != nil {
-			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+	if cfg.JSONPath != "" {
+		if err := rep.WriteJSON(cfg.JSONPath); err != nil {
+			fmt.Fprintf(stderr, "snapbench: writing %s: %v\n", cfg.JSONPath, err)
+			return 1
 		}
-		fmt.Printf("wrote %d metrics to %s\n", len(rep.Metrics), *jsonPath)
+		fmt.Fprintf(stdout, "wrote %d metrics to %s\n", len(rep.Metrics), cfg.JSONPath)
 	}
+	return 0
 }

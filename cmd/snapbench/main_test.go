@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snapk/internal/harness"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Exp != "all" || cfg.Scale.Name != "full" || cfg.JSONPath != "" {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestParseFlagsQuickAndRuns(t *testing.T) {
+	cfg, err := parseFlags([]string{"-quick", "-runs", "7", "-exp", "sweep"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scale.Name != "quick" || cfg.Scale.Runs != 7 || cfg.Exp != "sweep" {
+		t.Fatalf("flags not applied: %+v", cfg)
+	}
+}
+
+// -help must print the usage text and exit 0.
+func TestRunHelpPrintsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h: exit %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "-exp") || !strings.Contains(errb.String(), "-json") {
+		t.Fatalf("usage text incomplete:\n%s", errb.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "nope", "-quick"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown experiment: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("missing diagnostic: %s", errb.String())
+	}
+}
+
+func TestExperimentRegistryCoversDocumentedIDs(t *testing.T) {
+	var out bytes.Buffer
+	exps := experiments(&out, harness.Quick, nil)
+	ids := make(map[string]bool)
+	for _, e := range exps {
+		ids[e.Name] = true
+	}
+	for _, want := range []string{"fig1", "table1", "fig5", "table2", "table3emp", "table3tpc", "ablation", "scaling", "sweep"} {
+		if !ids[want] {
+			t.Fatalf("experiment %q missing from registry", want)
+		}
+	}
+}
+
+// The -json output is the machine-readable contract downstream bench
+// tooling parses; pin its schema on a real sweep run.
+func TestRunSweepJSONSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	sc := harness.Quick
+	sc.Fig5Sizes = []int{200} // keep the test fast
+	sc.Runs = 1
+	rep := harness.NewReport(sc)
+	var out bytes.Buffer
+	if err := harness.Sweep(&out, sc, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got harness.Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if got.Scale != "quick" || got.Workers < 2 {
+		t.Fatalf("report header wrong: %+v", got)
+	}
+	if len(got.Metrics) == 0 {
+		t.Fatal("no metrics recorded")
+	}
+	names := make(map[string]bool)
+	for _, m := range got.Metrics {
+		if m.Experiment != "sweep" {
+			t.Fatalf("metric experiment = %q, want sweep", m.Experiment)
+		}
+		if m.Name == "" || m.Seconds < 0 {
+			t.Fatalf("malformed metric: %+v", m)
+		}
+		if m.Extra["rows"] <= 0 {
+			t.Fatalf("sweep metrics must carry output cardinality: %+v", m)
+		}
+		names[m.Name] = true
+	}
+	for _, want := range []string{
+		"coalesce-blocking/sorted/rows=200",
+		"coalesce-streaming/sorted/rows=200",
+		"agg-streaming/sorted/rows=200",
+	} {
+		if !names[want] {
+			t.Fatalf("metric %q missing; got %v", want, names)
+		}
+	}
+}
+
+// An end-to-end quick run of the fig1 experiment through run(),
+// asserting exit code, stdout banner, and JSON side effect.
+func TestRunFig1WithJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "fig1", "-quick", "-json", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "==== fig1 (scale: quick) ====") {
+		t.Fatalf("missing banner:\n%s", out.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("-json file not written: %v", err)
+	}
+}

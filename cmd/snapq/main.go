@@ -8,13 +8,16 @@
 //	snapq -data employees -query diff-2 -approach nat-ip   # observe the BD bug
 //	snapq -data factory -explain -sql "SEQ VT (SELECT count(*) AS cnt FROM works)"
 //	snapq -data employees -query join-1 -approach seq-par  # parallel exchange executor
+//	snapq -data employees -query join-1 -approach seq-stream  # forced streaming sweeps
 //	snapq -data employees -query join-1 -stream -limit 0   # stream rows as they arrive
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,131 +32,179 @@ import (
 	"snapk/internal/workload"
 )
 
-func main() {
-	data := flag.String("data", "factory", "dataset: factory|employees|tpcbih|csv")
-	scale := flag.Float64("scale", 1, "dataset scale multiplier")
-	load := flag.String("load", "", "with -data csv: comma-separated name=path.csv table sources")
-	domain := flag.String("domain", "0,1000000", "with -data csv: time domain min,max")
-	sql := flag.String("sql", "", "snapshot SQL to run (SEQ VT optional)")
-	queryID := flag.String("query", "", "run a named workload query (join-1..diff-2, Q1..Q19)")
-	approach := flag.String("approach", "seq", "seq|seq-naive|seq-mat|seq-par|nat-ip|nat-align")
-	limit := flag.Int("limit", 50, "maximum rows to print (0 = all)")
-	explain := flag.Bool("explain", false, "print the rewritten plan instead of executing")
-	stream := flag.Bool("stream", false, "print rows as the pipeline produces them instead of materializing and sorting (seq approaches only)")
-	out := flag.String("out", "", "write the result as CSV to this file instead of printing")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
+// config is the parsed command line of one snapq invocation.
+type config struct {
+	Data     string
+	Scale    float64
+	Load     string
+	Domain   string
+	SQL      string
+	QueryID  string
+	Approach string
+	Limit    int
+	Explain  bool
+	Stream   bool
+	Out      string
+}
+
+// parseFlags parses the command line into a config; separated from run
+// so tests can assert flag handling in isolation. Flag diagnostics and
+// -help usage go to out.
+func parseFlags(args []string, out io.Writer) (config, error) {
+	fs := flag.NewFlagSet("snapq", flag.ContinueOnError)
+	fs.SetOutput(out)
+	cfg := config{}
+	fs.StringVar(&cfg.Data, "data", "factory", "dataset: factory|employees|tpcbih|csv")
+	fs.Float64Var(&cfg.Scale, "scale", 1, "dataset scale multiplier")
+	fs.StringVar(&cfg.Load, "load", "", "with -data csv: comma-separated name=path.csv table sources")
+	fs.StringVar(&cfg.Domain, "domain", "0,1000000", "with -data csv: time domain min,max")
+	fs.StringVar(&cfg.SQL, "sql", "", "snapshot SQL to run (SEQ VT optional)")
+	fs.StringVar(&cfg.QueryID, "query", "", "run a named workload query (join-1..diff-2, Q1..Q19)")
+	fs.StringVar(&cfg.Approach, "approach", "seq", "seq|seq-naive|seq-mat|seq-par|seq-stream|nat-ip|nat-align")
+	fs.IntVar(&cfg.Limit, "limit", 50, "maximum rows to print (0 = all)")
+	fs.BoolVar(&cfg.Explain, "explain", false, "print the rewritten plan instead of executing")
+	fs.BoolVar(&cfg.Stream, "stream", false, "print rows as the pipeline produces them instead of materializing and sorting (seq approaches only)")
+	fs.StringVar(&cfg.Out, "out", "", "write the result as CSV to this file instead of printing")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	return cfg, nil
+}
+
+// run executes one query per the config, writing results to stdout and
+// diagnostics to stderr, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0 // the flag package already printed the usage text
+	}
+	if err != nil {
+		return 2 // diagnostics already written by the flag package
+	}
+	if err := runQuery(cfg, stdout); err != nil {
+		fmt.Fprintf(stderr, "snapq: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runQuery is the flag-free core of the command.
+func runQuery(cfg config, stdout io.Writer) error {
 	var db *engine.DB
 	var defaultWorkload []workload.Query
-	if *data == "csv" {
-		db = loadCSVTables(*load, *domain)
+	var err error
+	if cfg.Data == "csv" {
+		db, err = loadCSVTables(cfg.Load, cfg.Domain)
 	} else {
-		db, defaultWorkload = loadDataset(*data, *scale)
+		db, defaultWorkload, err = loadDataset(cfg.Data, cfg.Scale)
+	}
+	if err != nil {
+		return err
 	}
 
 	var q algebra.Query
-	var err error
 	switch {
-	case *sql != "":
-		q, err = sqlfe.ParseAndTranslate(*sql, db)
-	case *queryID != "":
-		wq, ok := workload.ByID(defaultWorkload, *queryID)
+	case cfg.SQL != "":
+		q, err = sqlfe.ParseAndTranslate(cfg.SQL, db)
+	case cfg.QueryID != "":
+		wq, ok := workload.ByID(defaultWorkload, cfg.QueryID)
 		if !ok {
-			fail(fmt.Errorf("unknown workload query %q for dataset %s", *queryID, *data))
+			return fmt.Errorf("unknown workload query %q for dataset %s", cfg.QueryID, cfg.Data)
 		}
-		fmt.Printf("-- %s: %s\n", wq.ID, wq.Description)
+		fmt.Fprintf(stdout, "-- %s: %s\n", wq.ID, wq.Description)
 		q, err = wq.Translate(db)
 	default:
-		fail(fmt.Errorf("provide -sql or -query; see -help"))
+		return fmt.Errorf("provide -sql or -query; see -help")
 	}
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	if *explain {
+	if cfg.Explain {
 		p, err := rewrite.Rewrite(q, db, rewrite.Options{Mode: rewrite.ModeOptimized})
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println(p)
-		return
+		fmt.Fprintln(stdout, p)
+		return nil
 	}
 
-	ap, err := parseApproach(*approach)
+	ap, err := parseApproach(cfg.Approach)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	if *stream {
+	if cfg.Stream {
 		opt, err := streamOptions(ap)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		streamRows(db, q, opt, *limit)
-		return
+		return streamRows(db, q, opt, cfg.Limit, stdout)
 	}
 	res, err := harness.Run(db, q, ap)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	if *out != "" {
-		f, err := os.Create(*out)
+	if cfg.Out != "" {
+		f, err := os.Create(cfg.Out)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		if err := csvio.WriteTable(f, res); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("wrote %d rows to %s\n", res.Len(), *out)
-		return
+		fmt.Fprintf(stdout, "wrote %d rows to %s\n", res.Len(), cfg.Out)
+		return nil
 	}
-	printTable(res, *limit)
+	printTable(res, cfg.Limit, stdout)
+	return nil
 }
 
 // loadCSVTables builds a database from name=path.csv pairs.
-func loadCSVTables(load, domain string) *engine.DB {
+func loadCSVTables(load, domain string) (*engine.DB, error) {
 	var minT, maxT int64
 	if _, err := fmt.Sscanf(domain, "%d,%d", &minT, &maxT); err != nil || minT >= maxT {
-		fail(fmt.Errorf("bad -domain %q (want min,max)", domain))
+		return nil, fmt.Errorf("bad -domain %q (want min,max)", domain)
 	}
 	db := engine.NewDB(interval.NewDomain(minT, maxT))
 	if load == "" {
-		fail(fmt.Errorf("-data csv requires -load name=path[,name=path...]"))
+		return nil, fmt.Errorf("-data csv requires -load name=path[,name=path...]")
 	}
 	for _, spec := range strings.Split(load, ",") {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			fail(fmt.Errorf("bad -load entry %q (want name=path)", spec))
+			return nil, fmt.Errorf("bad -load entry %q (want name=path)", spec)
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			fail(err)
+			return nil, err
 		}
 		t, err := csvio.ReadTable(f)
 		f.Close()
 		if err != nil {
-			fail(fmt.Errorf("%s: %w", path, err))
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		db.AddTable(name, t)
 	}
-	return db
+	return db, nil
 }
 
-func loadDataset(name string, scale float64) (*engine.DB, []workload.Query) {
+func loadDataset(name string, scale float64) (*engine.DB, []workload.Query, error) {
 	switch name {
 	case "factory":
-		return harness.RunningExample(), nil
+		return harness.RunningExample(), nil, nil
 	case "employees":
 		cfg := dataset.DefaultEmployees
 		cfg.NumEmployees = int(float64(cfg.NumEmployees) * scale)
-		return dataset.Employees(cfg), workload.Employees()
+		return dataset.Employees(cfg), workload.Employees(), nil
 	case "tpcbih":
 		cfg := dataset.DefaultTPCBiH
 		cfg.ScaleFactor *= scale
-		return dataset.TPCBiH(cfg), workload.TPCH()
+		return dataset.TPCBiH(cfg), workload.TPCH(), nil
 	default:
-		fail(fmt.Errorf("unknown dataset %q", name))
-		return nil, nil
+		return nil, nil, fmt.Errorf("unknown dataset %q", name)
 	}
 }
 
@@ -171,6 +222,8 @@ func parseApproach(s string) (harness.Approach, error) {
 		return harness.SeqMat, nil
 	case "seq-par":
 		return harness.SeqPar, nil
+	case "seq-stream":
+		return harness.SeqStream, nil
 	default:
 		return 0, fmt.Errorf("unknown approach %q", s)
 	}
@@ -186,20 +239,22 @@ func streamOptions(ap harness.Approach) (rewrite.Options, error) {
 		return rewrite.Options{Mode: rewrite.ModeNaive}, nil
 	case harness.SeqPar:
 		return rewrite.Options{Mode: rewrite.ModeOptimized, Parallelism: harness.DefaultWorkers}, nil
+	case harness.SeqStream:
+		return rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: rewrite.SweepStreaming}, nil
 	default:
-		return rewrite.Options{}, fmt.Errorf("-stream supports seq, seq-naive and seq-par, not %s", ap)
+		return rewrite.Options{}, fmt.Errorf("-stream supports seq, seq-naive, seq-par and seq-stream, not %s", ap)
 	}
 }
 
 // streamRows evaluates q through the streaming cursor path and prints
 // rows in pipeline arrival order, without materializing the result.
-func streamRows(db *engine.DB, q algebra.Query, opt rewrite.Options, limit int) {
+func streamRows(db *engine.DB, q algebra.Query, opt rewrite.Options, limit int, w io.Writer) error {
 	it, err := rewrite.Stream(context.Background(), db, q, opt)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	defer it.Close()
-	fmt.Printf("%s\n", it.Schema())
+	fmt.Fprintf(w, "%s\n", it.Schema())
 	n := 0
 	for {
 		row, ok := it.Next()
@@ -207,30 +262,26 @@ func streamRows(db *engine.DB, q algebra.Query, opt rewrite.Options, limit int) 
 			break
 		}
 		if limit > 0 && n >= limit {
-			fmt.Println("... (more rows; raise -limit)")
-			return
+			fmt.Fprintln(w, "... (more rows; raise -limit)")
+			return nil
 		}
-		fmt.Printf("%v\n", row)
+		fmt.Fprintf(w, "%v\n", row)
 		n++
 	}
-	fmt.Printf("(%d rows)\n", n)
+	fmt.Fprintf(w, "(%d rows)\n", n)
+	return nil
 }
 
-func printTable(t *engine.Table, limit int) {
+func printTable(t *engine.Table, limit int, w io.Writer) {
 	c := t.Clone()
 	c.Sort()
-	fmt.Printf("%s\n", c.Schema)
+	fmt.Fprintf(w, "%s\n", c.Schema)
 	for i, row := range c.Rows {
 		if limit > 0 && i >= limit {
-			fmt.Printf("... (%d more rows)\n", len(c.Rows)-limit)
+			fmt.Fprintf(w, "... (%d more rows)\n", len(c.Rows)-limit)
 			return
 		}
-		fmt.Printf("%v\n", row)
+		fmt.Fprintf(w, "%v\n", row)
 	}
-	fmt.Printf("(%d rows)\n", len(c.Rows))
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "snapq: %v\n", err)
-	os.Exit(1)
+	fmt.Fprintf(w, "(%d rows)\n", len(c.Rows))
 }

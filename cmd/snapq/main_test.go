@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snapk/internal/harness"
+	"snapk/internal/rewrite"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Data != "factory" || cfg.Approach != "seq" || cfg.Limit != 50 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestParseFlagsRejectsUnknown(t *testing.T) {
+	var diag bytes.Buffer
+	if _, err := parseFlags([]string{"-nonsense"}, &diag); err == nil {
+		t.Fatal("expected error for unknown flag")
+	}
+	if !strings.Contains(diag.String(), "nonsense") {
+		t.Fatalf("diagnostic missing flag name: %s", diag.String())
+	}
+}
+
+// -help must print the full usage text and exit 0, like the standard
+// flag package does (regression: the testable refactor swallowed it).
+func TestRunHelpPrintsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-help"}, &out, &errb); code != 0 {
+		t.Fatalf("-help: exit %d, want 0", code)
+	}
+	for _, flagName := range []string{"-data", "-approach", "-sql", "-stream"} {
+		if !strings.Contains(errb.String(), flagName) {
+			t.Fatalf("usage text lacks %s:\n%s", flagName, errb.String())
+		}
+	}
+}
+
+func TestParseApproach(t *testing.T) {
+	cases := map[string]harness.Approach{
+		"seq":        harness.Seq,
+		"seq-naive":  harness.SeqNaive,
+		"seq-mat":    harness.SeqMat,
+		"seq-par":    harness.SeqPar,
+		"seq-stream": harness.SeqStream,
+		"nat-ip":     harness.NatIP,
+		"nat-align":  harness.NatAlign,
+	}
+	for s, want := range cases {
+		got, err := parseApproach(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if got != want {
+			t.Fatalf("%s: got %v, want %v", s, got, want)
+		}
+	}
+	if _, err := parseApproach("bogus"); err == nil {
+		t.Fatal("expected error for unknown approach")
+	}
+}
+
+func TestStreamOptions(t *testing.T) {
+	opt, err := streamOptions(harness.SeqStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Sweep != rewrite.SweepStreaming {
+		t.Fatalf("seq-stream must force streaming sweeps, got %+v", opt)
+	}
+	if _, err := streamOptions(harness.NatIP); err == nil {
+		t.Fatal("native baselines have no streaming form; expected error")
+	}
+}
+
+// Every seq-family approach must produce the same factory-query result
+// text through the full run path.
+func TestRunFactoryQueryAcrossApproaches(t *testing.T) {
+	var want string
+	for _, ap := range []string{"seq", "seq-mat", "seq-par", "seq-stream"} {
+		var out, errb bytes.Buffer
+		code := run([]string{
+			"-data", "factory", "-approach", ap,
+			"-sql", "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')",
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", ap, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "(7 rows)") {
+			t.Fatalf("%s: unexpected output:\n%s", ap, out.String())
+		}
+		if want == "" {
+			want = out.String()
+		} else if out.String() != want {
+			t.Fatalf("%s output diverges from seq:\n%s\nvs\n%s", ap, out.String(), want)
+		}
+	}
+}
+
+func TestRunExplainPrintsPlan(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-data", "factory", "-explain",
+		"-sql", "SEQ VT (SELECT count(*) AS cnt FROM works)",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Coalesce") || !strings.Contains(out.String(), "TAgg") {
+		t.Fatalf("explain output lacks plan operators:\n%s", out.String())
+	}
+}
+
+func TestRunStreamMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-data", "factory", "-stream", "-limit", "0",
+		"-sql", "SELECT name FROM works WHERE skill = 'SP'",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "rows)") {
+		t.Fatalf("stream mode did not report a row count:\n%s", out.String())
+	}
+}
+
+func TestRunErrorsExitNonzero(t *testing.T) {
+	for _, args := range [][]string{
+		{"-data", "nope", "-sql", "SELECT * FROM works"},
+		{"-data", "factory"}, // neither -sql nor -query
+		{"-data", "factory", "-sql", "SELECT FROM"},
+		{"-data", "factory", "-approach", "bogus", "-sql", "SELECT name FROM works"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Fatalf("args %v: expected nonzero exit", args)
+		}
+		if errb.Len() == 0 {
+			t.Fatalf("args %v: expected diagnostics on stderr", args)
+		}
+	}
+}
+
+func TestRunCSVOut(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "res.csv")
+	var buf, errb bytes.Buffer
+	code := run([]string{
+		"-data", "factory", "-out", out,
+		"-sql", "SELECT name FROM works",
+	}, &buf, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "name") {
+		t.Fatalf("CSV output lacks header: %s", data)
+	}
+}

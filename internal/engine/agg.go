@@ -25,35 +25,54 @@ import (
 // Split (Def 8.3) output and hash-aggregates it — the naive plan used as
 // the ablation baseline.
 func TemporalAggregate(in *Table, groupBy []string, aggs []algebra.AggSpec, preAgg bool, dom interval.Domain) (*Table, error) {
-	data := in.DataSchema()
-	groupIdx := make([]int, len(groupBy))
+	prep, err := prepareAggregate(in.DataSchema(), groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{Schema: prep.schema}
+	if preAgg {
+		aggregateSweep(in, out, prep.groupIdx, aggs, prep.argIdx, dom)
+		return out, nil
+	}
+	aggregateNaive(in, out, prep.groupIdx, aggs, prep.argIdx, dom)
+	return out, nil
+}
+
+// aggPrep is the compiled form of an aggregation spec: resolved group
+// and argument column indices plus the output period schema. It is
+// shared by the blocking sweep, the naive split implementation and the
+// streaming aggregation iterator.
+type aggPrep struct {
+	groupIdx []int
+	argIdx   []int
+	schema   tuple.Schema
+}
+
+// prepareAggregate resolves groupBy and aggregation argument columns
+// against the input data schema.
+func prepareAggregate(data tuple.Schema, groupBy []string, aggs []algebra.AggSpec) (*aggPrep, error) {
+	p := &aggPrep{groupIdx: make([]int, len(groupBy)), argIdx: make([]int, len(aggs))}
 	for i, g := range groupBy {
 		idx := data.Index(g)
 		if idx < 0 {
 			return nil, fmt.Errorf("engine: unknown group-by column %q", g)
 		}
-		groupIdx[i] = idx
+		p.groupIdx[i] = idx
 	}
-	argIdx := make([]int, len(aggs))
 	outCols := append([]string{}, groupBy...)
 	for i, a := range aggs {
-		argIdx[i] = -1
+		p.argIdx[i] = -1
 		if a.Fn != krel.CountStar {
 			idx := data.Index(a.Arg)
 			if idx < 0 {
 				return nil, fmt.Errorf("engine: unknown aggregation column %q", a.Arg)
 			}
-			argIdx[i] = idx
+			p.argIdx[i] = idx
 		}
 		outCols = append(outCols, a.As)
 	}
-	out := NewTable(tuple.NewSchema(outCols...))
-	if preAgg {
-		aggregateSweep(in, out, groupIdx, aggs, argIdx, dom)
-		return out, nil
-	}
-	aggregateNaive(in, out, groupIdx, aggs, argIdx, dom)
-	return out, nil
+	p.schema = PeriodSchema(tuple.NewSchema(outCols...))
+	return p, nil
 }
 
 // aggregateSweep is the pre-aggregated implementation: one endpoint sweep

@@ -1,0 +1,131 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"snapk/internal/algebra"
+	"snapk/internal/engine"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/tuple"
+)
+
+// fuzzDomain is the time domain of the coalesce fuzz harness: small
+// enough that the per-time-point oracle stays cheap, large enough for
+// nontrivial overlap structure.
+var fuzzDomain = interval.NewDomain(0, 32)
+
+// decodeFuzzTable decodes 3-byte chunks of fuzz data into an interval
+// multiset over a single data column: (value, begin, span-and-
+// multiplicity). Every decoded row is valid within fuzzDomain.
+func decodeFuzzTable(data []byte) *engine.Table {
+	// Cap the decoded row count: beyond a few hundred rows the fuzzer
+	// stops finding new structure and the quadratic oracle dominates.
+	if len(data) > 300 {
+		data = data[:300]
+	}
+	tbl := engine.NewTable(tuple.NewSchema("v"))
+	for i := 0; i+2 < len(data); i += 3 {
+		v := int64(data[i] % 5)
+		var val tuple.Value = tuple.Int(v)
+		if v == 4 {
+			val = tuple.Null // NULL is an ordinary data value for coalescing
+		}
+		begin := int64(data[i+1]) % (fuzzDomain.Max - 1)
+		span := int64(data[i+2]%16) + 1
+		end := begin + span
+		if end > fuzzDomain.Max {
+			end = fuzzDomain.Max
+		}
+		mult := int64(data[i+2]%3) + 1
+		tbl.Append(tuple.Tuple{val}, interval.New(begin, end), mult)
+	}
+	return tbl
+}
+
+// timePointCounts is the naive oracle: for every (value, time point),
+// the number of rows whose interval covers the point, counting
+// duplicates.
+func timePointCounts(t *engine.Table) map[string]int {
+	counts := make(map[string]int)
+	for _, row := range t.Rows {
+		iv := t.Interval(row)
+		key := row[:1].Key()
+		for p := iv.Begin; p < iv.End; p++ {
+			counts[fmt.Sprintf("%s@%d", key, p)]++
+		}
+	}
+	return counts
+}
+
+func multisetKeys(t *engine.Table) map[string]int {
+	m := make(map[string]int)
+	for _, row := range t.Rows {
+		m[row.Key()]++
+	}
+	return m
+}
+
+func sameCounts(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzCoalesce checks the coalesce implementations against each other
+// and against the naive per-time-point oracle on arbitrary interval
+// multisets: the blocking sweep must preserve every snapshot
+// multiplicity and produce a coalesced (unique) encoding, and the
+// streaming sweep over begin-sorted input must produce the identical
+// row multiset. The streaming pre-aggregated split is cross-checked the
+// same way.
+func FuzzCoalesce(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 5})
+	f.Add([]byte{1, 3, 9, 1, 3, 9, 2, 0, 31})
+	f.Add([]byte{0, 0, 4, 0, 4, 4, 0, 8, 4})    // adjacent same-value chains
+	f.Add([]byte{3, 0, 15, 3, 5, 15, 3, 10, 2}) // overlaps within one group
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl := decodeFuzzTable(data)
+
+		blocking := engine.Coalesce(tbl, engine.CoalesceNative)
+		// Oracle: coalescing never changes any snapshot.
+		if want, got := timePointCounts(tbl), timePointCounts(blocking); !sameCounts(want, got) {
+			t.Fatalf("blocking coalesce changed snapshot multiplicities\ninput:\n%s\noutput:\n%s", tbl, blocking)
+		}
+		// Uniqueness: the output must be its own coalesced encoding.
+		if !engine.IsCoalesced(blocking, engine.CoalesceNative) {
+			t.Fatalf("blocking coalesce output is not coalesced\ninput:\n%s\noutput:\n%s", tbl, blocking)
+		}
+
+		sorted := tbl.Clone()
+		sorted.SortByEndpoints()
+		stream := engine.Materialize(engine.NewStreamCoalesceIter(engine.NewTableIter(sorted)))
+		if !sameCounts(multisetKeys(blocking), multisetKeys(stream)) {
+			t.Fatalf("streaming coalesce diverges from blocking sweep\ninput:\n%s\nblocking:\n%s\nstreaming:\n%s", tbl, blocking, stream)
+		}
+
+		// The streaming pre-aggregated split must match the blocking one
+		// row for row on the same input.
+		aggs := []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}}
+		wantAgg, err := engine.TemporalAggregate(tbl, []string{"v"}, aggs, true, fuzzDomain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := engine.NewStreamAggIter(engine.NewTableIter(sorted), []string{"v"}, aggs, fuzzDomain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAgg := engine.Materialize(it)
+		if !sameCounts(multisetKeys(wantAgg), multisetKeys(gotAgg)) {
+			t.Fatalf("streaming aggregation diverges from blocking sweep\ninput:\n%s\nblocking:\n%s\nstreaming:\n%s", tbl, wantAgg, gotAgg)
+		}
+	})
+}

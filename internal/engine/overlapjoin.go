@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"sort"
-
 	"snapk/internal/algebra"
 	"snapk/internal/tuple"
 )
@@ -41,13 +39,8 @@ func newOverlapJoinIter(l, r RowIter, joined tuple.Schema, res algebra.Compiled)
 	rRows := drainRows(r)
 	l.Close()
 	r.Close()
-	byBegin := func(rows []tuple.Tuple) func(i, j int) bool {
-		return func(i, j int) bool {
-			return rows[i][len(rows[i])-2].AsInt() < rows[j][len(rows[j])-2].AsInt()
-		}
-	}
-	sort.Slice(lRows, byBegin(lRows))
-	sort.Slice(rRows, byBegin(rRows))
+	SortRowsByEndpoints(lRows)
+	SortRowsByEndpoints(rRows)
 	return &overlapJoinIter{
 		schema: PeriodSchema(joined),
 		l:      lRows,

@@ -173,6 +173,93 @@ func (e *executor) drainInto(it engine.RowIter, ch chan<- batch) {
 	}
 }
 
+// hashPartition converts a stream — given as its physical sources, one
+// per already-running fragment — into W worker-side iterators by
+// hashing the key columns: every row of one key group lands in the
+// same partition, which is what lets each worker run an independent
+// sweep (coalesce / split-aggregate / difference) over its partition
+// with no cross-worker coordination. One distributor goroutine per
+// source hashes into the shared bounded per-partition channels, so
+// partitioned inputs are redistributed without first being serialized
+// through a merge exchange; cancellation of the execution context
+// unblocks both sides.
+func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int) []engine.RowIter {
+	schema := srcs[0].Schema()
+	chans := make([]chan batch, e.workers)
+	for i := range chans {
+		chans[i] = make(chan batch, len(srcs)+1)
+	}
+	var producers sync.WaitGroup
+	for _, src := range srcs {
+		src := src
+		producers.Add(1)
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer producers.Done()
+			defer src.Close()
+			bufs := make([]batch, e.workers)
+			for i := range bufs {
+				bufs[i] = make(batch, 0, e.morsel)
+			}
+			flush := func(i int) bool {
+				if len(bufs[i]) == 0 {
+					return true
+				}
+				select {
+				case <-e.ctx.Done():
+					return false
+				case chans[i] <- bufs[i]:
+					bufs[i] = make(batch, 0, e.morsel)
+					return true
+				}
+			}
+			var scratch []byte
+			for {
+				row, ok := src.Next()
+				if !ok {
+					break
+				}
+				scratch = row.AppendKey(scratch[:0], keyIdx)
+				i := int(keyHash(scratch) % uint32(e.workers))
+				bufs[i] = append(bufs[i], row)
+				if len(bufs[i]) == e.morsel && !flush(i) {
+					return
+				}
+			}
+			for i := range bufs {
+				if !flush(i) {
+					return
+				}
+			}
+		}()
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		producers.Wait()
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+	parts := make([]engine.RowIter, e.workers)
+	for i := range parts {
+		parts[i] = &chanIter{ctx: e.ctx, schema: schema, ch: chans[i]}
+	}
+	return parts
+}
+
+// keyHash is FNV-1a over a canonical tuple key encoding (produced
+// allocation-free by tuple.AppendKey into a reusable scratch buffer).
+func keyHash(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range key {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
 // repartition converts a sequential stream into W worker-side iterators
 // by round-robin batch distribution: a single distributor goroutine reads
 // the source and every worker pulls from the shared bounded channel —

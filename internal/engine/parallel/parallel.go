@@ -10,10 +10,15 @@
 // fragment, so an entire Filter→Probe→Project chain runs W-wide without
 // synchronization until the final merge. The hash-join build side is
 // drained once into an immutable shared table (engine.JoinBuild) that
-// all probe fragments read concurrently. Blocking operators (split-based
-// aggregation, difference, coalesce) remain sequential materialization
-// boundaries, exactly as in the sequential streaming engine; their
-// inputs are still produced in parallel.
+// all probe fragments read concurrently, built on whichever input the
+// stored-table cardinality estimates prove smaller. The sweep operators
+// (split-based aggregation, difference, coalesce) are parallelized by a
+// hash-partition exchange on their group key: value-equivalent groups
+// never straddle partitions, so each worker runs an independent
+// materializing sweep over its partition and the merged output is
+// multiset-identical to sequential execution. Only global aggregation
+// (a single group) and the endpoint sort enforcer remain sequential
+// materialization boundaries.
 //
 // Because period relations are multisets, the nondeterministic arrival
 // order at a merge exchange is semantically invisible: the result is
@@ -83,6 +88,16 @@ func (s *pstream) close() {
 // dataSchema strips the period attributes from the stream schema.
 func (s *pstream) dataSchema() tuple.Schema {
 	return tuple.Schema{Cols: s.schema.Cols[:s.schema.Arity()-2]}
+}
+
+// sources returns the physical iterators of the stream — its fragments
+// when partitioned, the single sequential iterator otherwise — for
+// exchanges that can consume either form directly.
+func (s *pstream) sources() []engine.RowIter {
+	if s.parts != nil {
+		return s.parts
+	}
+	return []engine.RowIter{s.seq}
 }
 
 // Exec evaluates p on db with opt.Workers parallel fragments and returns
@@ -233,46 +248,200 @@ func (e *executor) build(p engine.Plan) (*pstream, error) {
 		}
 		return &pstream{parts: parts, schema: parts[0].Schema()}, nil
 	case engine.DiffP:
-		l, err := e.table(n.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := e.table(n.R)
-		if err != nil {
-			return nil, err
-		}
-		out, err := engine.TemporalDiff(l, r)
-		if err != nil {
-			return nil, err
-		}
-		return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+		return e.buildDiff(n)
 	case engine.AggP:
-		in, err := e.table(n.In)
-		if err != nil {
-			return nil, err
-		}
-		out, err := engine.TemporalAggregate(in, n.GroupBy, n.Aggs, n.PreAgg, e.db.Domain())
-		if err != nil {
-			return nil, err
-		}
-		return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+		return e.buildAgg(n)
 	case engine.CoalesceP:
+		return e.buildCoalesce(n)
+	case engine.SortP:
+		// e.table materializes into a private table, so sorting in place
+		// is safe — no stored table is mutated and no copy is needed.
 		in, err := e.table(n.In)
 		if err != nil {
 			return nil, err
 		}
-		out := engine.Coalesce(in, n.Impl)
-		return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+		in.SortByEndpoints()
+		return &pstream{seq: engine.NewTableIter(in), schema: in.Schema}, nil
 	default:
 		return nil, fmt.Errorf("parallel: unknown plan node %T", p)
 	}
 }
 
+// dataIdx returns the indices of all data columns of a period schema —
+// the partitioning key of coalesce and difference, whose groups are the
+// value-equivalent rows.
+func dataIdx(schema tuple.Schema) []int {
+	idx := make([]int, schema.Arity()-2)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// buildCoalesce compiles the coalesce operator. With multiple workers
+// the input is hash-partitioned on the full data tuple and every worker
+// coalesces its partition independently — value-equivalent groups never
+// straddle partitions, so the merged output is multiset-identical to
+// the sequential sweep. Sequentially, the streaming variant runs when
+// the planner guaranteed begin-sorted input.
+func (e *executor) buildCoalesce(n engine.CoalesceP) (*pstream, error) {
+	if e.workers > 1 {
+		in, err := e.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		schema := in.schema
+		parts := e.hashPartition(in.sources(), dataIdx(schema))
+		out := make([]engine.RowIter, len(parts))
+		for i, part := range parts {
+			out[i] = newLazySweepIter(part, schema, func(t *engine.Table) *engine.Table {
+				return engine.Coalesce(t, n.Impl)
+			})
+		}
+		return &pstream{parts: out, schema: schema}, nil
+	}
+	if n.Streaming {
+		in, err := e.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		it := engine.NewStreamCoalesceIter(e.merge(in))
+		return &pstream{seq: it, schema: it.Schema()}, nil
+	}
+	in, err := e.table(n.In)
+	if err != nil {
+		return nil, err
+	}
+	out := engine.Coalesce(in, n.Impl)
+	return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+}
+
+// buildAgg compiles split-based aggregation. Grouped aggregation with
+// multiple workers hash-partitions the input on the grouping columns
+// and every worker runs an independent split/aggregate sweep — the
+// sweep never crosses group boundaries, so the merged output is
+// multiset-identical. Global aggregation has a single group and stays
+// sequential. Sequentially, the streaming pre-aggregated sweep runs
+// when the planner guaranteed begin-sorted input.
+func (e *executor) buildAgg(n engine.AggP) (*pstream, error) {
+	dom := e.db.Domain()
+	if e.workers > 1 && len(n.GroupBy) > 0 {
+		in, err := e.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		inSchema := in.schema
+		data := tuple.Schema{Cols: inSchema.Cols[:inSchema.Arity()-2]}
+		keyIdx := make([]int, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			idx := data.Index(g)
+			if idx < 0 {
+				in.close()
+				return nil, fmt.Errorf("parallel: unknown group-by column %q", g)
+			}
+			keyIdx[i] = idx
+		}
+		// Resolve the output schema (and surface column errors) before
+		// spawning fragments, by aggregating an empty input once.
+		empty, err := engine.TemporalAggregate(&engine.Table{Schema: inSchema}, n.GroupBy, n.Aggs, n.PreAgg, dom)
+		if err != nil {
+			in.close()
+			return nil, err
+		}
+		parts := e.hashPartition(in.sources(), keyIdx)
+		out := make([]engine.RowIter, len(parts))
+		for i, part := range parts {
+			out[i] = newLazySweepIter(part, empty.Schema, func(t *engine.Table) *engine.Table {
+				res, err := engine.TemporalAggregate(t, n.GroupBy, n.Aggs, n.PreAgg, dom)
+				if err != nil {
+					// Unreachable: errors are schema-determined and the
+					// schema was validated above.
+					return &engine.Table{Schema: empty.Schema}
+				}
+				return res
+			})
+		}
+		return &pstream{parts: out, schema: empty.Schema}, nil
+	}
+	// The streaming sweep requires the sequential engine's order
+	// guarantee: with multiple workers a merge exchange interleaves
+	// fragments and destroys the begin order, so global aggregation
+	// (unpartitionable) falls back to the materializing sweep there.
+	if e.workers <= 1 && n.Streaming && n.PreAgg {
+		in, err := e.build(n.In)
+		if err != nil {
+			return nil, err
+		}
+		it, err := engine.NewStreamAggIter(e.merge(in), n.GroupBy, n.Aggs, dom)
+		if err != nil {
+			return nil, err
+		}
+		return &pstream{seq: it, schema: it.Schema()}, nil
+	}
+	in, err := e.table(n.In)
+	if err != nil {
+		return nil, err
+	}
+	out, err := engine.TemporalAggregate(in, n.GroupBy, n.Aggs, n.PreAgg, dom)
+	if err != nil {
+		return nil, err
+	}
+	return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+}
+
+// buildDiff compiles snapshot-reducible difference. With multiple
+// workers both inputs are hash-partitioned on the full data tuple with
+// the same hash, so value-equivalent groups of both sides meet in the
+// same worker and each worker computes an independent fused diff sweep.
+func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
+	if e.workers > 1 {
+		l, err := e.build(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.build(n.R)
+		if err != nil {
+			l.close()
+			return nil, err
+		}
+		if l.schema.Arity() != r.schema.Arity() {
+			l.close()
+			r.close()
+			return nil, fmt.Errorf("parallel: difference-incompatible arities %d and %d", l.schema.Arity(), r.schema.Arity())
+		}
+		schema := l.schema
+		keyIdx := dataIdx(schema)
+		lp := e.hashPartition(l.sources(), keyIdx)
+		rp := e.hashPartition(r.sources(), keyIdx)
+		out := make([]engine.RowIter, len(lp))
+		for i := range lp {
+			out[i] = newLazyDiffIter(lp[i], rp[i], schema)
+		}
+		return &pstream{parts: out, schema: schema}, nil
+	}
+	l, err := e.table(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.table(n.R)
+	if err != nil {
+		return nil, err
+	}
+	out, err := engine.TemporalDiff(l, r)
+	if err != nil {
+		return nil, err
+	}
+	return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+}
+
 // buildJoin compiles the temporal join: the build side is drained once
 // into a shared immutable hash table, then every probe fragment streams
-// its partition of the left input against it. Joins without an equality
-// conjunct fall back to the sequential endpoint-sorted overlap sweep
-// (which drains both inputs anyway), still fed by parallel children.
+// its partition of the other input against it. Size-based build-side
+// selection builds on the left input when stored-table cardinality
+// estimates prove it smaller; the default build side stays the right
+// input. Joins without an equality conjunct fall back to the sequential
+// endpoint-sorted overlap sweep (which drains both inputs anyway),
+// still fed by parallel children.
 func (e *executor) buildJoin(n engine.JoinP) (*pstream, error) {
 	l, err := e.build(n.L)
 	if err != nil {
@@ -303,18 +472,26 @@ func (e *executor) buildJoin(n engine.JoinP) (*pstream, error) {
 	// Drain the build side eagerly (as the sequential engine does); a
 	// canceled context surfaces as an error rather than a silently
 	// truncated hash table.
-	jb := prep.Build(e.merge(r))
+	var jb *engine.JoinBuild
+	var probe *pstream
+	if engine.BuildLeftSmaller(e.db.EstimateRows(n.L), e.db.EstimateRows(n.R)) {
+		jb = prep.BuildLeft(e.merge(l))
+		probe = r
+	} else {
+		jb = prep.Build(e.merge(r))
+		probe = l
+	}
 	if err := e.ctx.Err(); err != nil {
-		l.close()
+		probe.close()
 		return nil, err
 	}
 	if e.workers <= 1 {
-		it := jb.Probe(e.merge(l))
+		it := jb.Probe(e.merge(probe))
 		return &pstream{seq: it, schema: it.Schema()}, nil
 	}
-	lp := e.partition(l)
-	parts := make([]engine.RowIter, len(lp))
-	for i, part := range lp {
+	pp := e.partition(probe)
+	parts := make([]engine.RowIter, len(pp))
+	for i, part := range pp {
 		parts[i] = jb.Probe(part)
 	}
 	return &pstream{parts: parts, schema: prep.Schema()}, nil

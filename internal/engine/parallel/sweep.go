@@ -1,0 +1,70 @@
+package parallel
+
+import (
+	"snapk/internal/engine"
+	"snapk/internal/tuple"
+)
+
+// lazySweepIter runs one blocking sweep operator over one hash
+// partition, inside the worker fragment that drains it: the partition
+// is materialized on first Next (concurrently across workers, since
+// every fragment runs in its own merge-producer goroutine), the sweep
+// runs on it, and the result streams out. This is what turns the
+// blocking sweeps into W-wide parallel operators: the partitioning key
+// is the sweep's group key, so the per-partition sweeps are independent
+// and their merged outputs form exactly the sequential result multiset.
+type lazySweepIter struct {
+	in     engine.RowIter
+	schema tuple.Schema
+	fn     func(*engine.Table) *engine.Table
+	out    engine.RowIter
+}
+
+// newLazySweepIter wraps one partition with a sweep function; schema is
+// the sweep's output schema.
+func newLazySweepIter(in engine.RowIter, schema tuple.Schema, fn func(*engine.Table) *engine.Table) engine.RowIter {
+	return &lazySweepIter{in: in, schema: schema, fn: fn}
+}
+
+func (it *lazySweepIter) Schema() tuple.Schema { return it.schema }
+
+func (it *lazySweepIter) Next() (tuple.Tuple, bool) {
+	if it.out == nil {
+		it.out = engine.NewTableIter(it.fn(engine.Materialize(it.in)))
+	}
+	return it.out.Next()
+}
+
+func (it *lazySweepIter) Close() { it.in.Close() }
+
+// lazyDiffIter is the two-input form of lazySweepIter for the fused
+// difference sweep: both sides of one hash partition are materialized
+// on first Next and diffed.
+type lazyDiffIter struct {
+	l, r   engine.RowIter
+	schema tuple.Schema
+	out    engine.RowIter
+}
+
+func newLazyDiffIter(l, r engine.RowIter, schema tuple.Schema) engine.RowIter {
+	return &lazyDiffIter{l: l, r: r, schema: schema}
+}
+
+func (it *lazyDiffIter) Schema() tuple.Schema { return it.schema }
+
+func (it *lazyDiffIter) Next() (tuple.Tuple, bool) {
+	if it.out == nil {
+		res, err := engine.TemporalDiff(engine.Materialize(it.l), engine.Materialize(it.r))
+		if err != nil {
+			// Unreachable: arity compatibility was checked at build time.
+			res = &engine.Table{Schema: it.schema}
+		}
+		it.out = engine.NewTableIter(res)
+	}
+	return it.out.Next()
+}
+
+func (it *lazyDiffIter) Close() {
+	it.l.Close()
+	it.r.Close()
+}

@@ -47,19 +47,34 @@ type UnionP struct{ L, R Plan }
 type DiffP struct{ L, R Plan }
 
 // AggP is snapshot-reducible aggregation via split (Fig 4); PreAgg
-// selects the §9 pre-aggregation optimization.
+// selects the §9 pre-aggregation optimization. With Streaming set the
+// streaming executor runs the pre-aggregated sweep incrementally over
+// begin-sorted input with O(active-groups) state instead of
+// materializing the input first; the planner (package rewrite) only sets
+// it when PreAgg holds and the input order is guaranteed.
 type AggP struct {
-	GroupBy []string
-	Aggs    []algebra.AggSpec
-	PreAgg  bool
-	In      Plan
+	GroupBy   []string
+	Aggs      []algebra.AggSpec
+	PreAgg    bool
+	Streaming bool
+	In        Plan
 }
 
-// CoalesceP applies the coalesce operator C (Def 8.2).
+// CoalesceP applies the coalesce operator C (Def 8.2). With Streaming
+// set the streaming executor coalesces incrementally over begin-sorted
+// input with O(active-groups) state; the planner only sets it when the
+// input order is guaranteed.
 type CoalesceP struct {
-	Impl CoalesceImpl
-	In   Plan
+	Impl      CoalesceImpl
+	Streaming bool
+	In        Plan
 }
+
+// SortP is the interval-endpoint sort enforcer: it materializes its
+// input and re-emits it ordered by (begin, end). Semantically it is the
+// identity on multisets; physically it establishes the begin order the
+// streaming sweep operators require.
+type SortP struct{ In Plan }
 
 func (ScanP) planNode()     {}
 func (FilterP) planNode()   {}
@@ -69,6 +84,7 @@ func (UnionP) planNode()    {}
 func (DiffP) planNode()     {}
 func (AggP) planNode()      {}
 func (CoalesceP) planNode() {}
+func (SortP) planNode()     {}
 
 func (p ScanP) String() string   { return p.Name }
 func (p FilterP) String() string { return fmt.Sprintf("Filter[%s](%s)", p.Pred, p.In) }
@@ -87,9 +103,18 @@ func (p AggP) String() string {
 	if p.PreAgg {
 		mode = "preagg"
 	}
+	if p.Streaming {
+		mode += ";stream"
+	}
 	return fmt.Sprintf("TAgg[%v;%s](%s)", p.GroupBy, mode, p.In)
 }
-func (p CoalesceP) String() string { return fmt.Sprintf("Coalesce(%s)", p.In) }
+func (p CoalesceP) String() string {
+	if p.Streaming {
+		return fmt.Sprintf("StreamCoalesce(%s)", p.In)
+	}
+	return fmt.Sprintf("Coalesce(%s)", p.In)
+}
+func (p SortP) String() string { return fmt.Sprintf("SortByEndpoints(%s)", p.In) }
 
 // CountCoalesce returns the number of coalesce operators in the plan,
 // used by the §9 ablation to report plan shape.
@@ -111,8 +136,80 @@ func CountCoalesce(p Plan) int {
 		return CountCoalesce(n.In)
 	case CoalesceP:
 		return 1 + CountCoalesce(n.In)
+	case SortP:
+		return CountCoalesce(n.In)
 	default:
 		return 0
+	}
+}
+
+// BeginOrdered reports whether the output of p is guaranteed to be
+// ordered by ascending interval begin: the physical property the
+// streaming sweep operators require.
+func (db *DB) BeginOrdered(p Plan) bool {
+	return BeginOrderedWith(p, db.ScanBeginSorted)
+}
+
+// ScanBeginSorted reports whether the stored table name is begin-sorted
+// (false for unknown tables). It scans the rows on each call; callers
+// that probe many plan nodes should memoize per table (the planner
+// does).
+func (db *DB) ScanBeginSorted(name string) bool {
+	t, err := db.Table(name)
+	return err == nil && t.BeginSorted()
+}
+
+// BeginOrderedWith is BeginOrdered parameterized over the scan-order
+// source, so planners can layer caching over the O(n) table scans.
+// Filter and Project preserve their input order (they carry the period
+// attributes through unchanged), the sort enforcer establishes it, and
+// a table scan provides it when the stored rows happen to be
+// begin-sorted. Everything else — unions (concatenation), joins
+// (intersection periods), the sweep outputs themselves — makes no
+// global order guarantee.
+func BeginOrderedWith(p Plan, scanSorted func(string) bool) bool {
+	switch n := p.(type) {
+	case ScanP:
+		return scanSorted(n.Name)
+	case FilterP:
+		return BeginOrderedWith(n.In, scanSorted)
+	case ProjectP:
+		return BeginOrderedWith(n.In, scanSorted)
+	case SortP:
+		return true
+	default:
+		return false
+	}
+}
+
+// EstimateRows returns the number of rows p will produce when that is
+// statically known from stored table cardinalities (scans and the
+// order/cardinality-preserving operators above them), or -1 when it is
+// not. It drives size-based build-side selection for the temporal hash
+// join; estimates are upper bounds for Filter, which is good enough for
+// picking the smaller build side.
+func (db *DB) EstimateRows(p Plan) int64 {
+	switch n := p.(type) {
+	case ScanP:
+		t, err := db.Table(n.Name)
+		if err != nil {
+			return -1
+		}
+		return int64(t.Len())
+	case FilterP:
+		return db.EstimateRows(n.In)
+	case ProjectP:
+		return db.EstimateRows(n.In)
+	case SortP:
+		return db.EstimateRows(n.In)
+	case UnionP:
+		l, r := db.EstimateRows(n.L), db.EstimateRows(n.R)
+		if l < 0 || r < 0 {
+			return -1
+		}
+		return l + r
+	default:
+		return -1
 	}
 }
 
@@ -221,6 +318,14 @@ func (db *DB) Exec(p Plan) (*Table, error) {
 			return nil, err
 		}
 		return Coalesce(in, n.Impl), nil
+	case SortP:
+		in, err := db.Exec(n.In)
+		if err != nil {
+			return nil, err
+		}
+		out := in.Clone()
+		SortRowsByEndpoints(out.Rows)
+		return out, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", p)
 	}

@@ -179,20 +179,24 @@ func (it *unionIter) Close() {
 	it.r.Close()
 }
 
-// hashJoinIter is the pipelined temporal hash join: the build side
-// (right input) is drained into a hash table on the extracted equi-key
-// columns at construction; the probe side (left input) then streams, so
-// pipeline chains above and below the probe side never materialize.
+// hashJoinIter is the pipelined temporal hash join: the build side is
+// drained into a hash table on the extracted equi-key columns at
+// construction; the probe side then streams, so pipeline chains above
+// and below the probe side never materialize. Either input can be the
+// build side (size-based selection picks the smaller one); swapped
+// reports that the build side is the LEFT input, in which case output
+// rows are still composed in left-then-right column order.
 type hashJoinIter struct {
-	schema tuple.Schema
-	l      RowIter
-	build  map[string][]tuple.Tuple
-	lIdx   []int
-	res    algebra.Compiled
-	lA, rA int
+	schema   tuple.Schema
+	probe    RowIter
+	build    map[string][]tuple.Tuple
+	probeIdx []int
+	res      algebra.Compiled
+	lA, rA   int
+	swapped  bool
 	// probe state: current probe row and its pending bucket suffix.
-	lrow   tuple.Tuple
-	liv    interval.Interval
+	prow   tuple.Tuple
+	piv    interval.Interval
 	bucket []tuple.Tuple
 	bi     int
 }
@@ -237,45 +241,64 @@ func (p *JoinPrep) Schema() tuple.Schema { return PeriodSchema(p.joined) }
 
 // JoinBuild is a drained, immutable hash-join build side. It is safe to
 // probe from multiple goroutines concurrently: every Probe iterator
-// carries its own cursor state and only reads the shared table.
+// carries its own cursor state and only reads the shared table. left
+// records which input was built (the probe side is the other one).
 type JoinBuild struct {
 	prep  *JoinPrep
 	build map[string][]tuple.Tuple
+	left  bool
 }
 
 // Build drains the right (build-side) input into a hash table on the
 // equi-key columns and closes it. It must only be called when HasEquiKey
 // reports true.
-func (p *JoinPrep) Build(r RowIter) *JoinBuild {
+func (p *JoinPrep) Build(r RowIter) *JoinBuild { return p.buildSide(r, false) }
+
+// BuildLeft drains the LEFT input as the build side instead — the
+// size-based build-side selection path when the left input is known to
+// be smaller. The probe iterator then consumes the right input; output
+// column order is unaffected.
+func (p *JoinPrep) BuildLeft(l RowIter) *JoinBuild { return p.buildSide(l, true) }
+
+func (p *JoinPrep) buildSide(in RowIter, left bool) *JoinBuild {
+	keyIdx := p.rIdx
+	if left {
+		keyIdx = p.lIdx
+	}
 	build := make(map[string][]tuple.Tuple)
 	for {
-		rrow, ok := r.Next()
+		row, ok := in.Next()
 		if !ok {
 			break
 		}
 		// SQL comparison semantics: a NULL in any join key compares
 		// unknown, so such rows can never match.
-		if hasNullAt(rrow, p.rIdx) {
+		if hasNullAt(row, keyIdx) {
 			continue
 		}
-		k := rrow.Project(p.rIdx).Key()
-		build[k] = append(build[k], rrow)
+		k := row.Project(keyIdx).Key()
+		build[k] = append(build[k], row)
 	}
-	r.Close()
-	return &JoinBuild{prep: p, build: build}
+	in.Close()
+	return &JoinBuild{prep: p, build: build, left: left}
 }
 
-// Probe returns a streaming probe iterator over l against the shared
-// build table. The iterator takes ownership of l.
-func (b *JoinBuild) Probe(l RowIter) RowIter {
+// Probe returns a streaming probe iterator over the non-built input
+// against the shared build table. The iterator takes ownership of probe.
+func (b *JoinBuild) Probe(probe RowIter) RowIter {
+	probeIdx := b.prep.lIdx
+	if b.left {
+		probeIdx = b.prep.rIdx
+	}
 	return &hashJoinIter{
-		schema: b.prep.Schema(),
-		l:      l,
-		build:  b.build,
-		lIdx:   b.prep.lIdx,
-		res:    b.prep.res,
-		lA:     b.prep.lA,
-		rA:     b.prep.rA,
+		schema:   b.prep.Schema(),
+		probe:    probe,
+		build:    b.build,
+		probeIdx: probeIdx,
+		res:      b.prep.res,
+		lA:       b.prep.lA,
+		rA:       b.prep.rA,
+		swapped:  b.left,
 	}
 }
 
@@ -287,6 +310,17 @@ func (b *JoinBuild) Probe(l RowIter) RowIter {
 // inputs: consumed or failed children are closed here, so the caller
 // only ever closes the returned iterator.
 func newJoinIter(l, r RowIter, pred algebra.Expr) (RowIter, error) {
+	return newJoinIterSided(l, r, pred, false)
+}
+
+// newJoinIterBuildLeft is newJoinIter with the LEFT input as build side
+// — chosen by plan-level size-based build-side selection when the left
+// input is estimated smaller.
+func newJoinIterBuildLeft(l, r RowIter, pred algebra.Expr) (RowIter, error) {
+	return newJoinIterSided(l, r, pred, true)
+}
+
+func newJoinIterSided(l, r RowIter, pred algebra.Expr, buildLeft bool) (RowIter, error) {
 	lData := tuple.Schema{Cols: l.Schema().Cols[:l.Schema().Arity()-2]}
 	rData := tuple.Schema{Cols: r.Schema().Cols[:r.Schema().Arity()-2]}
 	prep, err := PrepareJoin(lData, rData, pred)
@@ -298,9 +332,20 @@ func newJoinIter(l, r RowIter, pred algebra.Expr) (RowIter, error) {
 	if !prep.HasEquiKey() {
 		return newOverlapJoinIter(l, r, prep.joined, prep.res)
 	}
-	// The build side is fully drained and released by Build; the probe
-	// side stays open until the joint iterator is closed.
+	// The build side is fully drained and released by the build; the
+	// probe side stays open until the joint iterator is closed.
+	if buildLeft {
+		return prep.BuildLeft(l).Probe(r), nil
+	}
 	return prep.Build(r).Probe(l), nil
+}
+
+// BuildLeftSmaller decides hash-join build-side orientation from two
+// cardinality estimates (−1 = unknown): build on the left only when
+// both sides are known and the left is strictly smaller; default to the
+// right build side otherwise.
+func BuildLeftSmaller(lEst, rEst int64) bool {
+	return lEst >= 0 && rEst >= 0 && lEst < rEst
 }
 
 func hasNullAt(row tuple.Tuple, idx []int) bool {
@@ -317,36 +362,41 @@ func (it *hashJoinIter) Schema() tuple.Schema { return it.schema }
 func (it *hashJoinIter) Next() (tuple.Tuple, bool) {
 	for {
 		for it.bi < len(it.bucket) {
-			rrow := it.bucket[it.bi]
+			brow := it.bucket[it.bi]
 			it.bi++
-			iv, ok := it.liv.Intersect(rowInterval(rrow)) // the overlaps() condition of Fig 4
+			iv, ok := it.piv.Intersect(rowInterval(brow)) // the overlaps() condition of Fig 4
 			if !ok {
 				continue
 			}
 			data := make(tuple.Tuple, 0, it.lA+it.rA+2)
-			data = append(data, it.lrow[:it.lA]...)
-			data = append(data, rrow[:it.rA]...)
+			if it.swapped {
+				data = append(data, brow[:it.lA]...)
+				data = append(data, it.prow[:it.rA]...)
+			} else {
+				data = append(data, it.prow[:it.lA]...)
+				data = append(data, brow[:it.rA]...)
+			}
 			if !algebra.Truthy(it.res(data)) {
 				continue
 			}
 			data = append(data, tuple.Int(iv.Begin), tuple.Int(iv.End))
 			return data, true
 		}
-		lrow, ok := it.l.Next()
+		prow, ok := it.probe.Next()
 		if !ok {
 			return nil, false
 		}
-		if hasNullAt(lrow, it.lIdx) {
+		if hasNullAt(prow, it.probeIdx) {
 			continue
 		}
-		it.lrow = lrow
-		it.liv = rowInterval(lrow)
-		it.bucket = it.build[lrow.Project(it.lIdx).Key()]
+		it.prow = prow
+		it.piv = rowInterval(prow)
+		it.bucket = it.build[prow.Project(it.probeIdx).Key()]
 		it.bi = 0
 	}
 }
 
-func (it *hashJoinIter) Close() { it.l.Close() }
+func (it *hashJoinIter) Close() { it.probe.Close() }
 
 // ExecStream evaluates a physical plan to a pull-based row stream.
 // Filter, Project, UnionAll and the probe side of the temporal join are
@@ -383,6 +433,9 @@ func (db *DB) ExecStream(p Plan) (RowIter, error) {
 			l.Close()
 			return nil, err
 		}
+		if BuildLeftSmaller(db.EstimateRows(n.L), db.EstimateRows(n.R)) {
+			return newJoinIterBuildLeft(l, r, n.Pred)
+		}
 		return newJoinIter(l, r, n.Pred)
 	case UnionP:
 		l, err := db.ExecStream(n.L)
@@ -410,6 +463,13 @@ func (db *DB) ExecStream(p Plan) (RowIter, error) {
 		}
 		return NewTableIter(out), nil
 	case AggP:
+		if n.Streaming && n.PreAgg {
+			in, err := db.ExecStream(n.In)
+			if err != nil {
+				return nil, err
+			}
+			return NewStreamAggIter(in, n.GroupBy, n.Aggs, db.dom)
+		}
 		in, err := db.streamToTable(n.In)
 		if err != nil {
 			return nil, err
@@ -420,11 +480,24 @@ func (db *DB) ExecStream(p Plan) (RowIter, error) {
 		}
 		return NewTableIter(out), nil
 	case CoalesceP:
+		if n.Streaming {
+			in, err := db.ExecStream(n.In)
+			if err != nil {
+				return nil, err
+			}
+			return NewStreamCoalesceIter(in), nil
+		}
 		in, err := db.streamToTable(n.In)
 		if err != nil {
 			return nil, err
 		}
 		return NewTableIter(Coalesce(in, n.Impl)), nil
+	case SortP:
+		in, err := db.ExecStream(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return NewSortIter(in), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", p)
 	}

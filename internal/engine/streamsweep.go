@@ -1,0 +1,577 @@
+package engine
+
+import (
+	"fmt"
+
+	"snapk/internal/algebra"
+	"snapk/internal/interval"
+	"snapk/internal/tuple"
+)
+
+// This file implements the sort-aware streaming forms of the sweep
+// operators (coalesce, Def 8.2, and the pre-aggregated split of §9).
+// Both consume input ordered by ascending interval begin — established
+// by a begin-sorted base table or the SortP enforcer — and keep only
+// O(active groups + open intervals) state instead of materializing the
+// whole input: once the sweep position passes a time point, no later
+// row can contribute an event before it, so segments up to that point
+// are final and can be emitted.
+//
+// The input-order precondition is the planner's responsibility (package
+// rewrite inserts SortP when the order is not already available); the
+// iterators verify it and panic on violation, which turns a planner bug
+// into a loud failure instead of silently wrong results.
+
+// sortIter is the interval-endpoint sort enforcer: it drains its input
+// on first use, sorts the rows by (begin, end) with the shared endpoint
+// comparator, and re-emits them.
+type sortIter struct {
+	in     RowIter
+	rows   []tuple.Tuple
+	i      int
+	loaded bool
+}
+
+// NewSortIter wraps in with the endpoint sort enforcer, taking
+// ownership of it.
+func NewSortIter(in RowIter) RowIter { return &sortIter{in: in} }
+
+func (it *sortIter) Schema() tuple.Schema { return it.in.Schema() }
+
+func (it *sortIter) Next() (tuple.Tuple, bool) {
+	if !it.loaded {
+		it.rows = drainRows(it.in)
+		SortRowsByEndpoints(it.rows)
+		it.loaded = true
+	}
+	if it.i >= len(it.rows) {
+		return nil, false
+	}
+	row := it.rows[it.i]
+	it.i++
+	return row, true
+}
+
+func (it *sortIter) Close() { it.in.Close() }
+
+// minHeap is the one binary min-heap behind both streaming sweeps —
+// pending interval ends (newTimeHeap) and pending row exits
+// (newEventHeap) — so the sift logic cannot drift between them. time
+// reports the sort key of an element.
+type minHeap[T any] struct {
+	items []T
+	time  func(T) interval.Time
+}
+
+func (h *minHeap[T]) len() int           { return len(h.items) }
+func (h *minHeap[T]) min() interval.Time { return h.time(h.items[0]) }
+
+// timeHeap is a min-heap of bare interval endpoints (the streaming
+// coalesce's pending ends).
+func newTimeHeap() minHeap[interval.Time] {
+	return minHeap[interval.Time]{time: func(t interval.Time) interval.Time { return t }}
+}
+
+// eventHeap is a min-heap of pending row exits keyed by interval end
+// (the streaming aggregation's open rows).
+func newEventHeap() minHeap[aggEvent] {
+	return minHeap[aggEvent]{time: func(e aggEvent) interval.Time { return e.t }}
+}
+
+func (h *minHeap[T]) push(v T) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.time(h.items[p]) <= h.time(h.items[i]) {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *minHeap[T]) pop() T {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	var zero T
+	h.items[n] = zero // release any row reference for the GC
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.time(h.items[l]) < h.time(h.items[s]) {
+			s = l
+		}
+		if r < n && h.time(h.items[r]) < h.time(h.items[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.items[i], h.items[s] = h.items[s], h.items[i]
+		i = s
+	}
+	return top
+}
+
+// coalesceGroup is the per-value-equivalent-group sweep state of the
+// streaming coalesce: the pending interval ends not yet passed by the
+// sweep, the multiplicity committed through curT, and the uncommitted
+// multiplicity change accumulated at curT. Deltas at one time point are
+// only committed when the sweep moves strictly past it, so cancelling
+// events at the same instant (an interval ending exactly where another
+// begins) never produce a spurious segment boundary.
+type coalesceGroup struct {
+	key      string
+	data     tuple.Tuple
+	ends     minHeap[interval.Time]
+	count    int64
+	segStart interval.Time
+	curT     interval.Time
+	curDelta int64
+	// reg/regT: the group's single live registration in the iterator's
+	// expiry heap (the global-sweep eviction machinery).
+	reg  bool
+	regT interval.Time
+}
+
+// nextTime reports when the group next needs the sweep's attention —
+// the uncommitted delta at curT, else its earliest open end. ok=false
+// means the group is fully closed and committed: evictable.
+func (g *coalesceGroup) nextTime() (interval.Time, bool) {
+	if g.curDelta != 0 {
+		return g.curT, true
+	}
+	if g.ends.len() > 0 {
+		return g.ends.min(), true
+	}
+	if g.count != 0 {
+		return g.curT, true // defensive: open intervals imply pending ends
+	}
+	return 0, false
+}
+
+// commit applies the pending delta at curT, emitting the finished
+// segment [segStart, curT) if the multiplicity actually changes.
+func (g *coalesceGroup) commit(emit func(data tuple.Tuple, iv interval.Interval, mult int64)) {
+	if g.curDelta == 0 {
+		return
+	}
+	if g.count > 0 && g.curT > g.segStart {
+		emit(g.data, interval.New(g.segStart, g.curT), g.count)
+	}
+	g.count += g.curDelta
+	g.curDelta = 0
+	g.segStart = g.curT
+}
+
+// advance moves the group's sweep position to t, committing every
+// pending end event strictly before it and folding ends at t into the
+// current delta.
+func (g *coalesceGroup) advance(t interval.Time, emit func(tuple.Tuple, interval.Interval, int64)) {
+	for g.ends.len() > 0 && g.ends.min() <= t {
+		et := g.ends.min()
+		if et > g.curT {
+			g.commit(emit)
+			g.curT = et
+		}
+		for g.ends.len() > 0 && g.ends.min() == et {
+			g.ends.pop()
+			g.curDelta--
+		}
+	}
+	if t > g.curT {
+		g.commit(emit)
+		g.curT = t
+	}
+}
+
+// flush drains every remaining pending end at end of input — with no
+// time bound, so arbitrarily late interval ends are still emitted —
+// and commits the final segment.
+func (g *coalesceGroup) flush(emit func(tuple.Tuple, interval.Interval, int64)) {
+	for g.ends.len() > 0 {
+		et := g.ends.min()
+		if et > g.curT {
+			g.commit(emit)
+			g.curT = et
+		}
+		for g.ends.len() > 0 && g.ends.min() == et {
+			g.ends.pop()
+			g.curDelta--
+		}
+	}
+	g.commit(emit)
+}
+
+// coalesceExpiry is one group's registration in the eviction heap.
+type coalesceExpiry struct {
+	t interval.Time
+	g *coalesceGroup
+}
+
+// streamCoalesceIter is the streaming coalesce operator C (Def 8.2)
+// over begin-sorted input. It produces the same multiset as the
+// blocking Coalesce — maximal intervals of constant multiplicity, one
+// row per multiplicity unit — but holds only O(active groups + open
+// intervals) state: the expiry heap wakes each group when the global
+// sweep position passes its next event, and groups whose intervals are
+// all closed and committed are evicted from the state map.
+type streamCoalesceIter struct {
+	in      RowIter
+	n       int // data arity
+	groups  map[string]*coalesceGroup
+	expiry  minHeap[coalesceExpiry]
+	queue   []tuple.Tuple
+	qi      int
+	last    interval.Time
+	seen    bool
+	drained bool
+}
+
+// NewStreamCoalesceIter returns the streaming coalesce over in, taking
+// ownership of it. The input must be ordered by ascending interval
+// begin; violations panic.
+func NewStreamCoalesceIter(in RowIter) RowIter {
+	return &streamCoalesceIter{
+		in:     in,
+		n:      in.Schema().Arity() - 2,
+		groups: make(map[string]*coalesceGroup),
+		expiry: minHeap[coalesceExpiry]{time: func(e coalesceExpiry) interval.Time { return e.t }},
+	}
+}
+
+// track (re-)registers g in the expiry heap at its next event time, or
+// evicts it when fully closed. Each group holds at most one live
+// registration, so the heap stays O(active groups).
+func (it *streamCoalesceIter) track(g *coalesceGroup) {
+	t, ok := g.nextTime()
+	if !ok {
+		delete(it.groups, g.key)
+		return
+	}
+	g.reg, g.regT = true, t
+	it.expiry.push(coalesceExpiry{t: t, g: g})
+}
+
+// retire advances every group whose registered wake-up time lies
+// strictly before the sweep position b, emitting its finished segments
+// and evicting it once fully closed. Strictly before: a group with an
+// end at exactly b must stay live, because a same-instant begin for the
+// same value may still arrive and cancel the boundary.
+func (it *streamCoalesceIter) retire(b interval.Time) {
+	for it.expiry.len() > 0 && it.expiry.min() < b {
+		e := it.expiry.pop()
+		if !e.g.reg || e.g.regT != e.t {
+			continue // superseded registration
+		}
+		e.g.reg = false
+		e.g.advance(b, it.enqueue)
+		it.track(e.g)
+	}
+}
+
+func (it *streamCoalesceIter) Schema() tuple.Schema { return it.in.Schema() }
+
+// enqueue appends mult copies of (data, iv), each with its own backing
+// slice so emitted siblings never alias.
+func (it *streamCoalesceIter) enqueue(data tuple.Tuple, iv interval.Interval, mult int64) {
+	row := make(tuple.Tuple, 0, len(data)+2)
+	row = append(row, data...)
+	row = append(row, tuple.Int(iv.Begin), tuple.Int(iv.End))
+	it.queue = append(it.queue, row)
+	for i := int64(1); i < mult; i++ {
+		it.queue = append(it.queue, row.Clone())
+	}
+}
+
+func (it *streamCoalesceIter) Next() (tuple.Tuple, bool) {
+	for {
+		if it.qi < len(it.queue) {
+			row := it.queue[it.qi]
+			it.qi++
+			return row, true
+		}
+		it.queue = it.queue[:0]
+		it.qi = 0
+		if it.drained {
+			return nil, false
+		}
+		row, ok := it.in.Next()
+		if !ok {
+			// End of input: sweep every remaining live group past its
+			// last pending end (order is immaterial — the output is a
+			// multiset).
+			for _, g := range it.groups {
+				g.flush(it.enqueue)
+			}
+			it.drained = true
+			continue
+		}
+		iv := rowInterval(row)
+		if it.seen && iv.Begin < it.last {
+			panic(fmt.Sprintf("engine: streaming coalesce input not begin-sorted (begin %d after %d); planner must insert a sort enforcer", iv.Begin, it.last))
+		}
+		it.last, it.seen = iv.Begin, true
+		it.retire(iv.Begin)
+		data := row[:it.n]
+		key := data.Key()
+		g, ok2 := it.groups[key]
+		if !ok2 {
+			g = &coalesceGroup{key: key, data: data, ends: newTimeHeap(), segStart: iv.Begin, curT: iv.Begin}
+			it.groups[key] = g
+		}
+		g.advance(iv.Begin, it.enqueue)
+		g.curDelta++
+		g.ends.push(iv.End)
+		if !g.reg {
+			it.track(g)
+		}
+	}
+}
+
+func (it *streamCoalesceIter) Close() { it.in.Close() }
+
+// aggEvent is one pending row exit keyed by interval end.
+type aggEvent struct {
+	t   interval.Time
+	row tuple.Tuple
+}
+
+// aggGroup is the per-group state of the streaming pre-aggregated
+// split: incremental accumulators plus the rows whose intervals are
+// still open at the sweep position.
+type aggGroup struct {
+	key      string
+	group    tuple.Tuple
+	pending  minHeap[aggEvent]
+	sweepers []*aggSweeper
+	alive    int64
+	segStart interval.Time
+	started  bool
+	// reg/regT: the group's single live registration in the iterator's
+	// expiry heap (grouped aggregation only; the global group never
+	// registers, since its gap rows need a continuous segStart).
+	reg  bool
+	regT interval.Time
+}
+
+// aggExpiry is one group's registration in the eviction heap.
+type aggExpiry struct {
+	t interval.Time
+	g *aggGroup
+}
+
+// streamAggIter is the streaming form of the §9 pre-aggregated split:
+// one incremental endpoint sweep per group over begin-sorted input,
+// emitting a result row per elementary segment, without materializing
+// the input. Segment boundaries fall on every endpoint of the group
+// (the split semantics N_G, Def 8.3), exactly as in the blocking
+// aggregateSweep.
+type streamAggIter struct {
+	in      RowIter
+	prep    *aggPrep
+	aggs    []algebra.AggSpec
+	dom     interval.Domain
+	global  bool
+	groups  map[string]*aggGroup
+	expiry  minHeap[aggExpiry]
+	queue   []tuple.Tuple
+	qi      int
+	last    interval.Time
+	seen    bool
+	drained bool
+}
+
+// NewStreamAggIter returns the streaming pre-aggregated split over in,
+// taking ownership of it. The input must be ordered by ascending
+// interval begin; violations panic. On a prep error the child is
+// closed, matching the other constructors' contract.
+func NewStreamAggIter(in RowIter, groupBy []string, aggs []algebra.AggSpec, dom interval.Domain) (RowIter, error) {
+	data := tuple.Schema{Cols: in.Schema().Cols[:in.Schema().Arity()-2]}
+	prep, err := prepareAggregate(data, groupBy, aggs)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	it := &streamAggIter{
+		in:     in,
+		prep:   prep,
+		aggs:   aggs,
+		dom:    dom,
+		global: len(groupBy) == 0,
+		groups: make(map[string]*aggGroup),
+		expiry: minHeap[aggExpiry]{time: func(e aggExpiry) interval.Time { return e.t }},
+	}
+	if it.global {
+		// Global aggregation sweeps the whole domain (the Fig 4 union
+		// with {(null, Tmin, Tmax)}), so gaps produce neutral rows even
+		// with zero input rows.
+		g := it.newGroup(tuple.Tuple{})
+		g.started = true
+		g.segStart = dom.Min
+	}
+	return it, nil
+}
+
+func (it *streamAggIter) newGroup(group tuple.Tuple) *aggGroup {
+	g := &aggGroup{key: group.Key(), group: group, pending: newEventHeap(), sweepers: make([]*aggSweeper, len(it.aggs))}
+	for i, a := range it.aggs {
+		g.sweepers[i] = newAggSweeper(a.Fn)
+	}
+	it.groups[g.key] = g
+	return g
+}
+
+// track (re-)registers a grouped aggregation group at its earliest
+// pending exit, or evicts it when no intervals remain open: segments of
+// one group are bounded by its own endpoints only, so a group with an
+// empty pending heap can never emit again until a new row arrives (and
+// grouped aggregation emits nothing over gaps). Global aggregation
+// never registers.
+func (it *streamAggIter) track(g *aggGroup) {
+	if it.global {
+		return
+	}
+	if g.pending.len() == 0 {
+		delete(it.groups, g.key)
+		return
+	}
+	g.reg, g.regT = true, g.pending.min()
+	it.expiry.push(aggExpiry{t: g.regT, g: g})
+}
+
+// retire drains every group whose registered exit lies strictly before
+// the sweep position b — emitting segments bounded by the group's own
+// endpoints, never at b itself — and evicts groups left with no open
+// intervals.
+func (it *streamAggIter) retire(b interval.Time) {
+	for it.expiry.len() > 0 && it.expiry.min() < b {
+		e := it.expiry.pop()
+		if !e.g.reg || e.g.regT != e.t {
+			continue // superseded registration
+		}
+		e.g.reg = false
+		for e.g.pending.len() > 0 && e.g.pending.min() < b {
+			et := e.g.pending.min()
+			it.boundary(e.g, et)
+			it.exitAt(e.g, et)
+		}
+		it.track(e.g)
+	}
+}
+
+func (it *streamAggIter) Schema() tuple.Schema { return it.prep.schema }
+
+// boundary closes the segment [segStart, t) of g, emitting a result row
+// with the current accumulator values. Empty segments of grouped
+// aggregation (alive == 0) produce nothing; global aggregation emits
+// neutral rows over gaps.
+func (it *streamAggIter) boundary(g *aggGroup, t interval.Time) {
+	if !g.started {
+		g.started = true
+		g.segStart = t
+		return
+	}
+	if t <= g.segStart {
+		return
+	}
+	if g.alive > 0 || it.global {
+		row := g.group.Clone()
+		for _, sw := range g.sweepers {
+			row = append(row, sw.result())
+		}
+		row = append(row, tuple.Int(g.segStart), tuple.Int(t))
+		it.queue = append(it.queue, row)
+	}
+	g.segStart = t
+}
+
+// exitAt pops every pending exit of g at time et and removes those rows
+// from the accumulators.
+func (it *streamAggIter) exitAt(g *aggGroup, et interval.Time) {
+	for g.pending.len() > 0 && g.pending.min() == et {
+		ev := g.pending.pop()
+		for j, sw := range g.sweepers {
+			var arg tuple.Value
+			if it.prep.argIdx[j] >= 0 {
+				arg = ev.row[it.prep.argIdx[j]]
+			}
+			sw.update(arg, false)
+		}
+		g.alive--
+	}
+}
+
+// advance moves g's sweep position to t, emitting a boundary at every
+// pending exit before t and at t itself.
+func (it *streamAggIter) advance(g *aggGroup, t interval.Time) {
+	for g.pending.len() > 0 && g.pending.min() <= t {
+		et := g.pending.min()
+		it.boundary(g, et)
+		it.exitAt(g, et)
+	}
+	it.boundary(g, t)
+}
+
+func (it *streamAggIter) Next() (tuple.Tuple, bool) {
+	for {
+		if it.qi < len(it.queue) {
+			row := it.queue[it.qi]
+			it.qi++
+			return row, true
+		}
+		it.queue = it.queue[:0]
+		it.qi = 0
+		if it.drained {
+			return nil, false
+		}
+		row, ok := it.in.Next()
+		if !ok {
+			for _, g := range it.groups {
+				// Drain the remaining exits; then global aggregation closes
+				// the final segment at the domain end. (Map order is
+				// immaterial — the output is a multiset.)
+				for g.pending.len() > 0 {
+					et := g.pending.min()
+					it.boundary(g, et)
+					it.exitAt(g, et)
+				}
+				if it.global {
+					it.boundary(g, it.dom.Max)
+				}
+			}
+			it.drained = true
+			continue
+		}
+		iv := rowInterval(row)
+		if it.seen && iv.Begin < it.last {
+			panic(fmt.Sprintf("engine: streaming aggregation input not begin-sorted (begin %d after %d); planner must insert a sort enforcer", iv.Begin, it.last))
+		}
+		it.last, it.seen = iv.Begin, true
+		it.retire(iv.Begin)
+		group := row.Project(it.prep.groupIdx)
+		g, ok2 := it.groups[group.Key()]
+		if !ok2 {
+			g = it.newGroup(group)
+		}
+		it.advance(g, iv.Begin)
+		for j, sw := range g.sweepers {
+			var arg tuple.Value
+			if it.prep.argIdx[j] >= 0 {
+				arg = row[it.prep.argIdx[j]]
+			}
+			sw.update(arg, true)
+		}
+		g.alive++
+		g.pending.push(aggEvent{t: iv.End, row: row})
+		if !g.reg {
+			it.track(g)
+		}
+	}
+}
+
+func (it *streamAggIter) Close() { it.in.Close() }

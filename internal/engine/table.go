@@ -92,8 +92,9 @@ func (t *Table) Clone() *Table {
 	return &Table{Schema: t.Schema, Rows: rows}
 }
 
-// Sort orders rows by data key, then begin, then end — the canonical
-// display and comparison order.
+// Sort orders rows by data key, then by interval endpoints — the
+// canonical display and comparison order. The endpoint tie-break shares
+// the sweep operators' comparator (CompareEndpoints).
 func (t *Table) Sort() {
 	n := t.DataArity()
 	sort.Slice(t.Rows, func(i, j int) bool {
@@ -103,12 +104,19 @@ func (t *Table) Sort() {
 				return cmp < 0
 			}
 		}
-		if a[n] != b[n] {
-			return a[n].AsInt() < b[n].AsInt()
-		}
-		return a[n+1].AsInt() < b[n+1].AsInt()
+		return EndpointLess(a, b)
 	})
 }
+
+// BeginSorted reports whether the stored rows are ordered by ascending
+// interval begin — the property that lets the planner run the streaming
+// sweep operators directly over a scan of this table. It is computed on
+// demand so it stays correct under any mutation of Rows.
+func (t *Table) BeginSorted() bool { return RowsBeginSorted(t.Rows) }
+
+// SortByEndpoints reorders the stored rows into (begin, end) endpoint
+// order, establishing the streaming sweep operators' input order.
+func (t *Table) SortByEndpoints() { SortRowsByEndpoints(t.Rows) }
 
 // String renders the table with a header row.
 func (t *Table) String() string {

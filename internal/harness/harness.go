@@ -27,10 +27,14 @@ import (
 // comparators.
 type Approach int
 
-// The approaches compared by Table 3, plus SeqMat — Seq executed on the
-// operator-at-a-time materializing executor instead of the streaming
-// iterator engine, used by the pipelining ablation — and SeqPar — Seq on
-// the parallel exchange executor with DefaultWorkers fragments.
+// The approaches compared by Table 3, plus the ablation approaches:
+// SeqMat — Seq executed on the operator-at-a-time materializing
+// executor instead of the streaming iterator engine (the pipelining
+// ablation); SeqPar — Seq on the parallel exchange executor with
+// DefaultWorkers fragments (hash-partitioned parallel sweeps); and
+// SeqStream — Seq with the sweep operators forced to their streaming
+// form (sort-enforced where the input order is not already available),
+// the streaming-sweep ablation.
 const (
 	Seq Approach = iota
 	SeqNaive
@@ -38,6 +42,7 @@ const (
 	NatAlign
 	SeqMat
 	SeqPar
+	SeqStream
 )
 
 // DefaultWorkers is the exchange worker count used by SeqPar: every
@@ -60,6 +65,8 @@ func (a Approach) String() string {
 		return "Seq-mat"
 	case SeqPar:
 		return "Seq-par"
+	case SeqStream:
+		return "Seq-stream"
 	default:
 		return fmt.Sprintf("Approach(%d)", int(a))
 	}
@@ -79,6 +86,8 @@ func Run(db *engine.DB, q algebra.Query, ap Approach) (*engine.Table, error) {
 		return rewrite.Run(db, q, rewrite.Options{Mode: rewrite.ModeOptimized, Materialize: true})
 	case SeqPar:
 		return rewrite.Run(db, q, rewrite.Options{Mode: rewrite.ModeOptimized, Parallelism: DefaultWorkers})
+	case SeqStream:
+		return rewrite.Run(db, q, rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: rewrite.SweepStreaming})
 	case NatIP:
 		return baseline.Eval(db, q, baseline.IntervalPreservation)
 	case NatAlign:

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"snapk/internal/algebra"
+	"snapk/internal/dataset"
+	"snapk/internal/engine"
+	"snapk/internal/engine/parallel"
+	"snapk/internal/krel"
+)
+
+// sweepVariant is one physical sweep configuration measured by the
+// sweep experiment.
+type sweepVariant struct {
+	name   string
+	sorted bool // run over the begin-sorted copy of the input
+	plan   func(scan engine.Plan) engine.Plan
+	par    int // exchange workers; 0 = sequential streaming engine
+}
+
+// Sweep measures the streaming vs materializing vs hash-partitioned
+// sweep operators (coalesce and pre-aggregated split/aggregate) on the
+// coalescing workload, over both unsorted and begin-sorted inputs. On
+// sorted inputs the streaming sweeps should at least match the
+// materializing baseline: they skip the per-group sorting passes and
+// hold only the open intervals.
+func Sweep(w io.Writer, sc Scale, rep *Report) error {
+	coalesceVariants := []sweepVariant{
+		{name: "coalesce-blocking/sorted", sorted: true,
+			plan: func(s engine.Plan) engine.Plan { return engine.CoalesceP{In: s} }},
+		{name: "coalesce-streaming/sorted", sorted: true,
+			plan: func(s engine.Plan) engine.Plan { return engine.CoalesceP{In: s, Streaming: true} }},
+		{name: "coalesce-blocking/unsorted", sorted: false,
+			plan: func(s engine.Plan) engine.Plan { return engine.CoalesceP{In: s} }},
+		{name: "coalesce-stream-enforced/unsorted", sorted: false,
+			plan: func(s engine.Plan) engine.Plan { return engine.CoalesceP{In: engine.SortP{In: s}, Streaming: true} }},
+		{name: fmt.Sprintf("coalesce-parallel-x%d/unsorted", DefaultWorkers), sorted: false,
+			plan: func(s engine.Plan) engine.Plan { return engine.CoalesceP{In: s} }, par: DefaultWorkers},
+	}
+	aggPlan := func(streaming bool) func(engine.Plan) engine.Plan {
+		return func(s engine.Plan) engine.Plan {
+			return engine.AggP{
+				GroupBy:   []string{"emp_no"},
+				Aggs:      []algebra.AggSpec{{Fn: krel.Sum, Arg: "salary", As: "total"}, {Fn: krel.CountStar, As: "cnt"}},
+				PreAgg:    true,
+				Streaming: streaming,
+				In:        s,
+			}
+		}
+	}
+	aggVariants := []sweepVariant{
+		{name: "agg-blocking/sorted", sorted: true, plan: aggPlan(false)},
+		{name: "agg-streaming/sorted", sorted: true, plan: aggPlan(true)},
+		{name: fmt.Sprintf("agg-parallel-x%d/unsorted", DefaultWorkers), sorted: false, plan: aggPlan(false), par: DefaultWorkers},
+	}
+
+	tw := NewTable("rows", "variant", "median (s)", "out rows")
+	for _, n := range sc.Fig5Sizes {
+		if n > 500000 {
+			// Not silently: the report must show which configured sizes
+			// were not measured.
+			fmt.Fprintf(w, "sweep: skipping configured size %d (cap 500000)\n", n)
+			continue
+		}
+		db, sortedDB := sweepInputs(n)
+		for _, v := range append(append([]sweepVariant{}, coalesceVariants...), aggVariants...) {
+			d, rows, err := runSweepVariant(db, sortedDB, v, sc.Runs)
+			if err != nil {
+				return fmt.Errorf("sweep %s: %w", v.name, err)
+			}
+			tw.AddRow(fmt.Sprintf("%d", n), v.name, FormatDuration(d), fmt.Sprintf("%d", rows))
+			rep.Add("sweep", fmt.Sprintf("%s/rows=%d", v.name, n), d, map[string]float64{"rows": float64(rows)})
+		}
+	}
+	_, err := tw.WriteTo(w)
+	return err
+}
+
+// sweepInputs builds the coalescing workload twice: as generated
+// (unsorted) and with the stored rows re-sorted into endpoint order, so
+// the planner's order detection fires on the sorted copy.
+func sweepInputs(n int) (unsorted, sorted *engine.DB) {
+	unsorted = dataset.CoalesceInput(n, 3)
+	tbl, err := unsorted.Table("sal")
+	if err != nil {
+		panic(err) // generated dataset always has the sal table
+	}
+	st := tbl.Clone()
+	st.SortByEndpoints()
+	sorted = engine.NewDB(unsorted.Domain())
+	sorted.AddTable("sal", st)
+	return unsorted, sorted
+}
+
+// runSweepVariant times one variant and returns its median runtime and
+// output cardinality.
+func runSweepVariant(db, sortedDB *engine.DB, v sweepVariant, runs int) (d time.Duration, rows int, err error) {
+	target := db
+	if v.sorted {
+		target = sortedDB
+	}
+	plan := v.plan(engine.ScanP{Name: "sal"})
+	d, err = Median(runs, func() error {
+		var it engine.RowIter
+		var err error
+		if v.par > 1 {
+			it, err = parallel.Exec(context.Background(), target, plan, parallel.Options{Workers: v.par})
+		} else {
+			it, err = target.ExecStream(plan)
+		}
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		rows = engine.Materialize(it).Len()
+		if rows == 0 {
+			return fmt.Errorf("empty sweep result")
+		}
+		return nil
+	})
+	return d, rows, err
+}

@@ -8,6 +8,7 @@ package qgen
 
 import (
 	"math/rand"
+	"sort"
 
 	"snapk/internal/algebra"
 	"snapk/internal/engine"
@@ -89,6 +90,22 @@ func (g *Gen) genValue() tuple.Value {
 		return tuple.Null
 	}
 	return tuple.Int(int64(g.R.Intn(4)))
+}
+
+// SortedByBegin returns a copy of the spec whose facts are ordered by
+// ascending interval begin within each table. Loading the copy into the
+// engine yields begin-sorted stored tables, which is what triggers the
+// planner's automatic streaming-sweep selection — the deliberately
+// pre-sorted half of the equivalence suite (the original spec is the
+// unsorted half).
+func (spec DBSpec) SortedByBegin() DBSpec {
+	out := DBSpec{Dom: spec.Dom}
+	for _, t := range spec.Tables {
+		nt := Table{Name: t.Name, Schema: t.Schema, Facts: append([]Fact(nil), t.Facts...)}
+		sort.SliceStable(nt.Facts, func(i, j int) bool { return nt.Facts[i].Iv.Begin < nt.Facts[j].Iv.Begin })
+		out.Tables = append(out.Tables, nt)
+	}
+	return out
 }
 
 // ToSnapshotDB loads the spec into the abstract model.

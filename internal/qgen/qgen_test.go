@@ -58,6 +58,42 @@ func TestLoadersAgreeOnTableSizes(t *testing.T) {
 	}
 }
 
+// SortedByBegin must produce begin-sorted engine tables while
+// preserving the fact multiset of the original spec.
+func TestSortedByBegin(t *testing.T) {
+	g := qgen.New(17)
+	for i := 0; i < 20; i++ {
+		spec := g.GenDB()
+		sorted := spec.SortedByBegin()
+		sdb := sorted.ToEngineDB()
+		udb := spec.ToEngineDB()
+		for _, tbl := range spec.Tables {
+			st, err := sdb.Table(tbl.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.BeginSorted() {
+				t.Fatalf("%s: sorted spec loads into an unsorted table", tbl.Name)
+			}
+			ut, err := udb.Table(tbl.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Len() != ut.Len() {
+				t.Fatalf("%s: sorted copy changed cardinality: %d != %d", tbl.Name, st.Len(), ut.Len())
+			}
+			a, b := st.Clone(), ut.Clone()
+			a.Sort()
+			b.Sort()
+			for j := range a.Rows {
+				if a.Rows[j].Key() != b.Rows[j].Key() {
+					t.Fatalf("%s: sorted copy changed the row multiset", tbl.Name)
+				}
+			}
+		}
+	}
+}
+
 // Generated queries must always type-check against the generated schema.
 func TestGeneratedQueriesTypeCheck(t *testing.T) {
 	g := qgen.New(3)

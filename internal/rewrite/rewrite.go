@@ -34,11 +34,35 @@ const (
 	ModeNaive
 )
 
+// SweepMode selects the physical form of the sweep operators (coalesce
+// and the pre-aggregated split).
+type SweepMode int
+
+const (
+	// SweepAuto (the default) picks the streaming sweep whenever the
+	// input's interval-endpoint order is already guaranteed — a
+	// begin-sorted stored table under order-preserving operators — and
+	// otherwise keeps the materializing sweep, which sorts internally
+	// anyway.
+	SweepAuto SweepMode = iota
+	// SweepStreaming always uses the streaming sweeps, inserting an
+	// explicit endpoint sort enforcer (engine.SortP) when the input
+	// order is not guaranteed.
+	SweepStreaming
+	// SweepBlocking always uses the materializing sweeps — the ablation
+	// baseline of the streaming-sweep study.
+	SweepBlocking
+)
+
 // Options configures the rewriting.
 type Options struct {
 	Mode Mode
 	// CoalesceImpl selects the physical coalescing implementation.
 	CoalesceImpl engine.CoalesceImpl
+	// Sweep selects streaming vs materializing sweep operators; see
+	// SweepMode. Streaming aggregation only applies to the
+	// pre-aggregated split of ModeOptimized.
+	Sweep SweepMode
 	// SkipFinalCoalesce omits the outermost coalesce; the result is then
 	// snapshot-equivalent but not the unique encoding. Used only by
 	// benchmarks that want to isolate operator cost.
@@ -75,85 +99,157 @@ func Rewrite(q algebra.Query, cat algebra.Catalog, opt Options) (engine.Plan, er
 		}
 		q = oq
 	}
-	p, err := rewr(q, cat, opt)
+	rw := newRewriter(cat, opt)
+	p, err := rw.rewr(q)
 	if err != nil {
 		return nil, err
 	}
 	if opt.Mode == ModeOptimized && !opt.SkipFinalCoalesce {
-		p = engine.CoalesceP{Impl: opt.CoalesceImpl, In: p}
+		p = rw.coalesceOp(p)
 	}
 	return p, nil
 }
 
+// rewriter carries the per-Rewrite state: the options and memoized
+// per-table begin-sortedness — the order probe scans stored rows, and
+// naive mode asks once per rewritten operator, so one Rewrite call must
+// not rescan a table per sweep node.
+type rewriter struct {
+	opt Options
+	db  *engine.DB // nil when the catalog is not an engine database
+	ord map[string]bool
+}
+
+func newRewriter(cat algebra.Catalog, opt Options) *rewriter {
+	db, _ := cat.(*engine.DB)
+	return &rewriter{opt: opt, db: db, ord: make(map[string]bool)}
+}
+
+// beginOrdered reports whether the plan's output order is guaranteed to
+// be begin-sorted. Order information needs stored-table access, so only
+// engine databases (the usual catalog) can report it.
+func (rw *rewriter) beginOrdered(p engine.Plan) bool {
+	if rw.db == nil {
+		return false
+	}
+	return engine.BeginOrderedWith(p, func(name string) bool {
+		s, ok := rw.ord[name]
+		if !ok {
+			s = rw.db.ScanBeginSorted(name)
+			rw.ord[name] = s
+		}
+		return s
+	})
+}
+
+// sweepInput decides the physical form of a sweep operator over input p
+// under opt.Sweep: it reports whether the sweep streams, and wraps p in
+// the endpoint sort enforcer when streaming is forced without a
+// guaranteed input order. Plans bound for the parallel executor keep
+// the blocking form: its hash-partition exchange runs the sweeps
+// partitioned anyway and would destroy the enforcer's order, so a sort
+// would be pure wasted work.
+func (rw *rewriter) sweepInput(p engine.Plan) (engine.Plan, bool) {
+	if rw.opt.Parallelism > 1 {
+		return p, false
+	}
+	switch rw.opt.Sweep {
+	case SweepBlocking:
+		return p, false
+	case SweepStreaming:
+		if !rw.beginOrdered(p) {
+			p = engine.SortP{In: p}
+		}
+		return p, true
+	default: // SweepAuto: stream exactly when the order comes for free
+		return p, rw.beginOrdered(p)
+	}
+}
+
+// coalesceOp wraps p in a coalesce operator in the physical form chosen
+// by opt.Sweep.
+func (rw *rewriter) coalesceOp(p engine.Plan) engine.Plan {
+	in, stream := rw.sweepInput(p)
+	return engine.CoalesceP{Impl: rw.opt.CoalesceImpl, In: in, Streaming: stream}
+}
+
 // maybeCoalesce wraps p in a coalesce operator in naive mode, mirroring
 // the per-operator C(...) of the unoptimized Fig 4 rules.
-func maybeCoalesce(p engine.Plan, opt Options) engine.Plan {
-	if opt.Mode == ModeNaive {
-		return engine.CoalesceP{Impl: opt.CoalesceImpl, In: p}
+func (rw *rewriter) maybeCoalesce(p engine.Plan) engine.Plan {
+	if rw.opt.Mode == ModeNaive {
+		return rw.coalesceOp(p)
 	}
 	return p
 }
 
-func rewr(q algebra.Query, cat algebra.Catalog, opt Options) (engine.Plan, error) {
+func (rw *rewriter) rewr(q algebra.Query) (engine.Plan, error) {
 	switch n := q.(type) {
 	case algebra.Rel:
 		// REWR(R) = R: snapshot queries run directly over natively stored
 		// period relations, no preprocessing.
 		return engine.ScanP{Name: n.Name}, nil
 	case algebra.Select:
-		in, err := rewr(n.In, cat, opt)
+		in, err := rw.rewr(n.In)
 		if err != nil {
 			return nil, err
 		}
-		return maybeCoalesce(engine.FilterP{Pred: n.Pred, In: in}, opt), nil
+		return rw.maybeCoalesce(engine.FilterP{Pred: n.Pred, In: in}), nil
 	case algebra.Project:
-		in, err := rewr(n.In, cat, opt)
+		in, err := rw.rewr(n.In)
 		if err != nil {
 			return nil, err
 		}
-		return maybeCoalesce(engine.ProjectP{Exprs: n.Exprs, In: in}, opt), nil
+		return rw.maybeCoalesce(engine.ProjectP{Exprs: n.Exprs, In: in}), nil
 	case algebra.Join:
-		l, err := rewr(n.L, cat, opt)
+		l, err := rw.rewr(n.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := rewr(n.R, cat, opt)
+		r, err := rw.rewr(n.R)
 		if err != nil {
 			return nil, err
 		}
-		return maybeCoalesce(engine.JoinP{L: l, R: r, Pred: n.Pred}, opt), nil
+		return rw.maybeCoalesce(engine.JoinP{L: l, R: r, Pred: n.Pred}), nil
 	case algebra.Union:
-		l, err := rewr(n.L, cat, opt)
+		l, err := rw.rewr(n.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := rewr(n.R, cat, opt)
+		r, err := rw.rewr(n.R)
 		if err != nil {
 			return nil, err
 		}
-		return maybeCoalesce(engine.UnionP{L: l, R: r}, opt), nil
+		return rw.maybeCoalesce(engine.UnionP{L: l, R: r}), nil
 	case algebra.Diff:
-		l, err := rewr(n.L, cat, opt)
+		l, err := rw.rewr(n.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := rewr(n.R, cat, opt)
+		r, err := rw.rewr(n.R)
 		if err != nil {
 			return nil, err
 		}
-		return maybeCoalesce(engine.DiffP{L: l, R: r}, opt), nil
+		return rw.maybeCoalesce(engine.DiffP{L: l, R: r}), nil
 	case algebra.Agg:
-		in, err := rewr(n.In, cat, opt)
+		in, err := rw.rewr(n.In)
 		if err != nil {
 			return nil, err
+		}
+		preAgg := rw.opt.Mode == ModeOptimized
+		stream := false
+		if preAgg {
+			// Only the pre-aggregated split has a streaming form; the
+			// naive materialized split is blocking by construction.
+			in, stream = rw.sweepInput(in)
 		}
 		p := engine.AggP{
-			GroupBy: n.GroupBy,
-			Aggs:    n.Aggs,
-			PreAgg:  opt.Mode == ModeOptimized,
-			In:      in,
+			GroupBy:   n.GroupBy,
+			Aggs:      n.Aggs,
+			PreAgg:    preAgg,
+			Streaming: stream,
+			In:        in,
 		}
-		return maybeCoalesce(p, opt), nil
+		return rw.maybeCoalesce(p), nil
 	default:
 		return nil, fmt.Errorf("rewrite: unknown query node %T", q)
 	}

@@ -104,6 +104,12 @@ func TestTheorem81CommutingDiagram(t *testing.T) {
 		{Mode: rewrite.ModeOptimized, CoalesceImpl: engine.CoalesceNative},
 		{Mode: rewrite.ModeOptimized, CoalesceImpl: engine.CoalesceAnalytic},
 		{Mode: rewrite.ModeNaive, CoalesceImpl: engine.CoalesceNative},
+		// The streaming-sweep and partitioned-parallel variants must
+		// close the same diagram.
+		{Mode: rewrite.ModeOptimized, Sweep: rewrite.SweepStreaming},
+		{Mode: rewrite.ModeNaive, Sweep: rewrite.SweepStreaming},
+		{Mode: rewrite.ModeOptimized, Parallelism: 4},
+		{Mode: rewrite.ModeOptimized, Sweep: rewrite.SweepStreaming, Parallelism: 4},
 	}
 	for i := 0; i < 100; i++ {
 		spec := g.GenDB()
@@ -113,16 +119,22 @@ func TestTheorem81CommutingDiagram(t *testing.T) {
 		if err != nil {
 			t.Fatalf("period eval: %v (%s)", err, q)
 		}
-		edb := spec.ToEngineDB()
-		for _, opt := range opts {
-			got, err := rewrite.Run(edb, q, opt)
-			if err != nil {
-				t.Fatalf("rewrite run: %v (%s)", err, q)
+		for _, sorted := range []bool{false, true} {
+			s := spec
+			if sorted {
+				s = spec.SortedByBegin()
 			}
-			gotRel := got.ToPeriodRelation(pdb.Algebra())
-			if !gotRel.Equal(wantRel) {
-				t.Fatalf("iteration %d, opt %+v: implementation disagrees with logical model\nquery: %s\ngot:  %v\nwant: %v",
-					i, opt, q, gotRel, wantRel)
+			edb := s.ToEngineDB()
+			for _, opt := range opts {
+				got, err := rewrite.Run(edb, q, opt)
+				if err != nil {
+					t.Fatalf("rewrite run: %v (%s)", err, q)
+				}
+				gotRel := got.ToPeriodRelation(pdb.Algebra())
+				if !gotRel.Equal(wantRel) {
+					t.Fatalf("iteration %d, sorted %v, opt %+v: implementation disagrees with logical model\nquery: %s\ngot:  %v\nwant: %v",
+						i, sorted, opt, q, gotRel, wantRel)
+				}
 			}
 		}
 	}

@@ -1,0 +1,193 @@
+package sqlfe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"snapk/internal/algebra"
+	"snapk/internal/tuple"
+)
+
+// Deparse renders a parsed statement back into the middleware's SQL
+// dialect. The output is a normal form — fully parenthesized
+// expressions, canonical keyword casing, comma joins before JOIN
+// clauses — chosen so that Parse(Deparse(st)) always succeeds and
+// deparses to the same string again (the fixed-point property the
+// FuzzParse harness enforces).
+func Deparse(st *Statement) string {
+	var b strings.Builder
+	if st.Snapshot {
+		b.WriteString("SEQ VT (")
+		deparseSet(&b, st.Query)
+		b.WriteString(")")
+	} else {
+		deparseSet(&b, st.Query)
+	}
+	return b.String()
+}
+
+func deparseSet(b *strings.Builder, se setExpr) {
+	switch n := se.(type) {
+	case setOp:
+		deparseSet(b, n.l)
+		if n.op == "UNION" {
+			b.WriteString(" UNION ALL ")
+		} else {
+			b.WriteString(" EXCEPT ALL ")
+		}
+		// The parser is left-associative; a set operation on the right
+		// only re-parses into the same shape when parenthesized.
+		if _, nested := n.r.(setOp); nested {
+			b.WriteString("(")
+			deparseSet(b, n.r)
+			b.WriteString(")")
+		} else {
+			deparseSet(b, n.r)
+		}
+	case *selectStmt:
+		deparseSelect(b, n)
+	}
+}
+
+func deparseSelect(b *strings.Builder, st *selectStmt) {
+	b.WriteString("SELECT ")
+	if st.star {
+		b.WriteString("*")
+	}
+	for i, item := range st.items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		deparseItem(b, item)
+	}
+	b.WriteString(" FROM ")
+	for i, fi := range st.from {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		deparseFromItem(b, fi)
+	}
+	for _, jc := range st.joins {
+		b.WriteString(" JOIN ")
+		deparseFromItem(b, jc.item)
+		b.WriteString(" ON ")
+		b.WriteString(DeparseExpr(jc.on))
+	}
+	if st.where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(DeparseExpr(st.where))
+	}
+	if len(st.groupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(st.groupBy, ", "))
+	}
+}
+
+func deparseItem(b *strings.Builder, item selectItem) {
+	if item.agg != nil {
+		if item.agg.star {
+			b.WriteString("count(*)")
+		} else {
+			fmt.Fprintf(b, "%s(%s)", strings.TrimSuffix(item.agg.fn.String(), "(*)"), DeparseExpr(item.agg.arg))
+		}
+	} else {
+		b.WriteString(DeparseExpr(item.expr))
+	}
+	if item.as != "" {
+		b.WriteString(" AS ")
+		b.WriteString(item.as)
+	}
+}
+
+func deparseFromItem(b *strings.Builder, fi fromItem) {
+	if fi.sub != nil {
+		b.WriteString("(")
+		deparseSet(b, fi.sub.Query)
+		b.WriteString(") AS ")
+		b.WriteString(fi.alias)
+		return
+	}
+	b.WriteString(fi.table)
+	if fi.alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(fi.alias)
+	}
+	if fi.periodBegin != "" || fi.periodEnd != "" {
+		fmt.Fprintf(b, " WITH PERIOD (%s, %s)", fi.periodBegin, fi.periodEnd)
+	}
+}
+
+// DeparseExpr renders a scalar expression in re-parseable SQL: binary
+// operations fully parenthesized, string literals with doubled quotes,
+// floats in fixed-point notation (the lexer accepts no exponents).
+func DeparseExpr(e algebra.Expr) string {
+	switch ex := e.(type) {
+	case algebra.ColRef:
+		return ex.Name
+	case algebra.Const:
+		return deparseConst(ex.Val)
+	case algebra.BinOp:
+		return fmt.Sprintf("(%s %s %s)", DeparseExpr(ex.L), binOpSQL(ex.Op), DeparseExpr(ex.R))
+	case algebra.Not:
+		return fmt.Sprintf("NOT (%s)", DeparseExpr(ex.E))
+	case algebra.IsNullExpr:
+		return fmt.Sprintf("(%s IS NULL)", DeparseExpr(ex.E))
+	default:
+		return e.String()
+	}
+}
+
+func binOpSQL(op algebra.BinOpKind) string {
+	switch op {
+	case algebra.OpEq:
+		return "="
+	case algebra.OpNe:
+		return "<>"
+	case algebra.OpLt:
+		return "<"
+	case algebra.OpLe:
+		return "<="
+	case algebra.OpGt:
+		return ">"
+	case algebra.OpGe:
+		return ">="
+	case algebra.OpAnd:
+		return "AND"
+	case algebra.OpOr:
+		return "OR"
+	case algebra.OpAdd:
+		return "+"
+	case algebra.OpSub:
+		return "-"
+	case algebra.OpMul:
+		return "*"
+	default:
+		return "/"
+	}
+}
+
+func deparseConst(v tuple.Value) string {
+	switch v.Kind() {
+	case tuple.KindString:
+		return "'" + strings.ReplaceAll(v.String(), "'", "''") + "'"
+	case tuple.KindFloat:
+		// Fixed-point, no exponent (the lexer accepts none). Force a
+		// decimal point: a whole float rendered bare would re-parse on
+		// the integer path, where values beyond int64 overflow.
+		s := strconv.FormatFloat(v.AsFloat(), 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	case tuple.KindBool:
+		if v.AsBool() {
+			return "TRUE"
+		}
+		return "FALSE"
+	case tuple.KindNull:
+		return "NULL"
+	default:
+		return v.String()
+	}
+}

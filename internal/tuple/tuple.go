@@ -210,36 +210,51 @@ func (t Tuple) String() string {
 // maps for K-relations, grouping and joins. Integers and floats that
 // represent the same number produce the same key.
 func (t Tuple) Key() string {
-	var b strings.Builder
-	b.Grow(len(t) * 8)
-	for _, v := range t {
+	return string(t.AppendKey(make([]byte, 0, len(t)*8), nil))
+}
+
+// AppendKey appends the canonical key encoding (see Key) of the columns
+// at idx — all columns when idx is nil — to b and returns the extended
+// slice. It is the allocation-free core of Key, for hot paths that hash
+// many rows with a reusable scratch buffer (e.g. the parallel
+// hash-partition exchange).
+func (t Tuple) AppendKey(b []byte, idx []int) []byte {
+	appendVal := func(v Value) {
 		switch v.kind {
 		case KindNull:
-			b.WriteByte('n')
+			b = append(b, 'n')
 		case KindInt:
-			b.WriteByte('i')
-			b.WriteString(strconv.FormatInt(v.i, 10))
+			b = append(b, 'i')
+			b = strconv.AppendInt(b, v.i, 10)
 		case KindFloat:
 			// Encode integral floats like ints so Equal ⇒ same Key.
 			if f := v.f; f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e15 {
-				b.WriteByte('i')
-				b.WriteString(strconv.FormatInt(int64(f), 10))
+				b = append(b, 'i')
+				b = strconv.AppendInt(b, int64(f), 10)
 			} else {
-				b.WriteByte('f')
-				b.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+				b = append(b, 'f')
+				b = strconv.AppendFloat(b, v.f, 'g', -1, 64)
 			}
 		case KindString:
-			b.WriteByte('s')
-			b.WriteString(strconv.Itoa(len(v.s)))
-			b.WriteByte(':')
-			b.WriteString(v.s)
+			b = append(b, 's')
+			b = strconv.AppendInt(b, int64(len(v.s)), 10)
+			b = append(b, ':')
+			b = append(b, v.s...)
 		case KindBool:
-			b.WriteByte('b')
-			b.WriteByte(byte('0' + v.i))
+			b = append(b, 'b', byte('0'+v.i))
 		}
-		b.WriteByte(';')
+		b = append(b, ';')
 	}
-	return b.String()
+	if idx == nil {
+		for _, v := range t {
+			appendVal(v)
+		}
+	} else {
+		for _, j := range idx {
+			appendVal(t[j])
+		}
+	}
+	return b
 }
 
 // Project returns the sub-tuple at the given column indexes.
