@@ -11,6 +11,7 @@
 //	snapbench -exp ablation   §9 ablations (E7, E8, E9)
 //	snapbench -exp scaling    parallel exchange executor speedup at 1/2/4/8 workers
 //	snapbench -exp sweep      streaming vs materializing vs partitioned sweep operators
+//	snapbench -exp parstream  parallel streaming sweeps (ordered exchange) vs parallel blocking
 //	snapbench -exp all        everything above
 //
 // -quick shrinks datasets for a fast smoke run; -runs sets the number of
@@ -45,7 +46,7 @@ type config struct {
 func parseFlags(args []string, out io.Writer) (config, error) {
 	fs := flag.NewFlagSet("snapbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|all")
+	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|parstream|all")
 	quick := fs.Bool("quick", false, "use small datasets (smoke run)")
 	runs := fs.Int("runs", 0, "repetitions per measurement (0 = scale default)")
 	jsonPath := fs.String("json", "", "write per-experiment medians as JSON to this path")
@@ -81,6 +82,7 @@ func experiments(w io.Writer, sc harness.Scale, rep *harness.Report) []experimen
 		{"ablation", func() error { return harness.Ablations(w, sc, rep) }},
 		{"scaling", func() error { return harness.Scaling(w, sc, rep) }},
 		{"sweep", func() error { return harness.Sweep(w, sc, rep) }},
+		{"parstream", func() error { return harness.ParStream(w, sc, rep) }},
 	}
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -60,7 +61,7 @@ func TestExperimentRegistryCoversDocumentedIDs(t *testing.T) {
 	for _, e := range exps {
 		ids[e.Name] = true
 	}
-	for _, want := range []string{"fig1", "table1", "fig5", "table2", "table3emp", "table3tpc", "ablation", "scaling", "sweep"} {
+	for _, want := range []string{"fig1", "table1", "fig5", "table2", "table3emp", "table3tpc", "ablation", "scaling", "sweep", "parstream"} {
 		if !ids[want] {
 			t.Fatalf("experiment %q missing from registry", want)
 		}
@@ -117,6 +118,59 @@ func TestRunSweepJSONSchema(t *testing.T) {
 	} {
 		if !names[want] {
 			t.Fatalf("metric %q missing; got %v", want, names)
+		}
+	}
+}
+
+// The parstream experiment feeds the CI smoke and the ROADMAP
+// performance trajectory; pin its -json metric naming so downstream
+// parsing does not silently break.
+func TestRunParStreamJSONSchema(t *testing.T) {
+	sc := harness.Quick
+	sc.Fig5Sizes = []int{200} // keep the test fast
+	sc.Runs = 1
+	rep := harness.NewReport(sc)
+	var out bytes.Buffer
+	if err := harness.ParStream(&out, sc, rep); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, m := range rep.Metrics {
+		if m.Experiment != "parstream" {
+			t.Fatalf("metric experiment = %q, want parstream", m.Experiment)
+		}
+		if m.Name == "" || m.Seconds < 0 {
+			t.Fatalf("malformed metric: %+v", m)
+		}
+		if m.Extra["rows"] <= 0 {
+			t.Fatalf("parstream metrics must carry output cardinality: %+v", m)
+		}
+		names[m.Name] = true
+	}
+	w := harness.DefaultWorkers
+	for _, want := range []string{
+		fmt.Sprintf("coalesce-par-blocking-x%d/sorted/rows=200", w),
+		fmt.Sprintf("coalesce-par-stream-x%d/sorted/rows=200", w),
+		fmt.Sprintf("agg-par-blocking-x%d/sorted/rows=200", w),
+		fmt.Sprintf("agg-par-stream-x%d/sorted/rows=200", w),
+		"coalesce-seq-stream/sorted/rows=200",
+		"agg-seq-stream/sorted/rows=200",
+	} {
+		if !names[want] {
+			t.Fatalf("metric %q missing; got %v", want, names)
+		}
+	}
+	// Paired variants must agree on output cardinality: the streaming
+	// and blocking parallel sweeps compute the same multiset.
+	var rows []float64
+	for _, m := range rep.Metrics {
+		if strings.HasPrefix(m.Name, "coalesce-") {
+			rows = append(rows, m.Extra["rows"])
+		}
+	}
+	for _, r := range rows {
+		if r != rows[0] {
+			t.Fatalf("coalesce variants disagree on output cardinality: %v", rows)
 		}
 	}
 }

@@ -9,6 +9,7 @@
 //	snapq -data factory -explain -sql "SEQ VT (SELECT count(*) AS cnt FROM works)"
 //	snapq -data employees -query join-1 -approach seq-par  # parallel exchange executor
 //	snapq -data employees -query join-1 -approach seq-stream  # forced streaming sweeps
+//	snapq -data employees -query agg-1 -approach par-stream  # parallel streaming sweeps (ordered exchange)
 //	snapq -data employees -query join-1 -stream -limit 0   # stream rows as they arrive
 package main
 
@@ -62,7 +63,7 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.StringVar(&cfg.Domain, "domain", "0,1000000", "with -data csv: time domain min,max")
 	fs.StringVar(&cfg.SQL, "sql", "", "snapshot SQL to run (SEQ VT optional)")
 	fs.StringVar(&cfg.QueryID, "query", "", "run a named workload query (join-1..diff-2, Q1..Q19)")
-	fs.StringVar(&cfg.Approach, "approach", "seq", "seq|seq-naive|seq-mat|seq-par|seq-stream|nat-ip|nat-align")
+	fs.StringVar(&cfg.Approach, "approach", "seq", "seq|seq-naive|seq-mat|seq-par|seq-stream|par-stream|nat-ip|nat-align")
 	fs.IntVar(&cfg.Limit, "limit", 50, "maximum rows to print (0 = all)")
 	fs.BoolVar(&cfg.Explain, "explain", false, "print the rewritten plan instead of executing")
 	fs.BoolVar(&cfg.Stream, "stream", false, "print rows as the pipeline produces them instead of materializing and sorting (seq approaches only)")
@@ -224,6 +225,8 @@ func parseApproach(s string) (harness.Approach, error) {
 		return harness.SeqPar, nil
 	case "seq-stream":
 		return harness.SeqStream, nil
+	case "par-stream":
+		return harness.SeqParStream, nil
 	default:
 		return 0, fmt.Errorf("unknown approach %q", s)
 	}
@@ -241,8 +244,10 @@ func streamOptions(ap harness.Approach) (rewrite.Options, error) {
 		return rewrite.Options{Mode: rewrite.ModeOptimized, Parallelism: harness.DefaultWorkers}, nil
 	case harness.SeqStream:
 		return rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: rewrite.SweepStreaming}, nil
+	case harness.SeqParStream:
+		return rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: rewrite.SweepStreaming, Parallelism: harness.DefaultWorkers}, nil
 	default:
-		return rewrite.Options{}, fmt.Errorf("-stream supports seq, seq-naive, seq-par and seq-stream, not %s", ap)
+		return rewrite.Options{}, fmt.Errorf("-stream supports seq, seq-naive, seq-par, seq-stream and par-stream, not %s", ap)
 	}
 }
 

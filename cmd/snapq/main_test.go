@@ -53,6 +53,7 @@ func TestParseApproach(t *testing.T) {
 		"seq-mat":    harness.SeqMat,
 		"seq-par":    harness.SeqPar,
 		"seq-stream": harness.SeqStream,
+		"par-stream": harness.SeqParStream,
 		"nat-ip":     harness.NatIP,
 		"nat-align":  harness.NatAlign,
 	}
@@ -78,6 +79,13 @@ func TestStreamOptions(t *testing.T) {
 	if opt.Sweep != rewrite.SweepStreaming {
 		t.Fatalf("seq-stream must force streaming sweeps, got %+v", opt)
 	}
+	ps, err := streamOptions(harness.SeqParStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Sweep != rewrite.SweepStreaming || ps.Parallelism < 2 {
+		t.Fatalf("par-stream must force streaming sweeps on the parallel executor, got %+v", ps)
+	}
 	if _, err := streamOptions(harness.NatIP); err == nil {
 		t.Fatal("native baselines have no streaming form; expected error")
 	}
@@ -87,7 +95,7 @@ func TestStreamOptions(t *testing.T) {
 // text through the full run path.
 func TestRunFactoryQueryAcrossApproaches(t *testing.T) {
 	var want string
-	for _, ap := range []string{"seq", "seq-mat", "seq-par", "seq-stream"} {
+	for _, ap := range []string{"seq", "seq-mat", "seq-par", "seq-stream", "par-stream"} {
 		var out, errb bytes.Buffer
 		code := run([]string{
 			"-data", "factory", "-approach", ap,

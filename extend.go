@@ -152,7 +152,7 @@ func (t *Table) Delete(begin, end int64, where string) (int, error) {
 			kept = append(kept, periodRow(data, iv.End, riv.End))
 		}
 	}
-	t.tbl.Rows = kept
+	t.tbl.SetRows(kept) // bulk mutation: drops the cached sortedness metadata
 	return affected, nil
 }
 
@@ -218,7 +218,7 @@ func (t *Table) Update(begin, end int64, column string, newValue any, where stri
 			out = append(out, periodRow(data, inter.End, riv.End))
 		}
 	}
-	t.tbl.Rows = out
+	t.tbl.SetRows(out) // bulk mutation: drops the cached sortedness metadata
 	return affected, nil
 }
 
@@ -272,6 +272,11 @@ func (r *Result) WriteCSV(w io.Writer) error {
 // does not require coalescing (queries coalesce their results), but the
 // method is useful to inspect storage redundancy.
 func (t *Table) Coalesced() (bool, int) {
+	if t.tbl.KnownCoalesced() {
+		// Metadata fast path: a table whose rows came out of a coalesce
+		// is its own coalesced encoding, no rescan needed.
+		return true, t.tbl.Len()
+	}
 	c := engine.Coalesce(t.tbl, engine.CoalesceNative)
 	return engine.IsCoalesced(t.tbl, engine.CoalesceNative), c.Len()
 }

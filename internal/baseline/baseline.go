@@ -370,7 +370,10 @@ func buggyAggregate(in *engine.Table, n algebra.Agg, ap Approach) (*engine.Table
 			a.states[i].AddValue(arg, 1)
 		}
 	}
-	out := engine.NewTable(tuple.NewSchema(outCols...))
+	// A literal, not engine.NewTable: rows are written directly below
+	// (in nondeterministic map order), so the table must start with
+	// UNKNOWN metadata, not NewTable's known-sorted empty state.
+	out := &engine.Table{Schema: engine.PeriodSchema(tuple.NewSchema(outCols...))}
 	for _, a := range groups {
 		row := a.group.Clone()
 		for _, st := range a.states {

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"snapk/internal/algebra"
 	"snapk/internal/interval"
@@ -89,13 +90,16 @@ func aggregateSweep(in *Table, out *Table, groupIdx []int, aggs []algebra.AggSpe
 	}
 	global := len(groupIdx) == 0
 	groups := make(map[string]*grp)
+	// Reusable scratch key: the group tuple is only projected out (and
+	// the key string only materialized) once per distinct group, not per
+	// row.
+	var scratch []byte
 	for _, row := range in.Rows {
-		g := row.Project(groupIdx)
-		key := g.Key()
-		acc, ok := groups[key]
+		scratch = row.AppendKey(scratch[:0], groupIdx)
+		acc, ok := groups[string(scratch)]
 		if !ok {
-			acc = &grp{group: g}
-			groups[key] = acc
+			acc = &grp{group: row.Project(groupIdx)}
+			groups[string(scratch)] = acc
 		}
 		iv := in.Interval(row)
 		acc.events = append(acc.events,
@@ -119,7 +123,9 @@ func aggregateSweep(in *Table, out *Table, groupIdx []int, aggs []algebra.AggSpe
 			if alive == 0 && !global {
 				return
 			}
-			row := g.group.Clone()
+			// One exact-capacity allocation per output row.
+			row := make(tuple.Tuple, 0, len(g.group)+len(sweepers)+2)
+			row = append(row, g.group...)
 			for _, sw := range sweepers {
 				row = append(row, sw.result())
 			}
@@ -178,14 +184,14 @@ func aggregateNaive(in *Table, out *Table, groupIdx []int, aggs []algebra.AggSpe
 		return a
 	}
 	groups := make(map[string]*acc)
+	var scratch []byte
 	for _, row := range split.Rows {
-		g := row.Project(groupIdx)
 		iv := split.Interval(row)
-		key := g.Key() + "@" + tuple.Tuple{tuple.Int(iv.Begin), tuple.Int(iv.End)}.Key()
-		a, ok := groups[key]
+		scratch = appendSegKey(scratch[:0], row, groupIdx, iv)
+		a, ok := groups[string(scratch)]
 		if !ok {
-			a = newAcc(g, iv)
-			groups[key] = a
+			a = newAcc(row.Project(groupIdx), iv)
+			groups[string(scratch)] = a
 		}
 		for i := range aggs {
 			var arg tuple.Value
@@ -206,9 +212,11 @@ func aggregateNaive(in *Table, out *Table, groupIdx []int, aggs []algebra.AggSpe
 		pts = interval.DedupTimes(pts)
 		for i := 0; i+1 < len(pts); i++ {
 			seg := interval.Interval{Begin: pts[i], End: pts[i+1]}
-			key := "@" + tuple.Tuple{tuple.Int(seg.Begin), tuple.Int(seg.End)}.Key()
-			if _, covered := groups[key]; !covered {
-				groups[key] = newAcc(tuple.Tuple{}, seg)
+			// Global aggregation has no group columns, so the segment key
+			// degenerates to the '@'-prefixed endpoint encoding.
+			scratch = appendSegKey(scratch[:0], nil, groupIdx, seg)
+			if _, covered := groups[string(scratch)]; !covered {
+				groups[string(scratch)] = newAcc(tuple.Tuple{}, seg)
 			}
 		}
 	}
@@ -220,6 +228,21 @@ func aggregateNaive(in *Table, out *Table, groupIdx []int, aggs []algebra.AggSpe
 		row = append(row, tuple.Int(a.seg.Begin), tuple.Int(a.seg.End))
 		out.Rows = append(out.Rows, row)
 	}
+}
+
+// appendSegKey appends the (group, segment) composite key of the naive
+// hash aggregation — the canonical group-columns key encoding, '@', and
+// the two interval endpoints — to b, replacing the old
+// `g.Key() + "@" + endpoints.Key()` concatenation that allocated two
+// strings per input row. row may be nil when groupIdx is empty (the
+// global-aggregation gap segments).
+func appendSegKey(b []byte, row tuple.Tuple, groupIdx []int, iv interval.Interval) []byte {
+	b = row.AppendKey(b, groupIdx)
+	b = append(b, '@')
+	b = strconv.AppendInt(b, iv.Begin, 10)
+	b = append(b, ';')
+	b = strconv.AppendInt(b, iv.End, 10)
+	return b
 }
 
 // aggSweeper incrementally maintains one aggregation function under row

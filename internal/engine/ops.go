@@ -39,7 +39,10 @@ func Project(in *Table, exprs []algebra.NamedExpr) (*Table, error) {
 		fns[i] = c
 		cols[i] = ne.Name
 	}
-	out := NewTable(tuple.NewSchema(cols...))
+	// A literal, not NewTable: rows are written directly below, so the
+	// table must start with UNKNOWN metadata, not NewTable's
+	// known-sorted empty state.
+	out := &Table{Schema: PeriodSchema(tuple.NewSchema(cols...))}
 	n := len(in.Schema.Cols)
 	for _, row := range in.Rows {
 		res := make(tuple.Tuple, len(fns)+2)
@@ -132,24 +135,40 @@ func TemporalJoin(l, r *Table, pred algebra.Expr) (*Table, error) {
 // group are either equal or disjoint. groupIdx indexes data columns of
 // the (union-compatible) inputs.
 func Split(r1, r2 *Table, groupIdx []int) *Table {
-	eps := make(map[string][]interval.Time)
+	// Group endpoints live behind a pointer so the hot per-row path can
+	// look groups up with a reusable scratch key (map[string(scratch)]
+	// compiles to an allocation-free access) and append through the
+	// pointer; a key string is materialized once per distinct group.
+	type grpEps struct{ ts []interval.Time }
+	eps := make(map[string]*grpEps)
+	if groupIdx == nil {
+		// AppendKey reads nil as "all columns"; a nil group list here
+		// means the single global group (empty key).
+		groupIdx = []int{}
+	}
+	var scratch []byte
 	collect := func(t *Table) {
 		for _, row := range t.Rows {
-			key := row.Project(groupIdx).Key()
+			scratch = row.AppendKey(scratch[:0], groupIdx)
+			g, ok := eps[string(scratch)]
+			if !ok {
+				g = &grpEps{}
+				eps[string(scratch)] = g
+			}
 			iv := t.Interval(row)
-			eps[key] = append(eps[key], iv.Begin, iv.End)
+			g.ts = append(g.ts, iv.Begin, iv.End)
 		}
 	}
 	collect(r1)
 	collect(r2)
-	for k, ts := range eps {
-		eps[k] = interval.DedupTimes(ts)
+	for _, g := range eps {
+		g.ts = interval.DedupTimes(g.ts)
 	}
 	out := &Table{Schema: r1.Schema}
 	n := r1.DataArity()
 	for _, row := range r1.Rows {
-		key := row.Project(groupIdx).Key()
-		for _, seg := range r1.Interval(row).Segments(eps[key]) {
+		scratch = row.AppendKey(scratch[:0], groupIdx)
+		for _, seg := range r1.Interval(row).Segments(eps[string(scratch)].ts) {
 			nr := row[:n].Clone()
 			nr = append(nr, tuple.Int(seg.Begin), tuple.Int(seg.End))
 			out.Rows = append(out.Rows, nr)
@@ -173,14 +192,15 @@ func TemporalDiff(l, r *Table) (*Table, error) {
 		deltas map[interval.Time]int64 // +left −right multiplicity change
 	}
 	groups := make(map[string]*grp)
+	var scratch []byte
 	add := func(t *Table, sign int64) {
 		for _, row := range t.Rows {
 			data := row[:n]
-			key := data.Key()
-			g, ok := groups[key]
+			scratch = data.AppendKey(scratch[:0], nil)
+			g, ok := groups[string(scratch)]
 			if !ok {
 				g = &grp{data: data, deltas: make(map[interval.Time]int64)}
-				groups[key] = g
+				groups[string(scratch)] = g
 			}
 			iv := t.Interval(row)
 			g.deltas[iv.Begin] += sign

@@ -51,36 +51,18 @@ func (it *morselTableIter) Close() {}
 
 // chanIter is the receiving end of a repartition exchange: one of W
 // worker-side iterators pulling batches from a shared channel fed by a
-// distributor goroutine. Cancellation of the execution context unblocks
-// the receive.
+// distributor goroutine. The batch-draining loop is chanCursor's, so
+// the ctx-aware receive cannot drift between the RowIter form and the
+// ordered-merge rowSource form.
 type chanIter struct {
 	ctx    context.Context
 	schema tuple.Schema
-	ch     <-chan batch
-	cur    batch
-	i      int
+	cur    chanCursor
 }
 
 func (it *chanIter) Schema() tuple.Schema { return it.schema }
 
-func (it *chanIter) Next() (tuple.Tuple, bool) {
-	for {
-		if it.i < len(it.cur) {
-			row := it.cur[it.i]
-			it.i++
-			return row, true
-		}
-		select {
-		case <-it.ctx.Done():
-			return nil, false
-		case b, ok := <-it.ch:
-			if !ok {
-				return nil, false
-			}
-			it.cur, it.i = b, 0
-		}
-	}
-}
+func (it *chanIter) Next() (tuple.Tuple, bool) { return it.cur.next(it.ctx) }
 
 func (it *chanIter) Close() {}
 
@@ -244,7 +226,7 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int) []engine.R
 	}()
 	parts := make([]engine.RowIter, e.workers)
 	for i := range parts {
-		parts[i] = &chanIter{ctx: e.ctx, schema: schema, ch: chans[i]}
+		parts[i] = &chanIter{ctx: e.ctx, schema: schema, cur: chanCursor{ch: chans[i]}}
 	}
 	return parts
 }
@@ -258,6 +240,300 @@ func keyHash(key []byte) uint32 {
 		h *= 16777619
 	}
 	return h
+}
+
+// rowSource is one input of an ordered k-way merge: a pull interface
+// over the receiving end of a producer's batch transport (bounded
+// channel or unbounded queue).
+type rowSource interface {
+	next(ctx context.Context) (tuple.Tuple, bool)
+}
+
+// chanCursor adapts one bounded batch channel to a rowSource.
+type chanCursor struct {
+	ch  <-chan batch
+	cur batch
+	i   int
+}
+
+func (c *chanCursor) next(ctx context.Context) (tuple.Tuple, bool) {
+	for {
+		if c.i < len(c.cur) {
+			row := c.cur[c.i]
+			c.i++
+			return row, true
+		}
+		select {
+		case <-ctx.Done():
+			return nil, false
+		case b, ok := <-c.ch:
+			if !ok {
+				return nil, false
+			}
+			c.cur, c.i = b, 0
+		}
+	}
+}
+
+// batchQueue is an unbounded batch mailbox used by the order-preserving
+// repartition exchange. Unbounded is load-bearing, not a convenience:
+// an ordered k-way merge cannot emit a row until EVERY live cursor has
+// a head row, so if producers could block on a full partition buffer, a
+// skewed key distribution deadlocks (producer s1 full toward partition
+// w1 while w1's merge awaits s2, whose producer is full toward w2,
+// whose merge awaits s1). The worst-case footprint is one partition's
+// rows — exactly what the blocking sweep path materialized anyway.
+type batchQueue struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	batches []batch
+	closed  bool
+}
+
+func newBatchQueue() *batchQueue {
+	q := &batchQueue{}
+	q.cond.L = &q.mu
+	return q
+}
+
+func (q *batchQueue) put(b batch) {
+	q.mu.Lock()
+	q.batches = append(q.batches, b)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// closeQ marks end-of-stream and wakes the consumer. Producers always
+// close their queues on exit — including the cancellation path — which
+// is what unblocks a consumer waiting in get.
+func (q *batchQueue) closeQ() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *batchQueue) get() (batch, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.batches) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.batches) == 0 {
+		return nil, false
+	}
+	b := q.batches[0]
+	q.batches[0] = nil
+	q.batches = q.batches[1:]
+	return b, true
+}
+
+// queueCursor adapts one batchQueue to a rowSource. Cancellation is
+// observed through the producer closing the queue, so get never blocks
+// past teardown.
+type queueCursor struct {
+	q   *batchQueue
+	cur batch
+	i   int
+}
+
+func (c *queueCursor) next(ctx context.Context) (tuple.Tuple, bool) {
+	for {
+		if c.i < len(c.cur) {
+			row := c.cur[c.i]
+			c.i++
+			return row, true
+		}
+		b, ok := c.q.get()
+		if !ok {
+			return nil, false
+		}
+		c.cur, c.i = b, 0
+	}
+}
+
+// orderedMergeIter is the order-preserving merge exchange: a k-way
+// merge over per-producer sources in the sweep operators' canonical
+// (begin, end) endpoint order — the same order engine.CompareEndpoints
+// defines — so begin-sorted fragment streams merge into one
+// begin-sorted stream and downstream streaming sweeps stay streaming.
+// Each source holds at most one head row in the heap; the merge pulls a
+// replacement only from the source it popped, which is what keeps
+// per-fragment order intact.
+type orderedMergeIter struct {
+	ctx    context.Context
+	schema tuple.Schema
+	srcs   []rowSource
+	heap   []mergeEntry
+	inited bool
+}
+
+// mergeEntry is one heap element: a source's current head row with its
+// interval endpoints cached, so every sift comparison is two raw int64
+// compares instead of re-extracting tagged values from the row.
+type mergeEntry struct {
+	begin, end int64
+	row        tuple.Tuple
+	src        rowSource
+}
+
+func newMergeEntry(row tuple.Tuple, src rowSource) mergeEntry {
+	n := len(row)
+	return mergeEntry{begin: row[n-2].AsInt(), end: row[n-1].AsInt(), row: row, src: src}
+}
+
+func (it *orderedMergeIter) Schema() tuple.Schema { return it.schema }
+
+func (it *orderedMergeIter) less(i, j int) bool {
+	a, b := &it.heap[i], &it.heap[j]
+	if a.begin != b.begin {
+		return a.begin < b.begin
+	}
+	return a.end < b.end
+}
+
+func (it *orderedMergeIter) siftDown(i int) {
+	n := len(it.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && it.less(l, s) {
+			s = l
+		}
+		if r < n && it.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		it.heap[i], it.heap[s] = it.heap[s], it.heap[i]
+		i = s
+	}
+}
+
+func (it *orderedMergeIter) Next() (tuple.Tuple, bool) {
+	if !it.inited {
+		it.inited = true
+		for _, src := range it.srcs {
+			if row, ok := src.next(it.ctx); ok {
+				it.heap = append(it.heap, newMergeEntry(row, src))
+			}
+		}
+		for i := len(it.heap)/2 - 1; i >= 0; i-- {
+			it.siftDown(i)
+		}
+	}
+	if len(it.heap) == 0 {
+		return nil, false
+	}
+	row := it.heap[0].row
+	if nrow, ok := it.heap[0].src.next(it.ctx); ok {
+		it.heap[0] = newMergeEntry(nrow, it.heap[0].src)
+	} else {
+		n := len(it.heap) - 1
+		it.heap[0] = it.heap[n]
+		it.heap[n] = mergeEntry{}
+		it.heap = it.heap[:n]
+	}
+	it.siftDown(0)
+	return row, true
+}
+
+func (it *orderedMergeIter) Close() {}
+
+// startOrderedMerge is the order-preserving sibling of startMerge: one
+// producer goroutine and one bounded channel per part (backpressure is
+// safe here — the single consumer always drains the source it waits
+// on), with the consumer k-way merging the heads by endpoint order.
+// The merged stream is begin-sorted iff every part is.
+func (e *executor) startOrderedMerge(parts []engine.RowIter) engine.RowIter {
+	schema := parts[0].Schema()
+	srcs := make([]rowSource, len(parts))
+	for i, part := range parts {
+		ch := make(chan batch, 2)
+		srcs[i] = &chanCursor{ch: ch}
+		part := part
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer close(ch)
+			defer part.Close()
+			e.drainInto(part, ch)
+		}()
+	}
+	return &orderedMergeIter{ctx: e.ctx, schema: schema, srcs: srcs}
+}
+
+// hashPartitionOrdered is the order-preserving repartition exchange:
+// like hashPartition it hashes the key columns so value-equivalent
+// groups never straddle partitions, but it partitions BEFORE any
+// order-destroying merge — each producer feeds a private queue per
+// partition (preserving its fragment's begin order as a subsequence)
+// and every partition-side iterator k-way merges its per-producer
+// queues by endpoint order. With begin-sorted sources, every partition
+// stream is begin-sorted, which is what lets each worker run a
+// STREAMING sweep over its partition. See batchQueue for why the
+// per-(source, partition) transport must be unbounded.
+func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int) []engine.RowIter {
+	schema := srcs[0].Schema()
+	queues := make([][]*batchQueue, len(srcs))
+	for s := range queues {
+		queues[s] = make([]*batchQueue, e.workers)
+		for w := range queues[s] {
+			queues[s][w] = newBatchQueue()
+		}
+	}
+	for si, src := range srcs {
+		si, src := si, src
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer src.Close()
+			defer func() {
+				for _, q := range queues[si] {
+					q.closeQ()
+				}
+			}()
+			bufs := make([]batch, e.workers)
+			for i := range bufs {
+				bufs[i] = make(batch, 0, e.morsel)
+			}
+			var scratch []byte
+			for {
+				row, ok := src.Next()
+				if !ok {
+					break
+				}
+				scratch = row.AppendKey(scratch[:0], keyIdx)
+				i := int(keyHash(scratch) % uint32(e.workers))
+				bufs[i] = append(bufs[i], row)
+				if len(bufs[i]) == e.morsel {
+					// The cancellation probe runs once per batch, not per
+					// row: queue puts never block, so this is the only
+					// teardown point and ctx.Err is not free.
+					if e.ctx.Err() != nil {
+						return
+					}
+					queues[si][i].put(bufs[i])
+					bufs[i] = make(batch, 0, e.morsel)
+				}
+			}
+			for i := range bufs {
+				if len(bufs[i]) > 0 {
+					queues[si][i].put(bufs[i])
+				}
+			}
+		}()
+	}
+	parts := make([]engine.RowIter, e.workers)
+	for w := range parts {
+		cursors := make([]rowSource, len(srcs))
+		for s := range srcs {
+			cursors[s] = &queueCursor{q: queues[s][w]}
+		}
+		parts[w] = &orderedMergeIter{ctx: e.ctx, schema: schema, srcs: cursors}
+	}
+	return parts
 }
 
 // repartition converts a sequential stream into W worker-side iterators
@@ -277,7 +553,7 @@ func (e *executor) repartition(src engine.RowIter) []engine.RowIter {
 	}()
 	parts := make([]engine.RowIter, e.workers)
 	for i := range parts {
-		parts[i] = &chanIter{ctx: e.ctx, schema: schema, ch: ch}
+		parts[i] = &chanIter{ctx: e.ctx, schema: schema, cur: chanCursor{ch: ch}}
 	}
 	return parts
 }

@@ -1,0 +1,176 @@
+package parallel_test
+
+import (
+	"context"
+	"testing"
+
+	"snapk/internal/algebra"
+	"snapk/internal/engine"
+	"snapk/internal/engine/parallel"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/qgen"
+	"snapk/internal/rewrite"
+	"snapk/internal/tuple"
+)
+
+// sortedScanDB builds a begin-sorted stored table with interleaved
+// groups, large enough that every worker claims many morsels.
+func sortedScanDB(rows int) *engine.DB {
+	dom := interval.NewDomain(0, 1<<20)
+	db := engine.NewDB(dom)
+	tbl := db.CreateTable("t", tuple.NewSchema("g", "v"))
+	for i := 0; i < rows; i++ {
+		begin := int64(i) // strictly ascending: begin-sorted by construction
+		tbl.Append(tuple.Tuple{tuple.Int(int64(i % 7)), tuple.Int(int64(i))}, interval.New(begin, begin+50), 1)
+	}
+	if !tbl.BeginSorted() {
+		panic("sortedScanDB built an unsorted table")
+	}
+	return db
+}
+
+// The ordered merge exchange must emit a begin-sorted stream when the
+// fragments are begin-sorted: a parallel scan of a sorted table, merged
+// at the root, keeps global begin order at every worker count.
+func TestOrderedMergePreservesBeginOrder(t *testing.T) {
+	db := sortedScanDB(5000)
+	for _, workers := range []int{2, 3, 8} {
+		it, err := parallel.Exec(context.Background(), db, engine.ScanP{Name: "t"},
+			parallel.Options{Workers: workers, MorselSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := engine.Materialize(it)
+		it.Close()
+		if got.Len() != 5000 {
+			t.Fatalf("workers %d: merged scan lost rows: %d", workers, got.Len())
+		}
+		if !engine.RowsBeginSorted(got.Rows) {
+			t.Fatalf("workers %d: ordered merge emitted out-of-order rows", workers)
+		}
+	}
+}
+
+// Order must survive the operators that preserve it per fragment:
+// Filter and Project above a sorted scan still merge ordered.
+func TestOrderedMergeSurvivesFilterProject(t *testing.T) {
+	db := sortedScanDB(4000)
+	p := engine.ProjectP{
+		Exprs: []algebra.NamedExpr{{Name: "g", E: algebra.Col("g")}},
+		In: engine.FilterP{
+			Pred: algebra.Gt(algebra.Col("v"), algebra.IntC(100)),
+			In:   engine.ScanP{Name: "t"},
+		},
+	}
+	it, err := parallel.Exec(context.Background(), db, p, parallel.Options{Workers: 4, MorselSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	got := engine.Materialize(it)
+	if got.Len() == 0 {
+		t.Fatal("empty filtered scan; test is vacuous")
+	}
+	if !engine.RowsBeginSorted(got.Rows) {
+		t.Fatal("ordered merge above Filter→Project emitted out-of-order rows")
+	}
+}
+
+// The parallel STREAMING sweeps behind the order-preserving exchange
+// must produce the exact multiset of the sequential blocking sweeps, on
+// begin-sorted input, for coalesce and grouped/global pre-aggregated
+// aggregation, at several worker counts. The tiny morsel size forces
+// real partitioning.
+func TestParallelStreamingSweepEquivalence(t *testing.T) {
+	db := sortedScanDB(3000)
+	aggs := []algebra.AggSpec{{Fn: krel.Sum, Arg: "v", As: "total"}, {Fn: krel.CountStar, As: "cnt"}}
+	plans := []struct {
+		name      string
+		streaming engine.Plan
+		oracle    engine.Plan
+	}{
+		{
+			name:      "coalesce",
+			streaming: engine.CoalesceP{In: engine.ScanP{Name: "t"}, Streaming: true},
+			oracle:    engine.CoalesceP{In: engine.ScanP{Name: "t"}},
+		},
+		{
+			name:      "agg-grouped",
+			streaming: engine.AggP{GroupBy: []string{"g"}, Aggs: aggs, PreAgg: true, Streaming: true, In: engine.ScanP{Name: "t"}},
+			oracle:    engine.AggP{GroupBy: []string{"g"}, Aggs: aggs, PreAgg: true, In: engine.ScanP{Name: "t"}},
+		},
+		{
+			name:      "agg-global",
+			streaming: engine.AggP{Aggs: aggs, PreAgg: true, Streaming: true, In: engine.ScanP{Name: "t"}},
+			oracle:    engine.AggP{Aggs: aggs, PreAgg: true, In: engine.ScanP{Name: "t"}},
+		},
+	}
+	for _, p := range plans {
+		mat, err := db.Exec(p.oracle)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", p.name, err)
+		}
+		want := sortedKeys(mat)
+		if len(want) == 0 {
+			t.Fatalf("%s: empty oracle result; test is vacuous", p.name)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			it, err := parallel.Exec(context.Background(), db, p.streaming,
+				parallel.Options{Workers: workers, MorselSize: 8})
+			if err != nil {
+				t.Fatalf("%s workers %d: %v", p.name, workers, err)
+			}
+			got := sortedKeys(engine.Materialize(it))
+			it.Close()
+			if !sameMultiset(got, want) {
+				t.Fatalf("%s workers %d: parallel streaming sweep diverges: got %d rows, want %d",
+					p.name, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+// The full par-stream grid over random databases and queries: the
+// REWR plans of every sweep mode × parallelism × sortedness
+// combination must agree with the materializing executor. This is the
+// qgen equivalence suite's coverage of the new executor path (the
+// rewrite-level commuting diagram covers the logical model; this one
+// stresses the exchanges with a tiny morsel size).
+func TestParStreamQgenGrid(t *testing.T) {
+	for seed := int64(200); seed < 260; seed++ {
+		g := qgen.New(seed)
+		spec := g.GenDB()
+		q := g.GenQuery()
+		for _, sorted := range []bool{false, true} {
+			s := spec
+			if sorted {
+				s = spec.SortedByBegin()
+			}
+			db := s.ToEngineDB()
+			for _, sw := range []rewrite.SweepMode{rewrite.SweepAuto, rewrite.SweepStreaming, rewrite.SweepBlocking} {
+				p, err := rewrite.Rewrite(q, db, rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: sw, Parallelism: 3})
+				if err != nil {
+					t.Fatalf("seed %d: rewrite: %v", seed, err)
+				}
+				mat, err := db.Exec(p)
+				if err != nil {
+					t.Fatalf("seed %d: Exec(%s): %v", seed, p, err)
+				}
+				want := sortedKeys(mat)
+				for _, workers := range []int{2, 4} {
+					it, err := parallel.Exec(context.Background(), db, p, parallel.Options{Workers: workers, MorselSize: 4})
+					if err != nil {
+						t.Fatalf("seed %d sweep %d workers %d: %v", seed, sw, workers, err)
+					}
+					got := sortedKeys(engine.Materialize(it))
+					it.Close()
+					if !sameMultiset(got, want) {
+						t.Fatalf("seed %d sorted %v sweep %d workers %d: diverges from sequential\nplan: %s\ngot %d rows, want %d",
+							seed, sorted, sw, workers, p, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}

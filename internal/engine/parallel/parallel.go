@@ -14,16 +14,30 @@
 // stored-table cardinality estimates prove smaller. The sweep operators
 // (split-based aggregation, difference, coalesce) are parallelized by a
 // hash-partition exchange on their group key: value-equivalent groups
-// never straddle partitions, so each worker runs an independent
-// materializing sweep over its partition and the merged output is
-// multiset-identical to sequential execution. Only global aggregation
-// (a single group) and the endpoint sort enforcer remain sequential
-// materialization boundaries.
+// never straddle partitions, so each worker runs an independent sweep
+// over its partition and the merged output is multiset-identical to
+// sequential execution.
+//
+// Interval-endpoint order is a first-class physical property of the
+// executor (pstream.ordered): begin-sorted scans yield begin-sorted
+// morsel fragments, Filter/Project preserve the order per fragment, and
+// two ORDER-PRESERVING exchanges carry it across pipeline breaks — an
+// ordered k-way merge (orderedMergeIter, driven by the shared
+// engine.CompareEndpoints comparator) for the merge hop, and an ordered
+// repartition (hashPartitionOrdered) that partitions straight from the
+// sorted fragments, before any order-destroying merge. When the planner
+// guaranteed the order (CoalesceP/AggP.Streaming), each worker runs the
+// STREAMING sweep over its begin-sorted partition with O(open
+// intervals + active groups) state instead of materializing it, and
+// global aggregation streams over the ordered merge of all fragments.
+// The materializing per-partition sweeps remain as the blocking
+// ablation. Only the endpoint sort enforcer is a sequential
+// materialization boundary.
 //
 // Because period relations are multisets, the nondeterministic arrival
-// order at a merge exchange is semantically invisible: the result is
-// multiset-identical to sequential execution (enforced by the qgen
-// equivalence suite).
+// order at an unordered merge exchange is semantically invisible: the
+// result is multiset-identical to sequential execution (enforced by the
+// qgen equivalence suite and the parallel fuzz differential).
 //
 // Cancellation: Exec threads a context.Context through iterator
 // creation. Canceling it — or closing the returned iterator — tears
@@ -70,10 +84,16 @@ type executor struct {
 
 // pstream is a stream in one of two physical forms: a single sequential
 // iterator, or W per-worker fragment iterators awaiting a merge.
+// ordered carries the interval-endpoint sort property through the
+// physical plan: when set, the sequential iterator — or EVERY fragment
+// individually — yields rows in ascending begin order, so exchanges can
+// preserve the order (ordered merge, ordered repartition) instead of
+// destroying it, and the streaming sweeps stay streaming end to end.
 type pstream struct {
-	seq    engine.RowIter   // exactly one of seq / parts is set
-	parts  []engine.RowIter // one fragment per worker
-	schema tuple.Schema
+	seq     engine.RowIter   // exactly one of seq / parts is set
+	parts   []engine.RowIter // one fragment per worker
+	schema  tuple.Schema
+	ordered bool
 }
 
 func (s *pstream) close() {
@@ -157,10 +177,20 @@ func (it *execIter) Close() {
 }
 
 // merge collapses a stream to a single iterator, inserting a merge
-// exchange over partitioned fragments.
+// exchange over partitioned fragments. When the stream carries the sort
+// property, the order-preserving merge keeps it: sortedness survives
+// the merge hop. This is deliberate even at the root, where no operator
+// consumes the order: the cursor API then emits begin-ordered rows for
+// ordered plans (clients see deterministic stream order), and the SortP
+// materialization boundary receives pre-sorted input. The price is a
+// per-row heap compare on sorted scan-only plans; if that ever shows up
+// in profiles, thread a need-order flag from the consumer instead.
 func (e *executor) merge(s *pstream) engine.RowIter {
 	if s.seq != nil {
 		return s.seq
+	}
+	if s.ordered {
+		return e.startOrderedMerge(s.parts)
 	}
 	return e.startMerge(s.parts)
 }
@@ -184,15 +214,21 @@ func (e *executor) build(p engine.Plan) (*pstream, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Cached table metadata makes this an O(1) probe on the load
+		// paths. A begin-sorted table yields begin-sorted fragments:
+		// every morsel scan claims strictly increasing row ranges from
+		// the shared cursor, so each fragment is an order-preserving
+		// subsequence of the stored order.
+		ordered := t.BeginSorted()
 		if e.workers <= 1 {
-			return &pstream{seq: engine.NewTableIter(t), schema: t.Schema}, nil
+			return &pstream{seq: engine.NewTableIter(t), schema: t.Schema, ordered: ordered}, nil
 		}
 		ctr := new(atomic.Int64)
 		parts := make([]engine.RowIter, e.workers)
 		for i := range parts {
 			parts[i] = &morselTableIter{t: t, ctr: ctr, size: e.morsel}
 		}
-		return &pstream{parts: parts, schema: t.Schema}, nil
+		return &pstream{parts: parts, schema: t.Schema, ordered: ordered}, nil
 	case engine.FilterP:
 		in, err := e.build(n.In)
 		if err != nil {
@@ -261,7 +297,7 @@ func (e *executor) build(p engine.Plan) (*pstream, error) {
 			return nil, err
 		}
 		in.SortByEndpoints()
-		return &pstream{seq: engine.NewTableIter(in), schema: in.Schema}, nil
+		return &pstream{seq: engine.NewTableIter(in), schema: in.Schema, ordered: true}, nil
 	default:
 		return nil, fmt.Errorf("parallel: unknown plan node %T", p)
 	}
@@ -282,8 +318,11 @@ func dataIdx(schema tuple.Schema) []int {
 // the input is hash-partitioned on the full data tuple and every worker
 // coalesces its partition independently — value-equivalent groups never
 // straddle partitions, so the merged output is multiset-identical to
-// the sequential sweep. Sequentially, the streaming variant runs when
-// the planner guaranteed begin-sorted input.
+// the sequential sweep. When the planner guaranteed begin-sorted input
+// (n.Streaming), the ORDER-PRESERVING repartition exchange keeps every
+// partition begin-sorted and each worker runs the streaming sweep with
+// O(open intervals) state; otherwise each worker materializes its
+// partition and runs the blocking sweep (the ablation baseline).
 func (e *executor) buildCoalesce(n engine.CoalesceP) (*pstream, error) {
 	if e.workers > 1 {
 		in, err := e.build(n.In)
@@ -291,6 +330,14 @@ func (e *executor) buildCoalesce(n engine.CoalesceP) (*pstream, error) {
 			return nil, err
 		}
 		schema := in.schema
+		if n.Streaming {
+			parts := e.hashPartitionOrdered(in.sources(), dataIdx(schema))
+			out := make([]engine.RowIter, len(parts))
+			for i, part := range parts {
+				out[i] = engine.NewStreamCoalesceIter(part)
+			}
+			return &pstream{parts: out, schema: schema}, nil
+		}
 		parts := e.hashPartition(in.sources(), dataIdx(schema))
 		out := make([]engine.RowIter, len(parts))
 		for i, part := range parts {
@@ -320,9 +367,13 @@ func (e *executor) buildCoalesce(n engine.CoalesceP) (*pstream, error) {
 // multiple workers hash-partitions the input on the grouping columns
 // and every worker runs an independent split/aggregate sweep — the
 // sweep never crosses group boundaries, so the merged output is
-// multiset-identical. Global aggregation has a single group and stays
-// sequential. Sequentially, the streaming pre-aggregated sweep runs
-// when the planner guaranteed begin-sorted input.
+// multiset-identical. When the planner guaranteed begin-sorted input
+// (n.Streaming, pre-aggregated only), the order-preserving repartition
+// keeps every partition begin-sorted and each worker runs the STREAMING
+// pre-aggregated sweep; otherwise the workers materialize and run the
+// blocking sweep. Global aggregation (a single group) cannot be
+// partitioned, but with the sort property it now streams over the
+// ordered merge of all fragments instead of materializing.
 func (e *executor) buildAgg(n engine.AggP) (*pstream, error) {
 	dom := e.db.Domain()
 	if e.workers > 1 && len(n.GroupBy) > 0 {
@@ -348,26 +399,47 @@ func (e *executor) buildAgg(n engine.AggP) (*pstream, error) {
 			in.close()
 			return nil, err
 		}
+		if n.Streaming && n.PreAgg {
+			parts := e.hashPartitionOrdered(in.sources(), keyIdx)
+			out := make([]engine.RowIter, len(parts))
+			for i, part := range parts {
+				it, err := engine.NewStreamAggIter(part, n.GroupBy, n.Aggs, dom)
+				if err != nil {
+					// The constructor closed part; release the rest. The
+					// partition goroutines are reaped by Exec's cancel path.
+					for j := 0; j < i; j++ {
+						out[j].Close()
+					}
+					for j := i + 1; j < len(parts); j++ {
+						parts[j].Close()
+					}
+					return nil, err
+				}
+				out[i] = it
+			}
+			return &pstream{parts: out, schema: empty.Schema}, nil
+		}
 		parts := e.hashPartition(in.sources(), keyIdx)
 		out := make([]engine.RowIter, len(parts))
 		for i, part := range parts {
 			out[i] = newLazySweepIter(part, empty.Schema, func(t *engine.Table) *engine.Table {
 				res, err := engine.TemporalAggregate(t, n.GroupBy, n.Aggs, n.PreAgg, dom)
 				if err != nil {
-					// Unreachable: errors are schema-determined and the
-					// schema was validated above.
-					return &engine.Table{Schema: empty.Schema}
+					// Validated above: errors are schema-determined. A
+					// failure here is an executor bug and must be loud,
+					// never a silently empty partition.
+					panic(fmt.Sprintf("parallel: aggregation over validated partition failed: %v", err))
 				}
 				return res
 			})
 		}
 		return &pstream{parts: out, schema: empty.Schema}, nil
 	}
-	// The streaming sweep requires the sequential engine's order
-	// guarantee: with multiple workers a merge exchange interleaves
-	// fragments and destroys the begin order, so global aggregation
-	// (unpartitionable) falls back to the materializing sweep there.
-	if e.workers <= 1 && n.Streaming && n.PreAgg {
+	// The single-group streaming sweep needs one begin-ordered stream;
+	// the order-preserving merge exchange provides it even over
+	// multiple fragments, so the sequential-engine restriction of the
+	// blocking-only executor is gone.
+	if n.Streaming && n.PreAgg {
 		in, err := e.build(n.In)
 		if err != nil {
 			return nil, err
@@ -411,11 +483,22 @@ func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
 		}
 		schema := l.schema
 		keyIdx := dataIdx(schema)
+		// Build-time validation: arity compatibility (checked above) is
+		// the only failure mode of TemporalDiff, so the per-partition
+		// closure cannot fail — if it ever does, that is an executor bug
+		// and must be loud, never a silently empty partition.
+		diff := func(lt, rt *engine.Table) *engine.Table {
+			res, err := engine.TemporalDiff(lt, rt)
+			if err != nil {
+				panic(fmt.Sprintf("parallel: difference over validated partitions failed: %v", err))
+			}
+			return res
+		}
 		lp := e.hashPartition(l.sources(), keyIdx)
 		rp := e.hashPartition(r.sources(), keyIdx)
 		out := make([]engine.RowIter, len(lp))
 		for i := range lp {
-			out[i] = newLazyDiffIter(lp[i], rp[i], schema)
+			out[i] = newLazyDiffIter(lp[i], rp[i], schema, diff)
 		}
 		return &pstream{parts: out, schema: schema}, nil
 	}
@@ -499,14 +582,17 @@ func (e *executor) buildJoin(n engine.JoinP) (*pstream, error) {
 
 // mapStream wraps every fragment (or the sequential iterator) of in with
 // a streaming operator constructor. wrap takes ownership of its input on
-// error, matching the engine constructors' contract.
+// error, matching the engine constructors' contract. The wrapped
+// operators (Filter, Project) are per-row and carry the period
+// attributes through unchanged, so the sort property of the input is
+// preserved.
 func (e *executor) mapStream(in *pstream, wrap func(engine.RowIter) (engine.RowIter, error)) (*pstream, error) {
 	if in.seq != nil {
 		it, err := wrap(in.seq)
 		if err != nil {
 			return nil, err
 		}
-		return &pstream{seq: it, schema: it.Schema()}, nil
+		return &pstream{seq: it, schema: it.Schema(), ordered: in.ordered}, nil
 	}
 	out := make([]engine.RowIter, len(in.parts))
 	for i, part := range in.parts {
@@ -522,7 +608,7 @@ func (e *executor) mapStream(in *pstream, wrap func(engine.RowIter) (engine.RowI
 		}
 		out[i] = it
 	}
-	return &pstream{parts: out, schema: out[0].Schema()}, nil
+	return &pstream{parts: out, schema: out[0].Schema(), ordered: in.ordered}, nil
 }
 
 // table materializes a subplan — the input boundary of the blocking

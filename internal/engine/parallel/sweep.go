@@ -13,6 +13,13 @@ import (
 // blocking sweeps into W-wide parallel operators: the partitioning key
 // is the sweep's group key, so the per-partition sweeps are independent
 // and their merged outputs form exactly the sequential result multiset.
+// The ordered exchange + per-worker streaming sweeps supersede this on
+// begin-sorted input; it remains the blocking ablation baseline.
+//
+// fn must be pre-validated at build time (the compile functions resolve
+// schemas and arities against an empty input before spawning fragments)
+// so it cannot fail at runtime — on an invariant violation it panics
+// rather than returning a silently truncated result.
 type lazySweepIter struct {
 	in     engine.RowIter
 	schema tuple.Schema
@@ -35,36 +42,46 @@ func (it *lazySweepIter) Next() (tuple.Tuple, bool) {
 	return it.out.Next()
 }
 
-func (it *lazySweepIter) Close() { it.in.Close() }
+// Close releases the input and, when Next already materialized the
+// sweep, the result iterator too.
+func (it *lazySweepIter) Close() {
+	it.in.Close()
+	if it.out != nil {
+		it.out.Close()
+	}
+}
 
 // lazyDiffIter is the two-input form of lazySweepIter for the fused
 // difference sweep: both sides of one hash partition are materialized
-// on first Next and diffed.
+// on first Next and diffed through fn, which buildDiff pre-validates
+// (arity compatibility is the only failure mode of the diff sweep and
+// is checked before any fragment spawns).
 type lazyDiffIter struct {
 	l, r   engine.RowIter
 	schema tuple.Schema
+	fn     func(l, r *engine.Table) *engine.Table
 	out    engine.RowIter
 }
 
-func newLazyDiffIter(l, r engine.RowIter, schema tuple.Schema) engine.RowIter {
-	return &lazyDiffIter{l: l, r: r, schema: schema}
+func newLazyDiffIter(l, r engine.RowIter, schema tuple.Schema, fn func(l, r *engine.Table) *engine.Table) engine.RowIter {
+	return &lazyDiffIter{l: l, r: r, schema: schema, fn: fn}
 }
 
 func (it *lazyDiffIter) Schema() tuple.Schema { return it.schema }
 
 func (it *lazyDiffIter) Next() (tuple.Tuple, bool) {
 	if it.out == nil {
-		res, err := engine.TemporalDiff(engine.Materialize(it.l), engine.Materialize(it.r))
-		if err != nil {
-			// Unreachable: arity compatibility was checked at build time.
-			res = &engine.Table{Schema: it.schema}
-		}
-		it.out = engine.NewTableIter(res)
+		it.out = engine.NewTableIter(it.fn(engine.Materialize(it.l), engine.Materialize(it.r)))
 	}
 	return it.out.Next()
 }
 
+// Close releases both inputs and, when Next already materialized the
+// diff, the result iterator too.
 func (it *lazyDiffIter) Close() {
 	it.l.Close()
 	it.r.Close()
+	if it.out != nil {
+		it.out.Close()
+	}
 }

@@ -151,9 +151,10 @@ func (db *DB) BeginOrdered(p Plan) bool {
 }
 
 // ScanBeginSorted reports whether the stored table name is begin-sorted
-// (false for unknown tables). It scans the rows on each call; callers
-// that probe many plan nodes should memoize per table (the planner
-// does).
+// (false for unknown tables). Tables loaded through Append or sorted
+// through SortByEndpoints answer from cached metadata in O(1); only
+// hand-built tables (direct Rows writes) fall back to an O(n) rescan,
+// which the planner additionally memoizes per Rewrite call.
 func (db *DB) ScanBeginSorted(name string) bool {
 	t, err := db.Table(name)
 	return err == nil && t.BeginSorted()
@@ -324,7 +325,9 @@ func (db *DB) Exec(p Plan) (*Table, error) {
 			return nil, err
 		}
 		out := in.Clone()
-		SortRowsByEndpoints(out.Rows)
+		// Through the method, not SortRowsByEndpoints(out.Rows): the
+		// clone carried the input's metadata, which the sort must update.
+		out.SortByEndpoints()
 		return out, nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", p)

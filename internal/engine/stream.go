@@ -189,17 +189,24 @@ func (it *unionIter) Close() {
 type hashJoinIter struct {
 	schema   tuple.Schema
 	probe    RowIter
-	build    map[string][]tuple.Tuple
+	build    map[string]*joinBucket
 	probeIdx []int
 	res      algebra.Compiled
 	lA, rA   int
 	swapped  bool
+	scratch  []byte // reusable probe-key buffer: no string allocation per probe row
 	// probe state: current probe row and its pending bucket suffix.
 	prow   tuple.Tuple
 	piv    interval.Interval
 	bucket []tuple.Tuple
 	bi     int
 }
+
+// joinBucket holds the build rows of one equi-key value behind a
+// pointer, so the build loop can append through an allocation-free
+// map[string(scratch)] lookup and only materialize a key string once
+// per distinct key.
+type joinBucket struct{ rows []tuple.Tuple }
 
 // JoinPrep is the compiled form of a temporal join predicate: extracted
 // equi-key columns plus the compiled residual over the concatenated data
@@ -245,7 +252,7 @@ func (p *JoinPrep) Schema() tuple.Schema { return PeriodSchema(p.joined) }
 // records which input was built (the probe side is the other one).
 type JoinBuild struct {
 	prep  *JoinPrep
-	build map[string][]tuple.Tuple
+	build map[string]*joinBucket
 	left  bool
 }
 
@@ -265,7 +272,8 @@ func (p *JoinPrep) buildSide(in RowIter, left bool) *JoinBuild {
 	if left {
 		keyIdx = p.lIdx
 	}
-	build := make(map[string][]tuple.Tuple)
+	build := make(map[string]*joinBucket)
+	var scratch []byte
 	for {
 		row, ok := in.Next()
 		if !ok {
@@ -276,8 +284,13 @@ func (p *JoinPrep) buildSide(in RowIter, left bool) *JoinBuild {
 		if hasNullAt(row, keyIdx) {
 			continue
 		}
-		k := row.Project(keyIdx).Key()
-		build[k] = append(build[k], row)
+		scratch = row.AppendKey(scratch[:0], keyIdx)
+		b, okB := build[string(scratch)]
+		if !okB {
+			b = &joinBucket{}
+			build[string(scratch)] = b
+		}
+		b.rows = append(b.rows, row)
 	}
 	in.Close()
 	return &JoinBuild{prep: p, build: build, left: left}
@@ -391,7 +404,12 @@ func (it *hashJoinIter) Next() (tuple.Tuple, bool) {
 		}
 		it.prow = prow
 		it.piv = rowInterval(prow)
-		it.bucket = it.build[prow.Project(it.probeIdx).Key()]
+		it.scratch = prow.AppendKey(it.scratch[:0], it.probeIdx)
+		if b := it.build[string(it.scratch)]; b != nil {
+			it.bucket = b.rows
+		} else {
+			it.bucket = nil
+		}
 		it.bi = 0
 	}
 }

@@ -55,35 +55,31 @@ func (it *sortIter) Next() (tuple.Tuple, bool) {
 func (it *sortIter) Close() { it.in.Close() }
 
 // minHeap is the one binary min-heap behind both streaming sweeps —
-// pending interval ends (newTimeHeap) and pending row exits
-// (newEventHeap) — so the sift logic cannot drift between them. time
-// reports the sort key of an element.
+// pending interval ends, pending row exits and the group expiry
+// registries — so the sift logic cannot drift between them. Elements
+// carry their sort key inline (hItem), so every sift comparison is a
+// direct int64 compare: no closure or method indirection on the
+// per-row hot path.
 type minHeap[T any] struct {
-	items []T
-	time  func(T) interval.Time
+	items []hItem[T]
+}
+
+// hItem is one heap element: the sort key and its payload (struct{}
+// for bare endpoint heaps).
+type hItem[T any] struct {
+	t interval.Time
+	v T
 }
 
 func (h *minHeap[T]) len() int           { return len(h.items) }
-func (h *minHeap[T]) min() interval.Time { return h.time(h.items[0]) }
+func (h *minHeap[T]) min() interval.Time { return h.items[0].t }
 
-// timeHeap is a min-heap of bare interval endpoints (the streaming
-// coalesce's pending ends).
-func newTimeHeap() minHeap[interval.Time] {
-	return minHeap[interval.Time]{time: func(t interval.Time) interval.Time { return t }}
-}
-
-// eventHeap is a min-heap of pending row exits keyed by interval end
-// (the streaming aggregation's open rows).
-func newEventHeap() minHeap[aggEvent] {
-	return minHeap[aggEvent]{time: func(e aggEvent) interval.Time { return e.t }}
-}
-
-func (h *minHeap[T]) push(v T) {
-	h.items = append(h.items, v)
+func (h *minHeap[T]) push(t interval.Time, v T) {
+	h.items = append(h.items, hItem[T]{t: t, v: v})
 	i := len(h.items) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.time(h.items[p]) <= h.time(h.items[i]) {
+		if h.items[p].t <= h.items[i].t {
 			break
 		}
 		h.items[p], h.items[i] = h.items[i], h.items[p]
@@ -91,21 +87,20 @@ func (h *minHeap[T]) push(v T) {
 	}
 }
 
-func (h *minHeap[T]) pop() T {
+func (h *minHeap[T]) pop() hItem[T] {
 	top := h.items[0]
 	n := len(h.items) - 1
 	h.items[0] = h.items[n]
-	var zero T
-	h.items[n] = zero // release any row reference for the GC
+	h.items[n] = hItem[T]{} // release any row reference for the GC
 	h.items = h.items[:n]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		s := i
-		if l < n && h.time(h.items[l]) < h.time(h.items[s]) {
+		if l < n && h.items[l].t < h.items[s].t {
 			s = l
 		}
-		if r < n && h.time(h.items[r]) < h.time(h.items[s]) {
+		if r < n && h.items[r].t < h.items[s].t {
 			s = r
 		}
 		if s == i {
@@ -127,7 +122,7 @@ func (h *minHeap[T]) pop() T {
 type coalesceGroup struct {
 	key      string
 	data     tuple.Tuple
-	ends     minHeap[interval.Time]
+	ends     minHeap[struct{}] // bare endpoint heap: keys only
 	count    int64
 	segStart interval.Time
 	curT     interval.Time
@@ -138,18 +133,20 @@ type coalesceGroup struct {
 	regT interval.Time
 }
 
-// nextTime reports when the group next needs the sweep's attention —
-// the uncommitted delta at curT, else its earliest open end. ok=false
-// means the group is fully closed and committed: evictable.
+// nextTime reports when the group next needs the sweep's attention.
+// ok=false means the group is fully closed and committed: evictable.
+// The earliest open end is preferred over the uncommitted delta at
+// curT: advance() commits pending deltas on the way to any later wake
+// time, so waking at the end event is equally correct — and it avoids
+// registering a wake at the current sweep position on EVERY row
+// arrival, which the very next row would pop again (two expiry-heap
+// operations per input row instead of per end event).
 func (g *coalesceGroup) nextTime() (interval.Time, bool) {
-	if g.curDelta != 0 {
-		return g.curT, true
-	}
 	if g.ends.len() > 0 {
 		return g.ends.min(), true
 	}
-	if g.count != 0 {
-		return g.curT, true // defensive: open intervals imply pending ends
+	if g.curDelta != 0 || g.count != 0 {
+		return g.curT, true // pending delta with no open end left
 	}
 	return 0, false
 }
@@ -207,12 +204,6 @@ func (g *coalesceGroup) flush(emit func(tuple.Tuple, interval.Interval, int64)) 
 	g.commit(emit)
 }
 
-// coalesceExpiry is one group's registration in the eviction heap.
-type coalesceExpiry struct {
-	t interval.Time
-	g *coalesceGroup
-}
-
 // streamCoalesceIter is the streaming coalesce operator C (Def 8.2)
 // over begin-sorted input. It produces the same multiset as the
 // blocking Coalesce — maximal intervals of constant multiplicity, one
@@ -224,12 +215,13 @@ type streamCoalesceIter struct {
 	in      RowIter
 	n       int // data arity
 	groups  map[string]*coalesceGroup
-	expiry  minHeap[coalesceExpiry]
+	expiry  minHeap[*coalesceGroup] // group wake-ups keyed by next event time
 	queue   []tuple.Tuple
 	qi      int
 	last    interval.Time
 	seen    bool
 	drained bool
+	scratch []byte // reusable group-key buffer (one key string per distinct group, not per row)
 }
 
 // NewStreamCoalesceIter returns the streaming coalesce over in, taking
@@ -240,7 +232,6 @@ func NewStreamCoalesceIter(in RowIter) RowIter {
 		in:     in,
 		n:      in.Schema().Arity() - 2,
 		groups: make(map[string]*coalesceGroup),
-		expiry: minHeap[coalesceExpiry]{time: func(e coalesceExpiry) interval.Time { return e.t }},
 	}
 }
 
@@ -254,7 +245,7 @@ func (it *streamCoalesceIter) track(g *coalesceGroup) {
 		return
 	}
 	g.reg, g.regT = true, t
-	it.expiry.push(coalesceExpiry{t: t, g: g})
+	it.expiry.push(t, g)
 }
 
 // retire advances every group whose registered wake-up time lies
@@ -265,12 +256,12 @@ func (it *streamCoalesceIter) track(g *coalesceGroup) {
 func (it *streamCoalesceIter) retire(b interval.Time) {
 	for it.expiry.len() > 0 && it.expiry.min() < b {
 		e := it.expiry.pop()
-		if !e.g.reg || e.g.regT != e.t {
+		if !e.v.reg || e.v.regT != e.t {
 			continue // superseded registration
 		}
-		e.g.reg = false
-		e.g.advance(b, it.enqueue)
-		it.track(e.g)
+		e.v.reg = false
+		e.v.advance(b, it.enqueue)
+		it.track(e.v)
 	}
 }
 
@@ -318,15 +309,16 @@ func (it *streamCoalesceIter) Next() (tuple.Tuple, bool) {
 		it.last, it.seen = iv.Begin, true
 		it.retire(iv.Begin)
 		data := row[:it.n]
-		key := data.Key()
-		g, ok2 := it.groups[key]
+		it.scratch = data.AppendKey(it.scratch[:0], nil)
+		g, ok2 := it.groups[string(it.scratch)]
 		if !ok2 {
-			g = &coalesceGroup{key: key, data: data, ends: newTimeHeap(), segStart: iv.Begin, curT: iv.Begin}
+			key := string(it.scratch)
+			g = &coalesceGroup{key: key, data: data, segStart: iv.Begin, curT: iv.Begin}
 			it.groups[key] = g
 		}
 		g.advance(iv.Begin, it.enqueue)
 		g.curDelta++
-		g.ends.push(iv.End)
+		g.ends.push(iv.End, struct{}{})
 		if !g.reg {
 			it.track(g)
 		}
@@ -335,19 +327,14 @@ func (it *streamCoalesceIter) Next() (tuple.Tuple, bool) {
 
 func (it *streamCoalesceIter) Close() { it.in.Close() }
 
-// aggEvent is one pending row exit keyed by interval end.
-type aggEvent struct {
-	t   interval.Time
-	row tuple.Tuple
-}
-
 // aggGroup is the per-group state of the streaming pre-aggregated
 // split: incremental accumulators plus the rows whose intervals are
-// still open at the sweep position.
+// still open at the sweep position (pending row exits keyed by
+// interval end).
 type aggGroup struct {
 	key      string
 	group    tuple.Tuple
-	pending  minHeap[aggEvent]
+	pending  minHeap[tuple.Tuple]
 	sweepers []*aggSweeper
 	alive    int64
 	segStart interval.Time
@@ -357,12 +344,6 @@ type aggGroup struct {
 	// registers, since its gap rows need a continuous segStart).
 	reg  bool
 	regT interval.Time
-}
-
-// aggExpiry is one group's registration in the eviction heap.
-type aggExpiry struct {
-	t interval.Time
-	g *aggGroup
 }
 
 // streamAggIter is the streaming form of the §9 pre-aggregated split:
@@ -378,12 +359,13 @@ type streamAggIter struct {
 	dom     interval.Domain
 	global  bool
 	groups  map[string]*aggGroup
-	expiry  minHeap[aggExpiry]
+	expiry  minHeap[*aggGroup] // group wake-ups keyed by earliest pending exit
 	queue   []tuple.Tuple
 	qi      int
 	last    interval.Time
 	seen    bool
 	drained bool
+	scratch []byte // reusable group-key buffer (one key string per distinct group, not per row)
 }
 
 // NewStreamAggIter returns the streaming pre-aggregated split over in,
@@ -404,21 +386,22 @@ func NewStreamAggIter(in RowIter, groupBy []string, aggs []algebra.AggSpec, dom 
 		dom:    dom,
 		global: len(groupBy) == 0,
 		groups: make(map[string]*aggGroup),
-		expiry: minHeap[aggExpiry]{time: func(e aggExpiry) interval.Time { return e.t }},
 	}
 	if it.global {
 		// Global aggregation sweeps the whole domain (the Fig 4 union
 		// with {(null, Tmin, Tmax)}), so gaps produce neutral rows even
 		// with zero input rows.
-		g := it.newGroup(tuple.Tuple{})
+		g := it.newGroup(tuple.Tuple{}, "")
 		g.started = true
 		g.segStart = dom.Min
 	}
 	return it, nil
 }
 
-func (it *streamAggIter) newGroup(group tuple.Tuple) *aggGroup {
-	g := &aggGroup{key: group.Key(), group: group, pending: newEventHeap(), sweepers: make([]*aggSweeper, len(it.aggs))}
+// newGroup registers a new sweep group under key, the canonical
+// AppendKey encoding of group (the empty string for the global group).
+func (it *streamAggIter) newGroup(group tuple.Tuple, key string) *aggGroup {
+	g := &aggGroup{key: key, group: group, sweepers: make([]*aggSweeper, len(it.aggs))}
 	for i, a := range it.aggs {
 		g.sweepers[i] = newAggSweeper(a.Fn)
 	}
@@ -441,7 +424,7 @@ func (it *streamAggIter) track(g *aggGroup) {
 		return
 	}
 	g.reg, g.regT = true, g.pending.min()
-	it.expiry.push(aggExpiry{t: g.regT, g: g})
+	it.expiry.push(g.regT, g)
 }
 
 // retire drains every group whose registered exit lies strictly before
@@ -451,16 +434,16 @@ func (it *streamAggIter) track(g *aggGroup) {
 func (it *streamAggIter) retire(b interval.Time) {
 	for it.expiry.len() > 0 && it.expiry.min() < b {
 		e := it.expiry.pop()
-		if !e.g.reg || e.g.regT != e.t {
+		if !e.v.reg || e.v.regT != e.t {
 			continue // superseded registration
 		}
-		e.g.reg = false
-		for e.g.pending.len() > 0 && e.g.pending.min() < b {
-			et := e.g.pending.min()
-			it.boundary(e.g, et)
-			it.exitAt(e.g, et)
+		e.v.reg = false
+		for e.v.pending.len() > 0 && e.v.pending.min() < b {
+			et := e.v.pending.min()
+			it.boundary(e.v, et)
+			it.exitAt(e.v, et)
 		}
-		it.track(e.g)
+		it.track(e.v)
 	}
 }
 
@@ -480,7 +463,10 @@ func (it *streamAggIter) boundary(g *aggGroup, t interval.Time) {
 		return
 	}
 	if g.alive > 0 || it.global {
-		row := g.group.Clone()
+		// One exact-capacity allocation per output row: Clone-then-append
+		// reallocated the backing array twice per segment.
+		row := make(tuple.Tuple, 0, len(g.group)+len(g.sweepers)+2)
+		row = append(row, g.group...)
 		for _, sw := range g.sweepers {
 			row = append(row, sw.result())
 		}
@@ -498,7 +484,7 @@ func (it *streamAggIter) exitAt(g *aggGroup, et interval.Time) {
 		for j, sw := range g.sweepers {
 			var arg tuple.Value
 			if it.prep.argIdx[j] >= 0 {
-				arg = ev.row[it.prep.argIdx[j]]
+				arg = ev.v[it.prep.argIdx[j]]
 			}
 			sw.update(arg, false)
 		}
@@ -553,10 +539,10 @@ func (it *streamAggIter) Next() (tuple.Tuple, bool) {
 		}
 		it.last, it.seen = iv.Begin, true
 		it.retire(iv.Begin)
-		group := row.Project(it.prep.groupIdx)
-		g, ok2 := it.groups[group.Key()]
+		it.scratch = row.AppendKey(it.scratch[:0], it.prep.groupIdx)
+		g, ok2 := it.groups[string(it.scratch)]
 		if !ok2 {
-			g = it.newGroup(group)
+			g = it.newGroup(row.Project(it.prep.groupIdx), string(it.scratch))
 		}
 		it.advance(g, iv.Begin)
 		for j, sw := range g.sweepers {
@@ -567,7 +553,7 @@ func (it *streamAggIter) Next() (tuple.Tuple, bool) {
 			sw.update(arg, true)
 		}
 		g.alive++
-		g.pending.push(aggEvent{t: iv.End, row: row})
+		g.pending.push(iv.End, row)
 		if !g.reg {
 			it.track(g)
 		}

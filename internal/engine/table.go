@@ -11,6 +11,36 @@
 // columns, named by BeginCol and EndCol, hold the validity interval
 // [begin, end) of each row (PERIODENC, Def 8.1). Row multiplicity is
 // represented by duplicate rows, exactly as in SQL.
+//
+// # Table metadata invariants
+//
+// Every Table carries cached physical-property metadata — begin-
+// sortedness (the order the streaming sweep operators need) and
+// coalescedness (whether the rows are their own unique encoding) — so
+// the planner can probe scan order in O(1) instead of rescanning stored
+// rows on every plan build. The invariants:
+//
+//   - WHO SETS: NewTable starts an empty table as begin-sorted. Append
+//     maintains sortedness incrementally (O(1) per row, comparing
+//     against the last appended begin). SortByEndpoints establishes
+//     sortedness. Coalesce marks its output coalesced. Clone copies the
+//     metadata (rows are shared and treated as immutable).
+//   - WHO INVALIDATES: Append downgrades sortedness to "known unsorted"
+//     on an out-of-order begin and drops coalescedness to unknown.
+//     Sort (data-major display order) drops sortedness to unknown but
+//     keeps coalescedness (a permutation preserves the multiset).
+//     SetRows — the entry point for bulk row replacement (e.g. the
+//     public API's sequenced DELETE/UPDATE) — drops everything.
+//   - WHO MUST CALL SetRows/InvalidateMeta: any code that writes the
+//     exported Rows slice directly instead of going through the mutator
+//     methods. Tables built as literals (&Table{...}) start with
+//     unknown metadata, which is always safe: unknown falls back to the
+//     O(n) scan.
+//   - CONCURRENCY: metadata is written only by the mutator methods,
+//     never by the read accessors (BeginSorted / KnownCoalesced compute
+//     on a cache miss without memoizing), so concurrent readers of a
+//     shared stored table — the parallel executor's scan fragments and
+//     planner probes — need no synchronization.
 package engine
 
 import (
@@ -39,16 +69,37 @@ func PeriodSchema(data tuple.Schema) tuple.Schema {
 	return tuple.NewSchema(cols...)
 }
 
+// propState is a cached three-valued physical property: unknown means
+// the accessor falls back to computing the property from the rows.
+type propState uint8
+
+const (
+	propUnknown propState = iota
+	propTrue
+	propFalse
+)
+
+// tableMeta is the cached physical-property metadata of a table; see
+// the package comment for the maintenance invariants.
+type tableMeta struct {
+	sorted    propState
+	lastBegin interval.Time // begin of the last appended row; valid when sorted == propTrue and Rows is non-empty
+	coalesced propState
+}
+
 // Table is a SQL period relation: a multiset of period-encoded rows.
 // The last two schema columns must be BeginCol and EndCol.
 type Table struct {
 	Schema tuple.Schema
 	Rows   []tuple.Tuple
+	meta   tableMeta
 }
 
 // NewTable returns an empty period relation for the given data schema.
+// An empty table is trivially begin-sorted and coalesced, so metadata
+// tracking starts in the known state and Append maintains it.
 func NewTable(data tuple.Schema) *Table {
-	return &Table{Schema: PeriodSchema(data)}
+	return &Table{Schema: PeriodSchema(data), meta: tableMeta{sorted: propTrue, coalesced: propTrue}}
 }
 
 // DataArity returns the number of non-period columns.
@@ -66,10 +117,23 @@ func (t *Table) Interval(row tuple.Tuple) interval.Interval {
 }
 
 // Append adds a row for tuple data valid during iv, repeated mult times.
+// Sortedness metadata is maintained incrementally: appending in
+// ascending begin order keeps the table known-sorted (the load path of
+// every dataset generator and CSV reader), one out-of-order begin makes
+// it known-unsorted. Coalescedness can change under any append and
+// drops to unknown.
 func (t *Table) Append(data tuple.Tuple, iv interval.Interval, mult int64) {
 	if !iv.Valid() || mult <= 0 {
 		return
 	}
+	if t.meta.sorted == propTrue {
+		if len(t.Rows) == 0 || iv.Begin >= t.meta.lastBegin {
+			t.meta.lastBegin = iv.Begin
+		} else {
+			t.meta.sorted = propFalse
+		}
+	}
+	t.meta.coalesced = propUnknown
 	row := make(tuple.Tuple, 0, len(data)+2)
 	row = append(row, data...)
 	row = append(row, tuple.Int(iv.Begin), tuple.Int(iv.End))
@@ -81,20 +145,38 @@ func (t *Table) Append(data tuple.Tuple, iv interval.Interval, mult int64) {
 	}
 }
 
+// SetRows replaces the stored rows wholesale and drops all cached
+// metadata — the required entry point for bulk mutation (the public
+// API's sequenced DELETE/UPDATE rewrite the row slice through it).
+func (t *Table) SetRows(rows []tuple.Tuple) {
+	t.Rows = rows
+	t.meta = tableMeta{}
+}
+
+// InvalidateMeta drops the cached physical-property metadata. Code that
+// has written the exported Rows slice directly (rather than through
+// Append, Sort, SortByEndpoints or SetRows) must call it before the
+// table is used by the planner again.
+func (t *Table) InvalidateMeta() { t.meta = tableMeta{} }
+
 // Len returns the number of rows (counting duplicates).
 func (t *Table) Len() int { return len(t.Rows) }
 
 // Clone returns a shallow copy of the table (rows are shared; rows are
-// treated as immutable by all operators).
+// treated as immutable by all operators). Cached metadata is copied:
+// it describes the shared row slice.
 func (t *Table) Clone() *Table {
 	rows := make([]tuple.Tuple, len(t.Rows))
 	copy(rows, t.Rows)
-	return &Table{Schema: t.Schema, Rows: rows}
+	return &Table{Schema: t.Schema, Rows: rows, meta: t.meta}
 }
 
 // Sort orders rows by data key, then by interval endpoints — the
 // canonical display and comparison order. The endpoint tie-break shares
-// the sweep operators' comparator (CompareEndpoints).
+// the sweep operators' comparator (CompareEndpoints). Data-major order
+// is not begin order in general, so sortedness metadata drops to
+// unknown; coalescedness is a multiset property and survives the
+// permutation.
 func (t *Table) Sort() {
 	n := t.DataArity()
 	sort.Slice(t.Rows, func(i, j int) bool {
@@ -106,17 +188,46 @@ func (t *Table) Sort() {
 		}
 		return EndpointLess(a, b)
 	})
+	t.meta.sorted = propUnknown
 }
 
 // BeginSorted reports whether the stored rows are ordered by ascending
 // interval begin — the property that lets the planner run the streaming
-// sweep operators directly over a scan of this table. It is computed on
-// demand so it stays correct under any mutation of Rows.
-func (t *Table) BeginSorted() bool { return RowsBeginSorted(t.Rows) }
+// sweep operators directly over a scan of this table. Maintained
+// metadata answers in O(1) on the load/sort paths; only tables built by
+// direct Rows writes fall back to the O(n) rescan (and never memoize,
+// so concurrent readers stay race-free).
+func (t *Table) BeginSorted() bool {
+	switch t.meta.sorted {
+	case propTrue:
+		return true
+	case propFalse:
+		return false
+	}
+	return RowsBeginSorted(t.Rows)
+}
 
 // SortByEndpoints reorders the stored rows into (begin, end) endpoint
-// order, establishing the streaming sweep operators' input order.
-func (t *Table) SortByEndpoints() { SortRowsByEndpoints(t.Rows) }
+// order, establishing the streaming sweep operators' input order (and
+// recording it in the metadata).
+func (t *Table) SortByEndpoints() {
+	SortRowsByEndpoints(t.Rows)
+	t.meta.sorted = propTrue
+	if n := len(t.Rows); n > 0 {
+		t.meta.lastBegin = rowInterval(t.Rows[n-1]).Begin
+	}
+}
+
+// markCoalesced records that the table is known to be its own coalesced
+// encoding — set by Coalesce on its output.
+func (t *Table) markCoalesced() { t.meta.coalesced = propTrue }
+
+// KnownCoalesced reports whether cached metadata proves the table is
+// already the unique coalesced encoding. False means "unknown or not
+// coalesced": callers needing certainty fall back to IsCoalesced, which
+// always performs the full check (it is the verifier the differential
+// tests rely on, so it must not trust the cache it is meant to test).
+func (t *Table) KnownCoalesced() bool { return t.meta.coalesced == propTrue }
 
 // String renders the table with a header row.
 func (t *Table) String() string {
@@ -140,13 +251,14 @@ func (t *Table) ToPeriodRelation(alg telement.MAlgebra[int64]) *period.Relation[
 	}
 	byTuple := make(map[string]*acc)
 	n := t.DataArity()
+	var scratch []byte
 	for _, row := range t.Rows {
 		data := row[:n]
-		key := data.Key()
-		a, ok := byTuple[key]
+		scratch = data.AppendKey(scratch[:0], nil)
+		a, ok := byTuple[string(scratch)]
 		if !ok {
 			a = &acc{data: data}
-			byTuple[key] = a
+			byTuple[string(scratch)] = a
 		}
 		a.pairs = append(a.pairs, telement.Seg[int64]{Iv: t.Interval(row), Val: 1})
 	}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// parStreamSizeCap bounds the parstream experiment input: the
+// acceptance measurement of the ordered-exchange study is the 50k-row
+// sorted input, and larger configured Fig5 sizes add minutes without
+// changing the comparison.
+const parStreamSizeCap = 50000
+
+// ParStream measures the order-preserving exchange: parallel STREAMING
+// sweeps (ordered repartition, per-worker streaming coalesce /
+// pre-aggregated split) against the parallel BLOCKING baseline
+// (unordered repartition, per-worker materializing sweeps), both at
+// DefaultWorkers over begin-sorted input, plus the sequential streaming
+// sweep as the no-exchange reference. On sorted input the parallel
+// streaming variants should run at or under the parallel blocking
+// ones: they skip the per-partition materialization and per-group
+// sorting passes. (On a single-core machine the parallel variants only
+// interleave — compare streaming vs blocking within the same worker
+// count, not against the sequential reference.)
+func ParStream(w io.Writer, sc Scale, rep *Report) error {
+	variants := []sweepVariant{
+		{name: fmt.Sprintf("coalesce-par-blocking-x%d/sorted", DefaultWorkers), sorted: true,
+			plan: coalescePlan(false), par: DefaultWorkers},
+		{name: fmt.Sprintf("coalesce-par-stream-x%d/sorted", DefaultWorkers), sorted: true,
+			plan: coalescePlan(true), par: DefaultWorkers},
+		{name: "coalesce-seq-stream/sorted", sorted: true, plan: coalescePlan(true)},
+		{name: fmt.Sprintf("agg-par-blocking-x%d/sorted", DefaultWorkers), sorted: true,
+			plan: aggPlan(false), par: DefaultWorkers},
+		{name: fmt.Sprintf("agg-par-stream-x%d/sorted", DefaultWorkers), sorted: true,
+			plan: aggPlan(true), par: DefaultWorkers},
+		{name: "agg-seq-stream/sorted", sorted: true, plan: aggPlan(true)},
+	}
+	tw := NewTable("rows", "variant", "median (s)", "out rows")
+	for _, n := range sc.Fig5Sizes {
+		if n > parStreamSizeCap {
+			// Not silently: the report must show which configured sizes
+			// were not measured.
+			fmt.Fprintf(w, "parstream: skipping configured size %d (cap %d)\n", n, parStreamSizeCap)
+			continue
+		}
+		db, sortedDB := sweepInputs(n)
+		for _, v := range variants {
+			d, rows, err := runSweepVariant(db, sortedDB, v, sc.Runs)
+			if err != nil {
+				return fmt.Errorf("parstream %s: %w", v.name, err)
+			}
+			tw.AddRow(fmt.Sprintf("%d", n), v.name, FormatDuration(d), fmt.Sprintf("%d", rows))
+			rep.Add("parstream", fmt.Sprintf("%s/rows=%d", v.name, n), d, map[string]float64{"rows": float64(rows)})
+		}
+	}
+	_, err := tw.WriteTo(w)
+	return err
+}

@@ -14,12 +14,34 @@ import (
 )
 
 // sweepVariant is one physical sweep configuration measured by the
-// sweep experiment.
+// sweep and parstream experiments.
 type sweepVariant struct {
 	name   string
 	sorted bool // run over the begin-sorted copy of the input
 	plan   func(scan engine.Plan) engine.Plan
 	par    int // exchange workers; 0 = sequential streaming engine
+}
+
+// coalescePlan wraps a scan in the coalesce operator in its streaming
+// or blocking physical form.
+func coalescePlan(streaming bool) func(engine.Plan) engine.Plan {
+	return func(s engine.Plan) engine.Plan {
+		return engine.CoalesceP{In: s, Streaming: streaming}
+	}
+}
+
+// aggPlan wraps a scan in the pre-aggregated split/aggregate of the
+// coalescing workload, streaming or blocking.
+func aggPlan(streaming bool) func(engine.Plan) engine.Plan {
+	return func(s engine.Plan) engine.Plan {
+		return engine.AggP{
+			GroupBy:   []string{"emp_no"},
+			Aggs:      []algebra.AggSpec{{Fn: krel.Sum, Arg: "salary", As: "total"}, {Fn: krel.CountStar, As: "cnt"}},
+			PreAgg:    true,
+			Streaming: streaming,
+			In:        s,
+		}
+	}
 }
 
 // Sweep measures the streaming vs materializing vs hash-partitioned
@@ -40,17 +62,6 @@ func Sweep(w io.Writer, sc Scale, rep *Report) error {
 			plan: func(s engine.Plan) engine.Plan { return engine.CoalesceP{In: engine.SortP{In: s}, Streaming: true} }},
 		{name: fmt.Sprintf("coalesce-parallel-x%d/unsorted", DefaultWorkers), sorted: false,
 			plan: func(s engine.Plan) engine.Plan { return engine.CoalesceP{In: s} }, par: DefaultWorkers},
-	}
-	aggPlan := func(streaming bool) func(engine.Plan) engine.Plan {
-		return func(s engine.Plan) engine.Plan {
-			return engine.AggP{
-				GroupBy:   []string{"emp_no"},
-				Aggs:      []algebra.AggSpec{{Fn: krel.Sum, Arg: "salary", As: "total"}, {Fn: krel.CountStar, As: "cnt"}},
-				PreAgg:    true,
-				Streaming: streaming,
-				In:        s,
-			}
-		}
 	}
 	aggVariants := []sweepVariant{
 		{name: "agg-blocking/sorted", sorted: true, plan: aggPlan(false)},

@@ -145,14 +145,12 @@ func (rw *rewriter) beginOrdered(p engine.Plan) bool {
 // sweepInput decides the physical form of a sweep operator over input p
 // under opt.Sweep: it reports whether the sweep streams, and wraps p in
 // the endpoint sort enforcer when streaming is forced without a
-// guaranteed input order. Plans bound for the parallel executor keep
-// the blocking form: its hash-partition exchange runs the sweeps
-// partitioned anyway and would destroy the enforcer's order, so a sort
-// would be pure wasted work.
+// guaranteed input order. The decision is independent of
+// opt.Parallelism: the parallel executor's order-preserving exchanges
+// (ordered repartition + ordered merge) carry the begin order into
+// every partition, so streaming sweeps and parallelism compose — each
+// worker runs the streaming sweep over its begin-sorted partition.
 func (rw *rewriter) sweepInput(p engine.Plan) (engine.Plan, bool) {
-	if rw.opt.Parallelism > 1 {
-		return p, false
-	}
 	switch rw.opt.Sweep {
 	case SweepBlocking:
 		return p, false

@@ -100,17 +100,27 @@ func TestFigure1cSkillreqRewritten(t *testing.T) {
 // — in both plan modes, with both coalesce implementations.
 func TestTheorem81CommutingDiagram(t *testing.T) {
 	g := qgen.New(131)
-	opts := []rewrite.Options{
-		{Mode: rewrite.ModeOptimized, CoalesceImpl: engine.CoalesceNative},
-		{Mode: rewrite.ModeOptimized, CoalesceImpl: engine.CoalesceAnalytic},
-		{Mode: rewrite.ModeNaive, CoalesceImpl: engine.CoalesceNative},
-		// The streaming-sweep and partitioned-parallel variants must
-		// close the same diagram.
-		{Mode: rewrite.ModeOptimized, Sweep: rewrite.SweepStreaming},
-		{Mode: rewrite.ModeNaive, Sweep: rewrite.SweepStreaming},
-		{Mode: rewrite.ModeOptimized, Parallelism: 4},
-		{Mode: rewrite.ModeOptimized, Sweep: rewrite.SweepStreaming, Parallelism: 4},
+	// The full physical grid: every executor (sequential streaming,
+	// parallel ×2/×4, operator-at-a-time materializing) × every sweep
+	// mode (auto, forced streaming behind the sort enforcer or the
+	// order-preserving exchange, blocking ablation) must close the same
+	// diagram — Sweep and Parallelism compose freely. The loop below
+	// additionally runs each (database, query) pair over unsorted AND
+	// begin-sorted stored tables, so the grid is
+	// executor × sweep × parallelism × sortedness.
+	var opts []rewrite.Options
+	for _, par := range []int{0, 2, 4} {
+		for _, sw := range []rewrite.SweepMode{rewrite.SweepAuto, rewrite.SweepStreaming, rewrite.SweepBlocking} {
+			opts = append(opts, rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: sw, Parallelism: par})
+		}
 	}
+	opts = append(opts,
+		rewrite.Options{Mode: rewrite.ModeOptimized, CoalesceImpl: engine.CoalesceAnalytic},
+		rewrite.Options{Mode: rewrite.ModeOptimized, Materialize: true},
+		rewrite.Options{Mode: rewrite.ModeNaive, CoalesceImpl: engine.CoalesceNative},
+		rewrite.Options{Mode: rewrite.ModeNaive, Sweep: rewrite.SweepStreaming},
+		rewrite.Options{Mode: rewrite.ModeNaive, Sweep: rewrite.SweepStreaming, Parallelism: 4},
+	)
 	for i := 0; i < 100; i++ {
 		spec := g.GenDB()
 		q := g.GenQuery()
