@@ -12,6 +12,7 @@
 //	snapbench -exp scaling    parallel exchange executor speedup at 1/2/4/8 workers
 //	snapbench -exp sweep      streaming vs materializing vs partitioned sweep operators
 //	snapbench -exp parstream  parallel streaming sweeps (ordered exchange) vs parallel blocking
+//	snapbench -exp diff       streaming merge-based difference vs the blocking fused diff sweep
 //	snapbench -exp all        everything above
 //
 // -quick shrinks datasets for a fast smoke run; -runs sets the number of
@@ -46,7 +47,7 @@ type config struct {
 func parseFlags(args []string, out io.Writer) (config, error) {
 	fs := flag.NewFlagSet("snapbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|parstream|all")
+	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|parstream|diff|all")
 	quick := fs.Bool("quick", false, "use small datasets (smoke run)")
 	runs := fs.Int("runs", 0, "repetitions per measurement (0 = scale default)")
 	jsonPath := fs.String("json", "", "write per-experiment medians as JSON to this path")
@@ -83,6 +84,7 @@ func experiments(w io.Writer, sc harness.Scale, rep *harness.Report) []experimen
 		{"scaling", func() error { return harness.Scaling(w, sc, rep) }},
 		{"sweep", func() error { return harness.Sweep(w, sc, rep) }},
 		{"parstream", func() error { return harness.ParStream(w, sc, rep) }},
+		{"diff", func() error { return harness.Diff(w, sc, rep) }},
 	}
 }
 

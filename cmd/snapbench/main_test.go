@@ -61,7 +61,7 @@ func TestExperimentRegistryCoversDocumentedIDs(t *testing.T) {
 	for _, e := range exps {
 		ids[e.Name] = true
 	}
-	for _, want := range []string{"fig1", "table1", "fig5", "table2", "table3emp", "table3tpc", "ablation", "scaling", "sweep", "parstream"} {
+	for _, want := range []string{"fig1", "table1", "fig5", "table2", "table3emp", "table3tpc", "ablation", "scaling", "sweep", "parstream", "diff"} {
 		if !ids[want] {
 			t.Fatalf("experiment %q missing from registry", want)
 		}
@@ -171,6 +171,57 @@ func TestRunParStreamJSONSchema(t *testing.T) {
 	for _, r := range rows {
 		if r != rows[0] {
 			t.Fatalf("coalesce variants disagree on output cardinality: %v", rows)
+		}
+	}
+}
+
+// The diff experiment backs the streaming-difference acceptance
+// numbers and the CI smoke; pin its -json metric naming so downstream
+// parsing does not silently break.
+func TestRunDiffJSONSchema(t *testing.T) {
+	sc := harness.Quick
+	sc.Fig5Sizes = []int{200} // keep the test fast
+	sc.Runs = 1
+	rep := harness.NewReport(sc)
+	var out bytes.Buffer
+	if err := harness.Diff(&out, sc, rep); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, m := range rep.Metrics {
+		if m.Experiment != "diff" {
+			t.Fatalf("metric experiment = %q, want diff", m.Experiment)
+		}
+		if m.Name == "" || m.Seconds < 0 {
+			t.Fatalf("malformed metric: %+v", m)
+		}
+		if m.Extra["rows"] <= 0 {
+			t.Fatalf("diff metrics must carry output cardinality: %+v", m)
+		}
+		names[m.Name] = true
+	}
+	w := harness.DefaultWorkers
+	for _, want := range []string{
+		"diff-blocking/sorted/rows=200",
+		"diff-streaming/sorted/rows=200",
+		"diff-blocking/unsorted/rows=200",
+		"diff-stream-enforced/unsorted/rows=200",
+		fmt.Sprintf("diff-par-blocking-x%d/sorted/rows=200", w),
+		fmt.Sprintf("diff-par-stream-x%d/sorted/rows=200", w),
+	} {
+		if !names[want] {
+			t.Fatalf("metric %q missing; got %v", want, names)
+		}
+	}
+	// Every physical variant computes the same multiset, so all six must
+	// agree on output cardinality.
+	var rows []float64
+	for _, m := range rep.Metrics {
+		rows = append(rows, m.Extra["rows"])
+	}
+	for _, r := range rows {
+		if r != rows[0] {
+			t.Fatalf("diff variants disagree on output cardinality: %v", rows)
 		}
 	}
 }

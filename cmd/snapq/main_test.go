@@ -71,6 +71,31 @@ func TestParseApproach(t *testing.T) {
 	}
 }
 
+// TestDiffApproachesAgree pins the streaming-difference approach
+// coverage end to end through the CLI: the diff workload query under
+// seq (auto sweeps), seq-stream (forced streaming merge diff behind
+// sort enforcers) and par-stream (per-worker streaming diffs over the
+// ordered repartition) must print the identical sorted result.
+func TestDiffApproachesAgree(t *testing.T) {
+	outputs := map[string]string{}
+	for _, ap := range []string{"seq", "seq-mat", "seq-stream", "par-stream"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-data", "employees", "-scale", "0.1", "-query", "diff-1", "-approach", ap, "-limit", "0"}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", ap, code, errb.String())
+		}
+		outputs[ap] = out.String()
+		if !strings.Contains(out.String(), "rows)") {
+			t.Fatalf("%s: no result footer:\n%s", ap, out.String())
+		}
+	}
+	for ap, got := range outputs {
+		if got != outputs["seq"] {
+			t.Fatalf("approach %s disagrees with seq on diff-1:\n%s\nvs\n%s", ap, got, outputs["seq"])
+		}
+	}
+}
+
 func TestStreamOptions(t *testing.T) {
 	opt, err := streamOptions(harness.SeqStream)
 	if err != nil {

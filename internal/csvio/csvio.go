@@ -8,14 +8,32 @@
 //	Ann,SP,3,10
 //	Joe,NS,8,16
 //
-// Values are inferred per cell: integers, then floats, then booleans,
-// with the empty string as NULL and anything else as text.
+// # Cell typing, quoting and NULL
+//
+// Values are inferred per cell: integers, then finite floats, then
+// booleans, with the empty string as NULL and anything else as text.
+// Non-finite numerics ("NaN", "Inf", …) are NOT parsed as floats — NaN
+// breaks comparison-based ordering and group keys — and read back as
+// text.
+//
+// A text cell whose content would re-infer as another kind (an empty
+// string, "42", "1.5", "true", "NaN", …) is written wrapped in single
+// quotes; on read, a cell that starts and ends with a single quote has
+// exactly one quote pair stripped and is taken verbatim as text. This
+// makes Write → Read lossless for every value kind: the string "42"
+// stays TEXT instead of becoming BIGINT, and the empty STRING stays
+// distinct from NULL (which is written as the bare empty cell). Integral
+// DOUBLE cells are the one tolerated aliasing: 42.0 is written "42" and
+// reads back as BIGINT 42, which compares, groups and hashes identically
+// (tuple.Equal / tuple.Key treat them as the same value). WriteTable
+// rejects non-finite DOUBLE values outright.
 package csvio
 
 import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"snapk/internal/engine"
@@ -40,16 +58,19 @@ func ReadTable(r io.Reader) (*engine.Table, error) {
 		return nil, err
 	}
 	t := engine.NewTable(schema)
+	// line counts the record being read, starting after the header:
+	// incremented BEFORE the read so the parse-error path and the
+	// field-count/period paths report the same number for the same row.
 	line := 1
 	for {
+		line++
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("csvio: line %d: %w", line+1, err)
+			return nil, fmt.Errorf("csvio: line %d: %w", line, err)
 		}
-		line++
 		if len(rec) != len(header) {
 			return nil, fmt.Errorf("csvio: line %d: %d fields, want %d", line, len(rec), len(header))
 		}
@@ -83,15 +104,22 @@ func safeSchema(cols []string) (s tuple.Schema, err error) {
 	return tuple.NewSchema(cols...), nil
 }
 
-// inferValue guesses the kind of a CSV cell.
+// inferValue guesses the kind of a CSV cell. A single-quote-wrapped
+// cell is explicit text (one quote pair stripped) — the escape
+// WriteTable emits for text that would otherwise re-infer as another
+// kind. Non-finite floats are refused: a NaN value would poison
+// tuple.Compare ordering and group keys, so "NaN"/"Inf" read as text.
 func inferValue(s string) tuple.Value {
 	if s == "" {
 		return tuple.Null
 	}
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return tuple.String_(s[1 : len(s)-1])
+	}
 	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
 		return tuple.Int(n)
 	}
-	if f, err := strconv.ParseFloat(s, 64); err == nil {
+	if f, err := strconv.ParseFloat(s, 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
 		return tuple.Float(f)
 	}
 	if s == "true" || s == "false" {
@@ -100,7 +128,32 @@ func inferValue(s string) tuple.Value {
 	return tuple.String_(s)
 }
 
+// encodeValue renders one data cell so that inferValue reads the same
+// value back: text that would re-infer as another kind (or lose a
+// surrounding quote pair) is wrapped in single quotes, NULL is the
+// empty cell, and non-finite floats are rejected.
+func encodeValue(v tuple.Value) (string, error) {
+	if v.IsNull() {
+		return "", nil
+	}
+	if v.Kind() == tuple.KindFloat {
+		if f := v.AsFloat(); math.IsNaN(f) || math.IsInf(f, 0) {
+			return "", fmt.Errorf("csvio: non-finite DOUBLE %v is not representable", f)
+		}
+	}
+	s := v.String()
+	if v.Kind() == tuple.KindString {
+		if iv := inferValue(s); iv.Kind() != tuple.KindString || iv.AsString() != s {
+			return "'" + s + "'", nil
+		}
+	}
+	return s, nil
+}
+
 // WriteTable renders a period relation as CSV in canonical row order.
+// Cells are encoded so a ReadTable round trip reproduces the same
+// values (see the package comment); a non-finite DOUBLE cell aborts
+// with an error.
 func WriteTable(w io.Writer, t *engine.Table) error {
 	cw := csv.NewWriter(w)
 	header := append(append([]string{}, t.DataSchema().Cols...), "begin", "end")
@@ -113,11 +166,11 @@ func WriteTable(w io.Writer, t *engine.Table) error {
 	for _, row := range c.Rows {
 		rec := make([]string, 0, len(row))
 		for i := 0; i < n; i++ {
-			if row[i].IsNull() {
-				rec = append(rec, "")
-				continue
+			cell, err := encodeValue(row[i])
+			if err != nil {
+				return err
 			}
-			rec = append(rec, row[i].String())
+			rec = append(rec, cell)
 		}
 		iv := t.Interval(row)
 		rec = append(rec, strconv.FormatInt(iv.Begin, 10), strconv.FormatInt(iv.End, 10))

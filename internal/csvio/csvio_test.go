@@ -1,6 +1,8 @@
 package csvio
 
 import (
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -98,6 +100,197 @@ func TestRoundtrip(t *testing.T) {
 	for i := range a.Rows {
 		if a.Rows[i].Key() != c.Rows[i].Key() {
 			t.Fatalf("row %d differs after roundtrip", i)
+		}
+	}
+}
+
+// roundtrip writes tbl and reads it back, failing the test on any
+// error.
+func roundtrip(t *testing.T, tbl *engine.Table) *engine.Table {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteTable(&b, tbl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTable(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("reading back: %v\n%s", err, b.String())
+	}
+	return back
+}
+
+// TestRoundtripTypeStability pins the Write → Read contract over every
+// value kind: strings stay strings byte for byte (including strings
+// that look like numbers, booleans, NULL or quoted text), NULL stays
+// distinct from the empty string, and numerics come back tuple.Equal
+// (integral floats alias to ints, the one documented aliasing).
+func TestRoundtripTypeStability(t *testing.T) {
+	trickyStrings := []string{
+		"plain", "42", "-7", "007", "1.5", "-0.25", "1e3", "0x1p-2",
+		"true", "false", "NaN", "Inf", "-Inf", "+Inf", "Infinity", "nan",
+		"'", "''", "'wrapped'", "a'b", "'leading", "trailing'",
+		"with,comma", `with"dquote`, "multi\nline", " spaced ", "NULL",
+	}
+	tbl := engine.NewTable(tuple.NewSchema("v"))
+	iv := interval.New(0, 5)
+	tbl.Append(tuple.Tuple{tuple.Null}, iv, 1)
+	tbl.Append(tuple.Tuple{tuple.Int(42)}, iv, 1)
+	tbl.Append(tuple.Tuple{tuple.Int(-9)}, iv, 1)
+	tbl.Append(tuple.Tuple{tuple.Float(1.5)}, iv, 1)
+	tbl.Append(tuple.Tuple{tuple.Float(-2.25e-3)}, iv, 1)
+	tbl.Append(tuple.Tuple{tuple.Float(1e21)}, iv, 1)
+	tbl.Append(tuple.Tuple{tuple.Bool(true)}, iv, 1)
+	tbl.Append(tuple.Tuple{tuple.Bool(false)}, iv, 1)
+	for _, s := range trickyStrings {
+		tbl.Append(tuple.Tuple{tuple.String_(s)}, iv, 1)
+	}
+	back := roundtrip(t, tbl)
+	if back.Len() != tbl.Len() {
+		t.Fatalf("roundtrip changed row count: %d vs %d", back.Len(), tbl.Len())
+	}
+	a, b := tbl.Clone(), back.Clone()
+	a.Sort()
+	b.Sort()
+	for i := range a.Rows {
+		want, got := a.Rows[i][0], b.Rows[i][0]
+		if !tuple.Equal(want, got) {
+			t.Fatalf("row %d: %v (%s) came back as %v (%s)", i, want, want.Kind(), got, got.Kind())
+		}
+		// Strings must also be KIND-stable: "42" must stay TEXT, ""
+		// must stay TEXT, NULL must stay NULL.
+		if want.Kind() == tuple.KindString && got.Kind() != tuple.KindString {
+			t.Fatalf("row %d: string %q came back as %s %v", i, want.AsString(), got.Kind(), got)
+		}
+		if want.IsNull() != got.IsNull() {
+			t.Fatalf("row %d: NULLness flipped: %v vs %v", i, want, got)
+		}
+	}
+}
+
+// TestRoundtripEmptyStringVsNull: the empty string and NULL are
+// different values and must survive a round trip as such.
+func TestRoundtripEmptyStringVsNull(t *testing.T) {
+	tbl := engine.NewTable(tuple.NewSchema("v"))
+	tbl.Append(tuple.Tuple{tuple.String_("")}, interval.New(0, 5), 1)
+	tbl.Append(tuple.Tuple{tuple.Null}, interval.New(10, 15), 1)
+	back := roundtrip(t, tbl)
+	byBegin := map[int64]tuple.Value{}
+	for _, row := range back.Rows {
+		byBegin[back.Interval(row).Begin] = row[0]
+	}
+	if v := byBegin[0]; v.Kind() != tuple.KindString || v.AsString() != "" {
+		t.Fatalf("empty string came back as %s %v", v.Kind(), v)
+	}
+	if v := byBegin[10]; !v.IsNull() {
+		t.Fatalf("NULL came back as %s %v", v.Kind(), v)
+	}
+}
+
+// TestRoundtripRandomized is the property test: random tables over all
+// value kinds (with adversarially numeric-looking strings) must
+// round-trip to tuple.Equal values with stable string kinds.
+func TestRoundtripRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	randString := func() string {
+		alphabets := []string{"ab'", "0123456789.", "truefalse", ",\"\n eIN"}
+		a := alphabets[r.Intn(len(alphabets))]
+		n := r.Intn(6)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(a[r.Intn(len(a))])
+		}
+		return b.String()
+	}
+	randValue := func() tuple.Value {
+		switch r.Intn(5) {
+		case 0:
+			return tuple.Null
+		case 1:
+			return tuple.Int(int64(r.Intn(2000) - 1000))
+		case 2:
+			return tuple.Float(float64(r.Intn(2000)-1000) / 16)
+		case 3:
+			return tuple.Bool(r.Intn(2) == 0)
+		default:
+			return tuple.String_(randString())
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		tbl := engine.NewTable(tuple.NewSchema("a", "b"))
+		rows := r.Intn(8)
+		for i := 0; i < rows; i++ {
+			begin := int64(r.Intn(50))
+			tbl.Append(tuple.Tuple{randValue(), randValue()}, interval.New(begin, begin+1+int64(r.Intn(20))), 1)
+		}
+		back := roundtrip(t, tbl)
+		if back.Len() != tbl.Len() {
+			t.Fatalf("iter %d: row count %d vs %d", iter, back.Len(), tbl.Len())
+		}
+		a, b := tbl.Clone(), back.Clone()
+		a.Sort()
+		b.Sort()
+		for i := range a.Rows {
+			for c := 0; c < 2; c++ {
+				want, got := a.Rows[i][c], b.Rows[i][c]
+				if !tuple.Equal(want, got) || (want.Kind() == tuple.KindString) != (got.Kind() == tuple.KindString) {
+					t.Fatalf("iter %d row %d col %d: %v (%s) came back as %v (%s)\ninput:\n%s",
+						iter, i, c, want, want.Kind(), got, got.Kind(), tbl)
+				}
+			}
+		}
+	}
+}
+
+// TestWriteRejectsNonFiniteFloats: NaN and ±Inf cells poison ordering
+// and grouping, so writing them must fail loudly instead of producing a
+// file that reads back differently.
+func TestWriteRejectsNonFiniteFloats(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		tbl := engine.NewTable(tuple.NewSchema("x"))
+		tbl.Append(tuple.Tuple{tuple.Float(f)}, interval.New(0, 5), 1)
+		if err := WriteTable(&strings.Builder{}, tbl); err == nil {
+			t.Errorf("WriteTable accepted non-finite %v", f)
+		}
+	}
+}
+
+// TestReadRejectsNonFiniteFloats: "NaN"/"Inf" cells must come back as
+// text, never as non-finite DOUBLE values.
+func TestReadRejectsNonFiniteFloats(t *testing.T) {
+	tbl, err := ReadTable(strings.NewReader("a,begin,end\nNaN,0,5\nInf,0,5\n-Inf,0,5\n1e999,0,5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[0].Kind() == tuple.KindFloat {
+			t.Fatalf("non-finite literal inferred as DOUBLE: %v", row[0])
+		}
+	}
+}
+
+// TestReadErrorLineNumbers: every error path of ReadTable must report
+// the same line number for the same offending record (regression for
+// the parse-error path being off by one from the field-count path).
+func TestReadErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"parse-error", "a,begin,end\nok,0,5\n\"bare\" quote,0,5\n"},
+		{"field-count", "a,begin,end\nok,0,5\nonly-two,0\n"},
+		{"bad-begin", "a,begin,end\nok,0,5\nx,zz,5\n"},
+		{"bad-end", "a,begin,end\nok,0,5\nx,0,zz\n"},
+		{"empty-period", "a,begin,end\nok,0,5\nx,5,5\n"},
+	}
+	for _, c := range cases {
+		_, err := ReadTable(strings.NewReader(c.csv))
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		// The offending record is the 2nd data row = physical line 3.
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("%s: error %q does not name line 3", c.name, err)
 		}
 	}
 }

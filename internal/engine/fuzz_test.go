@@ -79,6 +79,97 @@ func sameCounts(a, b map[string]int) bool {
 	return true
 }
 
+// decodeFuzzPair decodes 4-byte chunks of fuzz data into TWO interval
+// multisets — (side, value, begin, span-and-multiplicity) — the
+// left/right inputs of a difference. Both sides draw values from the
+// same small domain, so groups routinely exist on both sides and the ℕ
+// monus has real truncation work.
+func decodeFuzzPair(data []byte) (l, r *engine.Table) {
+	if len(data) > 400 {
+		data = data[:400]
+	}
+	l = engine.NewTable(tuple.NewSchema("v"))
+	r = engine.NewTable(tuple.NewSchema("v"))
+	for i := 0; i+3 < len(data); i += 4 {
+		tbl := l
+		if data[i]%2 == 1 {
+			tbl = r
+		}
+		v := int64(data[i+1] % 5)
+		var val tuple.Value = tuple.Int(v)
+		if v == 4 {
+			val = tuple.Null // NULL is an ordinary data value for differencing
+		}
+		begin := int64(data[i+2]) % (fuzzDomain.Max - 1)
+		span := int64(data[i+3]%16) + 1
+		end := begin + span
+		if end > fuzzDomain.Max {
+			end = fuzzDomain.Max
+		}
+		mult := int64(data[i+3]%3) + 1
+		tbl.Append(tuple.Tuple{val}, interval.New(begin, end), mult)
+	}
+	return l, r
+}
+
+// monusTimePointCounts is the naive difference oracle: for every
+// (value, time point), max(0, |left rows covering it| − |right rows
+// covering it|) — the ℕ-monus snapshot semantics, zero entries elided.
+func monusTimePointCounts(l, r *engine.Table) map[string]int {
+	counts := timePointCounts(l)
+	for k, rc := range timePointCounts(r) {
+		lc := counts[k]
+		if lc <= rc {
+			delete(counts, k)
+		} else {
+			counts[k] = lc - rc
+		}
+	}
+	return counts
+}
+
+// FuzzStreamDiff differences the streaming merge-based temporal
+// difference against the blocking TemporalDiff oracle on arbitrary
+// interval-multiset pairs — the multisets must be identical row for
+// row, including the segment boundaries at zero-net-delta endpoints —
+// and checks both against the naive per-time-point monus oracle. The
+// seeds cover merge-order stress (same-instant begins on both sides)
+// and monus truncation (right side exceeding the left).
+func FuzzStreamDiff(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 9})
+	f.Add([]byte{0, 1, 0, 9, 1, 1, 2, 3})                         // simple overlap
+	f.Add([]byte{0, 1, 0, 4, 1, 1, 1, 10, 1, 1, 1, 10})           // monus truncation: right exceeds left
+	f.Add([]byte{0, 2, 5, 6, 1, 2, 5, 6, 0, 2, 5, 2, 1, 2, 8, 2}) // same-instant begins on both sides (merge order)
+	f.Add([]byte{0, 3, 0, 4, 0, 3, 4, 4, 1, 3, 2, 4})             // adjacent left chain split by a right row
+	f.Add([]byte{1, 0, 0, 15, 1, 0, 3, 15})                       // right-only groups emit nothing
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, r := decodeFuzzPair(data)
+
+		want, err := engine.TemporalDiff(l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: the blocking diff must realize the per-snapshot monus.
+		if wantPts, gotPts := monusTimePointCounts(l, r), timePointCounts(want); !sameCounts(wantPts, gotPts) {
+			t.Fatalf("blocking diff violates the per-time-point monus oracle\nleft:\n%s\nright:\n%s\noutput:\n%s", l, r, want)
+		}
+
+		ls, rs := l.Clone(), r.Clone()
+		ls.SortByEndpoints()
+		rs.SortByEndpoints()
+		it, err := engine.NewStreamDiffIter(engine.NewTableIter(ls), engine.NewTableIter(rs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := engine.Materialize(it)
+		it.Close()
+		if !sameCounts(multisetKeys(want), multisetKeys(got)) {
+			t.Fatalf("streaming diff diverges from blocking sweep\nleft:\n%s\nright:\n%s\nblocking:\n%s\nstreaming:\n%s", l, r, want, got)
+		}
+	})
+}
+
 // FuzzCoalesce checks the coalesce implementations against each other
 // and against the naive per-time-point oracle on arbitrary interval
 // multisets: the blocking sweep must preserve every snapshot

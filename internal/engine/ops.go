@@ -192,6 +192,11 @@ func TemporalDiff(l, r *Table) (*Table, error) {
 		deltas map[interval.Time]int64 // +left −right multiplicity change
 	}
 	groups := make(map[string]*grp)
+	// Groups are emitted in first-seen order, not map order: repeated
+	// identical difference queries must stream rows in the same order
+	// run to run (the cursor API exposes emission order directly; only
+	// the materialized Result hides it behind a sort).
+	var order []*grp
 	var scratch []byte
 	add := func(t *Table, sign int64) {
 		for _, row := range t.Rows {
@@ -201,6 +206,7 @@ func TemporalDiff(l, r *Table) (*Table, error) {
 			if !ok {
 				g = &grp{data: data, deltas: make(map[interval.Time]int64)}
 				groups[string(scratch)] = g
+				order = append(order, g)
 			}
 			iv := t.Interval(row)
 			g.deltas[iv.Begin] += sign
@@ -210,7 +216,7 @@ func TemporalDiff(l, r *Table) (*Table, error) {
 	add(l, 1)
 	add(r, -1)
 	out := &Table{Schema: l.Schema}
-	for _, g := range groups {
+	for _, g := range order {
 		times := make([]interval.Time, 0, len(g.deltas))
 		for t := range g.deltas {
 			times = append(times, t)

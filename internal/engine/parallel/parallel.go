@@ -465,6 +465,12 @@ func (e *executor) buildAgg(n engine.AggP) (*pstream, error) {
 // workers both inputs are hash-partitioned on the full data tuple with
 // the same hash, so value-equivalent groups of both sides meet in the
 // same worker and each worker computes an independent fused diff sweep.
+// When the planner guaranteed begin-sorted children (n.Streaming), BOTH
+// sides go through the ORDER-PRESERVING repartition exchange — every
+// partition pair stays begin-sorted — and each worker runs the
+// streaming merge-based diff with O(open intervals + active groups)
+// state instead of materializing its partitions; the materializing
+// per-partition diff remains as the blocking ablation.
 func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
 	if e.workers > 1 {
 		l, err := e.build(n.L)
@@ -483,6 +489,22 @@ func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
 		}
 		schema := l.schema
 		keyIdx := dataIdx(schema)
+		if n.Streaming {
+			lp := e.hashPartitionOrdered(l.sources(), keyIdx)
+			rp := e.hashPartitionOrdered(r.sources(), keyIdx)
+			out := make([]engine.RowIter, len(lp))
+			for i := range lp {
+				it, err := engine.NewStreamDiffIter(lp[i], rp[i])
+				if err != nil {
+					// Arity compatibility — the constructor's only failure
+					// mode — was validated above, so this is an executor
+					// bug and must be loud, never a silently empty result.
+					panic(fmt.Sprintf("parallel: streaming difference over validated partitions failed: %v", err))
+				}
+				out[i] = it
+			}
+			return &pstream{parts: out, schema: schema}, nil
+		}
 		// Build-time validation: arity compatibility (checked above) is
 		// the only failure mode of TemporalDiff, so the per-partition
 		// closure cannot fail — if it ever does, that is an executor bug
@@ -501,6 +523,26 @@ func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
 			out[i] = newLazyDiffIter(lp[i], rp[i], schema, diff)
 		}
 		return &pstream{parts: out, schema: schema}, nil
+	}
+	// The streaming merge sweep needs one begin-ordered stream per side;
+	// the order-preserving merge exchange provides it even over multiple
+	// fragments, so the sequential streaming diff composes with parallel
+	// children exactly like global streaming aggregation.
+	if n.Streaming {
+		l, err := e.build(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.build(n.R)
+		if err != nil {
+			l.close()
+			return nil, err
+		}
+		it, err := engine.NewStreamDiffIter(e.merge(l), e.merge(r))
+		if err != nil {
+			return nil, err
+		}
+		return &pstream{seq: it, schema: it.Schema()}, nil
 	}
 	l, err := e.table(n.L)
 	if err != nil {

@@ -43,8 +43,16 @@ type JoinP struct {
 // UnionP is UNION ALL.
 type UnionP struct{ L, R Plan }
 
-// DiffP is snapshot-reducible EXCEPT ALL via split (Fig 4).
-type DiffP struct{ L, R Plan }
+// DiffP is snapshot-reducible EXCEPT ALL via split (Fig 4). With
+// Streaming set the streaming executor runs the ℕ-monus difference as a
+// two-input begin-sorted merge sweep with O(open intervals + active
+// groups) state instead of materializing both inputs; the planner
+// (package rewrite) only sets it when the interval-endpoint order of
+// BOTH children is guaranteed.
+type DiffP struct {
+	L, R      Plan
+	Streaming bool
+}
 
 // AggP is snapshot-reducible aggregation via split (Fig 4); PreAgg
 // selects the §9 pre-aggregation optimization. With Streaming set the
@@ -97,7 +105,12 @@ func (p ProjectP) String() string {
 }
 func (p JoinP) String() string  { return fmt.Sprintf("TJoin[%s](%s, %s)", p.Pred, p.L, p.R) }
 func (p UnionP) String() string { return fmt.Sprintf("UnionAll(%s, %s)", p.L, p.R) }
-func (p DiffP) String() string  { return fmt.Sprintf("TDiff(%s, %s)", p.L, p.R) }
+func (p DiffP) String() string {
+	if p.Streaming {
+		return fmt.Sprintf("StreamTDiff(%s, %s)", p.L, p.R)
+	}
+	return fmt.Sprintf("TDiff(%s, %s)", p.L, p.R)
+}
 func (p AggP) String() string {
 	mode := "naive"
 	if p.PreAgg {

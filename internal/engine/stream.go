@@ -467,6 +467,18 @@ func (db *DB) ExecStream(p Plan) (RowIter, error) {
 		}
 		return newUnionIter(l, r)
 	case DiffP:
+		if n.Streaming {
+			l, err := db.ExecStream(n.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := db.ExecStream(n.R)
+			if err != nil {
+				l.Close()
+				return nil, err
+			}
+			return NewStreamDiffIter(l, r)
+		}
 		l, err := db.streamToTable(n.L)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"snapk/internal/interval"
+	"snapk/internal/tuple"
+)
+
+// This file implements the sort-aware streaming form of the temporal
+// difference (the REWR pattern N_SCH(Q1)(R1,R2) − N_SCH(Q2)(R2,R1) of
+// Fig 4, fused with the §9 pre-aggregated counts — the same semantics
+// as the blocking TemporalDiff). It is the two-input sibling of the
+// streaming sweeps in streamsweep.go: both inputs must arrive ordered
+// by ascending interval begin, the iterator merges them into one event
+// sweep, and per value-equivalent group it keeps only the open interval
+// ends plus two counters — O(open intervals + active groups) state —
+// instead of materializing either input. Once the merged sweep position
+// passes a time point, no later row of either side can contribute an
+// event before it, so segments up to that point are final and groups
+// whose intervals are all closed are evicted.
+//
+// As in streamsweep.go, the input-order precondition is the planner's
+// responsibility (package rewrite inserts SortP enforcers on BOTH
+// children when the order is not guaranteed); violations panic so a
+// planner bug is loud instead of silently wrong.
+
+// diffGroup is the per-value-equivalent-group sweep state of the
+// streaming difference: the pending interval ends not yet passed by the
+// sweep (each carrying the signed multiplicity delta to apply), the
+// committed left-minus-right count through the last committed event,
+// and the uncommitted delta accumulated at curT. Unlike coalescing,
+// difference splits its output at EVERY endpoint of the group — even
+// when the net delta at that instant is zero — because the blocking
+// TemporalDiff emits one row per elementary segment and the streaming
+// form must produce the identical multiset; curEvent records that an
+// endpoint occurred at curT so the commit splits there regardless of
+// the delta.
+type diffGroup struct {
+	key      string
+	data     tuple.Tuple
+	ends     minHeap[int64] // pending end events; payload = signed delta to apply
+	count    int64          // committed left − right multiplicity through segStart
+	segStart interval.Time
+	curT     interval.Time
+	curDelta int64
+	curEvent bool
+	seq      int // first-seen order, for a deterministic end-of-input flush
+	// reg/regT: the group's single live registration in the iterator's
+	// expiry heap (the global-sweep eviction machinery).
+	reg  bool
+	regT interval.Time
+}
+
+// nextTime reports when the group next needs the sweep's attention;
+// ok=false means fully closed and committed: evictable. Every begin
+// delta has a matching end delta in the ends heap, so a group with no
+// pending end, no uncommitted event and a zero count can never emit
+// again.
+func (g *diffGroup) nextTime() (interval.Time, bool) {
+	if g.ends.len() > 0 {
+		return g.ends.min(), true
+	}
+	if g.curEvent || g.curDelta != 0 || g.count != 0 {
+		return g.curT, true // pending uncommitted event with no open end left
+	}
+	return 0, false
+}
+
+// commit applies the pending event at curT: it closes the segment
+// [segStart, curT) — emitting it with the ℕ-monus multiplicity
+// max(0, count) — and folds the accumulated delta into the count. A
+// zero-delta event still moves segStart: difference output segments
+// break at every endpoint of the group, exactly as in TemporalDiff.
+func (g *diffGroup) commit(emit func(data tuple.Tuple, iv interval.Interval, mult int64)) {
+	if !g.curEvent {
+		return
+	}
+	if g.count > 0 && g.curT > g.segStart {
+		emit(g.data, interval.New(g.segStart, g.curT), g.count)
+	}
+	g.count += g.curDelta
+	g.curDelta = 0
+	g.curEvent = false
+	g.segStart = g.curT
+}
+
+// advance moves the group's sweep position to t, committing every
+// pending end event strictly before it and folding ends at t into the
+// uncommitted delta (a same-instant begin may still arrive and belongs
+// to the same event).
+func (g *diffGroup) advance(t interval.Time, emit func(tuple.Tuple, interval.Interval, int64)) {
+	for g.ends.len() > 0 && g.ends.min() <= t {
+		et := g.ends.min()
+		if et > g.curT {
+			g.commit(emit)
+			g.curT = et
+		}
+		for g.ends.len() > 0 && g.ends.min() == et {
+			g.curDelta += g.ends.pop().v
+			g.curEvent = true
+		}
+	}
+	if t > g.curT {
+		g.commit(emit)
+		g.curT = t
+	}
+}
+
+// flush drains every remaining pending end at end of input — with no
+// time bound, so arbitrarily late interval ends still split and emit —
+// and commits the final segment.
+func (g *diffGroup) flush(emit func(tuple.Tuple, interval.Interval, int64)) {
+	for g.ends.len() > 0 {
+		et := g.ends.min()
+		if et > g.curT {
+			g.commit(emit)
+			g.curT = et
+		}
+		for g.ends.len() > 0 && g.ends.min() == et {
+			g.curDelta += g.ends.pop().v
+			g.curEvent = true
+		}
+	}
+	g.commit(emit)
+}
+
+// streamDiffIter is the streaming ℕ-monus difference over two
+// begin-sorted inputs. It merges the two streams by ascending interval
+// begin (+1 events from the left input, −1 from the right), sweeps each
+// value-equivalent group's endpoints in time order, and emits every
+// elementary segment with multiplicity max(0, |left| − |right|) — the
+// same multiset the blocking TemporalDiff produces, without
+// materializing either input. The expiry heap wakes each group when the
+// merged sweep position passes its next event; fully closed groups are
+// evicted from the state map.
+type streamDiffIter struct {
+	l, r    RowIter
+	n       int // data arity
+	groups  map[string]*diffGroup
+	expiry  minHeap[*diffGroup] // group wake-ups keyed by next event time
+	nextSeq int
+	queue   []tuple.Tuple
+	qi      int
+	// one-row lookahead per input, filled on first Next
+	lRow, rRow tuple.Tuple
+	lOk, rOk   bool
+	primed     bool
+	drained    bool
+	scratch    []byte // reusable group-key buffer (one key string per distinct group, not per row)
+}
+
+// NewStreamDiffIter returns the streaming temporal difference l − r,
+// taking ownership of both inputs. Both must be ordered by ascending
+// interval begin (violations panic) and union-compatible; on an arity
+// mismatch both children are closed and an error is returned, matching
+// the other constructors' contract.
+func NewStreamDiffIter(l, r RowIter) (RowIter, error) {
+	if l.Schema().Arity() != r.Schema().Arity() {
+		arities := [2]int{l.Schema().Arity(), r.Schema().Arity()}
+		l.Close()
+		r.Close()
+		return nil, fmt.Errorf("engine: difference-incompatible arities %d and %d", arities[0], arities[1])
+	}
+	return &streamDiffIter{
+		l:      l,
+		r:      r,
+		n:      l.Schema().Arity() - 2,
+		groups: make(map[string]*diffGroup),
+	}, nil
+}
+
+func (it *streamDiffIter) Schema() tuple.Schema { return it.l.Schema() }
+
+// track (re-)registers g in the expiry heap at its next event time, or
+// evicts it when fully closed. Each group holds at most one live
+// registration, so the heap stays O(active groups).
+func (it *streamDiffIter) track(g *diffGroup) {
+	t, ok := g.nextTime()
+	if !ok {
+		delete(it.groups, g.key)
+		return
+	}
+	g.reg, g.regT = true, t
+	it.expiry.push(t, g)
+}
+
+// retire advances every group whose registered wake-up lies strictly
+// before the merged sweep position b. Strictly before: events at
+// exactly b must stay uncommitted, because a same-instant begin from
+// either input may still arrive and belongs to the same boundary.
+func (it *streamDiffIter) retire(b interval.Time) {
+	for it.expiry.len() > 0 && it.expiry.min() < b {
+		e := it.expiry.pop()
+		if !e.v.reg || e.v.regT != e.t {
+			continue // superseded registration
+		}
+		e.v.reg = false
+		e.v.advance(b, it.enqueue)
+		it.track(e.v)
+	}
+}
+
+// enqueue appends mult copies of (data, iv), each with its own backing
+// slice so emitted siblings never alias.
+func (it *streamDiffIter) enqueue(data tuple.Tuple, iv interval.Interval, mult int64) {
+	row := make(tuple.Tuple, 0, len(data)+2)
+	row = append(row, data...)
+	row = append(row, tuple.Int(iv.Begin), tuple.Int(iv.End))
+	it.queue = append(it.queue, row)
+	for i := int64(1); i < mult; i++ {
+		it.queue = append(it.queue, row.Clone())
+	}
+}
+
+func (it *streamDiffIter) Next() (tuple.Tuple, bool) {
+	for {
+		if it.qi < len(it.queue) {
+			row := it.queue[it.qi]
+			it.qi++
+			return row, true
+		}
+		it.queue = it.queue[:0]
+		it.qi = 0
+		if it.drained {
+			return nil, false
+		}
+		if !it.primed {
+			it.lRow, it.lOk = it.l.Next()
+			it.rRow, it.rOk = it.r.Next()
+			it.primed = true
+		}
+		// Merge step: take the earlier begin (ties go left — immaterial
+		// for the result, since same-instant deltas fold into one event).
+		var row tuple.Tuple
+		var sign int64
+		switch {
+		case it.lOk && (!it.rOk || rowInterval(it.lRow).Begin <= rowInterval(it.rRow).Begin):
+			row, sign = it.lRow, 1
+			it.lRow, it.lOk = it.l.Next()
+			if it.lOk && rowInterval(it.lRow).Begin < rowInterval(row).Begin {
+				panic(fmt.Sprintf("engine: streaming difference left input not begin-sorted (begin %d after %d); planner must insert a sort enforcer", rowInterval(it.lRow).Begin, rowInterval(row).Begin))
+			}
+		case it.rOk:
+			row, sign = it.rRow, -1
+			it.rRow, it.rOk = it.r.Next()
+			if it.rOk && rowInterval(it.rRow).Begin < rowInterval(row).Begin {
+				panic(fmt.Sprintf("engine: streaming difference right input not begin-sorted (begin %d after %d); planner must insert a sort enforcer", rowInterval(it.rRow).Begin, rowInterval(row).Begin))
+			}
+		default:
+			// End of both inputs: flush the remaining live groups in
+			// first-seen order, so repeated runs stream identical row
+			// order (the map holds only the live groups, so the flush
+			// sorts O(active groups), not O(all groups ever seen)).
+			live := make([]*diffGroup, 0, len(it.groups))
+			for _, g := range it.groups {
+				live = append(live, g)
+			}
+			sort.Slice(live, func(i, j int) bool { return live[i].seq < live[j].seq })
+			for _, g := range live {
+				g.flush(it.enqueue)
+			}
+			it.drained = true
+			continue
+		}
+		iv := rowInterval(row)
+		it.retire(iv.Begin)
+		data := row[:it.n]
+		it.scratch = data.AppendKey(it.scratch[:0], nil)
+		g, ok := it.groups[string(it.scratch)]
+		if !ok {
+			key := string(it.scratch)
+			// The group representative is the first row seen in merge
+			// order; a value-equivalent row from the other side may have
+			// a different numeric kind (Int vs integral Float), which
+			// Equal and Key treat as the same value — exactly as the
+			// blocking sweep's first-seen representative does.
+			g = &diffGroup{key: key, data: data, segStart: iv.Begin, curT: iv.Begin, seq: it.nextSeq}
+			it.nextSeq++
+			it.groups[key] = g
+		}
+		g.advance(iv.Begin, it.enqueue)
+		g.curDelta += sign
+		g.curEvent = true
+		g.ends.push(iv.End, -sign)
+		if !g.reg {
+			it.track(g)
+		}
+	}
+}
+
+func (it *streamDiffIter) Close() {
+	it.l.Close()
+	it.r.Close()
+}

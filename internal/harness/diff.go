@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"snapk/internal/dataset"
+	"snapk/internal/engine"
+	"snapk/internal/engine/parallel"
+)
+
+// diffSizeCap bounds the diff experiment input, like parstream: the
+// acceptance measurement of the streaming-difference study is the
+// 50k-row begin-sorted input, and larger configured Fig5 sizes add
+// minutes without changing the comparison.
+const diffSizeCap = 50000
+
+// diffVariant is one physical difference configuration measured by the
+// diff experiment.
+type diffVariant struct {
+	name      string
+	sorted    bool // run over the begin-sorted copies of the inputs
+	streaming bool // DiffP.Streaming: the merge sweep instead of the blocking diff
+	enforce   bool // wrap both children in the SortP enforcer (forced streaming over unsorted input)
+	par       int  // exchange workers; 0 = sequential streaming engine
+}
+
+// plan builds the difference plan l − r in the variant's physical form.
+func (v diffVariant) plan() engine.Plan {
+	var l, r engine.Plan = engine.ScanP{Name: "l"}, engine.ScanP{Name: "r"}
+	if v.enforce {
+		l, r = engine.SortP{In: l}, engine.SortP{In: r}
+	}
+	return engine.DiffP{L: l, R: r, Streaming: v.streaming}
+}
+
+// Diff measures the temporal difference in its physical forms: the
+// blocking fused sweep (materialize both inputs, per-group delta maps)
+// against the streaming merge-based sweep (begin-sorted two-input
+// merge, O(open intervals + active groups) state), sequential and at
+// DefaultWorkers on the parallel executor (pairwise order-preserving
+// repartition, per-worker streaming diffs). On sorted input the
+// streaming variants should run at or under the blocking ones: they
+// skip both materializations and the per-group endpoint sorting. The
+// sort-enforced variant prices forced streaming over unsorted input.
+func Diff(w io.Writer, sc Scale, rep *Report) error {
+	variants := []diffVariant{
+		{name: "diff-blocking/sorted", sorted: true},
+		{name: "diff-streaming/sorted", sorted: true, streaming: true},
+		{name: "diff-blocking/unsorted"},
+		{name: "diff-stream-enforced/unsorted", streaming: true, enforce: true},
+		{name: fmt.Sprintf("diff-par-blocking-x%d/sorted", DefaultWorkers), sorted: true, par: DefaultWorkers},
+		{name: fmt.Sprintf("diff-par-stream-x%d/sorted", DefaultWorkers), sorted: true, streaming: true, par: DefaultWorkers},
+	}
+	tw := NewTable("rows", "variant", "median (s)", "out rows")
+	for _, n := range sc.Fig5Sizes {
+		if n > diffSizeCap {
+			// Not silently: the report must show which configured sizes
+			// were not measured.
+			fmt.Fprintf(w, "diff: skipping configured size %d (cap %d)\n", n, diffSizeCap)
+			continue
+		}
+		db, sortedDB := diffInputs(n)
+		for _, v := range variants {
+			d, rows, err := runDiffVariant(db, sortedDB, v, sc.Runs)
+			if err != nil {
+				return fmt.Errorf("diff %s: %w", v.name, err)
+			}
+			tw.AddRow(fmt.Sprintf("%d", n), v.name, FormatDuration(d), fmt.Sprintf("%d", rows))
+			rep.Add("diff", fmt.Sprintf("%s/rows=%d", v.name, n), d, map[string]float64{"rows": float64(rows)})
+		}
+	}
+	_, err := tw.WriteTo(w)
+	return err
+}
+
+// diffInputs builds the difference workload twice — as generated
+// (unsorted) and with the stored rows re-sorted into endpoint order.
+// The left side is the n-row coalescing workload; the right side is
+// generated with the SAME seed at half the size, so it reproduces the
+// first half of the left rows exactly: value-equivalent groups exist on
+// both sides everywhere and the ℕ monus has real truncation work, while
+// the surviving left half keeps the result non-empty.
+func diffInputs(n int) (unsorted, sorted *engine.DB) {
+	ldb := dataset.CoalesceInput(n, 3)
+	rdb := dataset.CoalesceInput(max(n/2, 1), 3)
+	lt, err := ldb.Table("sal")
+	if err != nil {
+		panic(err) // generated dataset always has the sal table
+	}
+	rt, err := rdb.Table("sal")
+	if err != nil {
+		panic(err)
+	}
+	unsorted = engine.NewDB(ldb.Domain())
+	unsorted.AddTable("l", lt)
+	unsorted.AddTable("r", rt)
+	ls, rs := lt.Clone(), rt.Clone()
+	ls.SortByEndpoints()
+	rs.SortByEndpoints()
+	sorted = engine.NewDB(ldb.Domain())
+	sorted.AddTable("l", ls)
+	sorted.AddTable("r", rs)
+	return unsorted, sorted
+}
+
+// runDiffVariant times one variant and returns its median runtime and
+// output cardinality.
+func runDiffVariant(db, sortedDB *engine.DB, v diffVariant, runs int) (d time.Duration, rows int, err error) {
+	target := db
+	if v.sorted {
+		target = sortedDB
+	}
+	plan := v.plan()
+	d, err = Median(runs, func() error {
+		var it engine.RowIter
+		var err error
+		if v.par > 1 {
+			it, err = parallel.Exec(context.Background(), target, plan, parallel.Options{Workers: v.par})
+		} else {
+			it, err = target.ExecStream(plan)
+		}
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		rows = engine.Materialize(it).Len()
+		if rows == 0 {
+			return fmt.Errorf("empty diff result")
+		}
+		return nil
+	})
+	return d, rows, err
+}

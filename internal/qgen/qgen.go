@@ -168,6 +168,17 @@ func (g *Gen) GenQuery() algebra.Query {
 	}
 }
 
+// GenDiffQuery generates a random query with a difference at the root —
+// the dedicated generator of the streaming-difference equivalence grid,
+// which must exercise the DiffP physical forms on every iteration
+// (GenQuery only reaches a difference by chance).
+func (g *Gen) GenDiffQuery() algebra.Query {
+	return algebra.Diff{
+		L: g.genPositive(g.MaxDepth-1, true),
+		R: g.genPositive(g.MaxDepth-1, true),
+	}
+}
+
 // GenPositiveQuery generates a random RA+ query (no difference, no
 // aggregation) — the fragment for which the legacy baselines are still
 // snapshot-reducible (Table 1).

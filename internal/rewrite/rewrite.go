@@ -164,6 +164,30 @@ func (rw *rewriter) sweepInput(p engine.Plan) (engine.Plan, bool) {
 	}
 }
 
+// sweepInput2 is the two-input form of sweepInput, for the streaming
+// merge-based difference: it reports whether the sweep streams and
+// wraps EACH child in the endpoint sort enforcer when streaming is
+// forced without a guaranteed order. Under SweepAuto the difference
+// streams only when both children already carry the order — a single
+// sorted side would make the merge sweep pay an enforcer sort the
+// blocking sweep avoids.
+func (rw *rewriter) sweepInput2(l, r engine.Plan) (engine.Plan, engine.Plan, bool) {
+	switch rw.opt.Sweep {
+	case SweepBlocking:
+		return l, r, false
+	case SweepStreaming:
+		if !rw.beginOrdered(l) {
+			l = engine.SortP{In: l}
+		}
+		if !rw.beginOrdered(r) {
+			r = engine.SortP{In: r}
+		}
+		return l, r, true
+	default: // SweepAuto: stream exactly when the order comes for free
+		return l, r, rw.beginOrdered(l) && rw.beginOrdered(r)
+	}
+}
+
 // coalesceOp wraps p in a coalesce operator in the physical form chosen
 // by opt.Sweep.
 func (rw *rewriter) coalesceOp(p engine.Plan) engine.Plan {
@@ -227,7 +251,8 @@ func (rw *rewriter) rewr(q algebra.Query) (engine.Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		return rw.maybeCoalesce(engine.DiffP{L: l, R: r}), nil
+		l, r, stream := rw.sweepInput2(l, r)
+		return rw.maybeCoalesce(engine.DiffP{L: l, R: r, Streaming: stream}), nil
 	case algebra.Agg:
 		in, err := rw.rewr(n.In)
 		if err != nil {

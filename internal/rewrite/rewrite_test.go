@@ -150,6 +150,121 @@ func TestTheorem81CommutingDiagram(t *testing.T) {
 	}
 }
 
+// TestDiffGridEquivalence is the difference-focused half of the
+// equivalence grid: every generated query has a difference at the root,
+// so each iteration exercises the DiffP physical forms — blocking,
+// streaming behind sort enforcers, auto-streaming over begin-sorted
+// stored tables, and the parallel pairwise-partitioned variants — over
+// executor × sweep × parallelism × sortedness, against the logical
+// model.
+func TestDiffGridEquivalence(t *testing.T) {
+	g := qgen.New(421)
+	var opts []rewrite.Options
+	for _, par := range []int{0, 2, 4} {
+		for _, sw := range []rewrite.SweepMode{rewrite.SweepAuto, rewrite.SweepStreaming, rewrite.SweepBlocking} {
+			opts = append(opts, rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: sw, Parallelism: par})
+		}
+	}
+	opts = append(opts,
+		rewrite.Options{Mode: rewrite.ModeOptimized, Materialize: true},
+		rewrite.Options{Mode: rewrite.ModeNaive, Sweep: rewrite.SweepStreaming},
+		rewrite.Options{Mode: rewrite.ModeNaive, Sweep: rewrite.SweepStreaming, Parallelism: 4},
+	)
+	for i := 0; i < 60; i++ {
+		spec := g.GenDB()
+		q := g.GenDiffQuery()
+		pdb := spec.ToPeriodDB()
+		wantRel, err := pdb.Eval(q)
+		if err != nil {
+			t.Fatalf("period eval: %v (%s)", err, q)
+		}
+		for _, sorted := range []bool{false, true} {
+			s := spec
+			if sorted {
+				s = spec.SortedByBegin()
+			}
+			edb := s.ToEngineDB()
+			for _, opt := range opts {
+				got, err := rewrite.Run(edb, q, opt)
+				if err != nil {
+					t.Fatalf("rewrite run: %v (%s)", err, q)
+				}
+				gotRel := got.ToPeriodRelation(pdb.Algebra())
+				if !gotRel.Equal(wantRel) {
+					t.Fatalf("iteration %d, sorted %v, opt %+v: difference disagrees with logical model\nquery: %s\ngot:  %v\nwant: %v",
+						i, sorted, opt, q, gotRel, wantRel)
+				}
+			}
+		}
+	}
+}
+
+// TestDiffSweepPlanning pins the planner's physical choice for the
+// difference: SweepStreaming forces the streaming merge sweep with a
+// sort enforcer on each unordered child; SweepAuto streams exactly when
+// BOTH children carry the order for free; SweepBlocking never streams.
+func TestDiffSweepPlanning(t *testing.T) {
+	db := engine.NewDB(dom)
+	sortedT := db.CreateTable("st", tuple.NewSchema("a"))
+	sortedT.Append(tuple.Tuple{tuple.Int(1)}, interval.New(1, 5), 1)
+	sortedT.Append(tuple.Tuple{tuple.Int(2)}, interval.New(3, 9), 1)
+	unsortedT := db.CreateTable("ut", tuple.NewSchema("a"))
+	unsortedT.Append(tuple.Tuple{tuple.Int(1)}, interval.New(6, 8), 1)
+	unsortedT.Append(tuple.Tuple{tuple.Int(2)}, interval.New(2, 4), 1)
+	if !db.ScanBeginSorted("st") || db.ScanBeginSorted("ut") {
+		t.Fatal("fixture sortedness is wrong")
+	}
+	q := func(l, r string) algebra.Query {
+		return algebra.Diff{L: algebra.Rel{Name: l}, R: algebra.Rel{Name: r}}
+	}
+	diffOf := func(sw rewrite.SweepMode, l, r string) engine.DiffP {
+		t.Helper()
+		p, err := rewrite.Rewrite(q(l, r), db, rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: sw, SkipFinalCoalesce: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, ok := p.(engine.DiffP)
+		if !ok {
+			t.Fatalf("plan root is %T, want DiffP: %s", p, p)
+		}
+		return dp
+	}
+
+	// Forced streaming over unsorted children: enforcers on BOTH inputs.
+	dp := diffOf(rewrite.SweepStreaming, "ut", "ut")
+	if !dp.Streaming {
+		t.Fatalf("SweepStreaming must set DiffP.Streaming: %s", dp)
+	}
+	if _, ok := dp.L.(engine.SortP); !ok {
+		t.Fatalf("left child of forced streaming diff lacks the sort enforcer: %s", dp)
+	}
+	if _, ok := dp.R.(engine.SortP); !ok {
+		t.Fatalf("right child of forced streaming diff lacks the sort enforcer: %s", dp)
+	}
+	// Forced streaming over sorted children: no enforcer needed.
+	dp = diffOf(rewrite.SweepStreaming, "st", "st")
+	if !dp.Streaming {
+		t.Fatalf("SweepStreaming must set DiffP.Streaming: %s", dp)
+	}
+	if _, ok := dp.L.(engine.ScanP); !ok {
+		t.Fatalf("sorted child must not be wrapped in an enforcer: %s", dp)
+	}
+	// Auto: streams only when both children are ordered.
+	if dp = diffOf(rewrite.SweepAuto, "st", "st"); !dp.Streaming {
+		t.Fatalf("SweepAuto over two sorted scans must stream: %s", dp)
+	}
+	for _, pair := range [][2]string{{"st", "ut"}, {"ut", "st"}, {"ut", "ut"}} {
+		if dp = diffOf(rewrite.SweepAuto, pair[0], pair[1]); dp.Streaming {
+			t.Fatalf("SweepAuto with unsorted child %v must not stream: %s", pair, dp)
+		}
+	}
+	// Blocking ablation: never streams, never sorts.
+	dp = diffOf(rewrite.SweepBlocking, "st", "st")
+	if dp.Streaming {
+		t.Fatalf("SweepBlocking must not stream: %s", dp)
+	}
+}
+
 // TestUniqueEncodingOfResults: in optimized mode the final coalesce makes
 // the result the unique encoding — the exact PERIODENC image of the
 // logical result.

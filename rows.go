@@ -117,6 +117,9 @@ func (r *Rows) Values() []any {
 // into *float64 is supported. It must only be called after a successful
 // Next.
 func (r *Rows) Scan(dest ...any) error {
+	if r.closed {
+		return fmt.Errorf("snapk: Scan called on closed Rows")
+	}
 	if r.cur == nil {
 		return fmt.Errorf("snapk: Scan called without a successful Next")
 	}
@@ -168,12 +171,16 @@ func scanValue(v tuple.Value, dest any) error {
 }
 
 // Close releases the cursor and tears down the underlying pipeline,
-// including any parallel fragment goroutines. It is idempotent.
+// including any parallel fragment goroutines. It is idempotent. The
+// current row is dropped: after Close, Scan errors and Period/Values
+// return zero values, mirroring database/sql. A Close before the stream
+// ends is a clean termination, not an error — Err stays nil.
 func (r *Rows) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	r.cur = nil
 	r.it.Close()
 	return nil
 }

@@ -2,8 +2,11 @@ package snapk_test
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	snapk "snapk"
 )
@@ -166,6 +169,160 @@ func TestQueryRowsCancellation(t *testing.T) {
 	}
 	if rows.Next() {
 		t.Fatal("Next after Close must be false")
+	}
+}
+
+// Cursor edge cases around the Next/Scan/Close lifecycle: accessors
+// before the first Next, Scan after Close, and Next after a mid-stream
+// Close over a PARALLEL DIFFERENCE plan — the pipeline with the most
+// fragment goroutines — pinning that no goroutines leak and Err stays
+// nil on a clean close.
+func TestRowsLifecycleEdgeCases(t *testing.T) {
+	db := snapk.New(0, 2000)
+	tl, err := db.CreateTable("l", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := db.CreateTable("r", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 800; i++ {
+		if err := tl.Insert(i%1900, i%1900+20, i%40); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := tr.Insert(i%1900+5, i%1900+15, i%40); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const sql = `SEQ VT (SELECT x FROM l EXCEPT ALL SELECT x FROM r)`
+
+	base := runtime.NumGoroutine()
+	rows, err := db.SetParallelism(4).QueryRows(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the first Next: Period and Values are zero-valued, Scan
+	// errors.
+	if b, e := rows.Period(); b != 0 || e != 0 {
+		t.Fatalf("Period before Next = (%d, %d)", b, e)
+	}
+	if v := rows.Values(); v != nil {
+		t.Fatalf("Values before Next = %v", v)
+	}
+	var x int64
+	if err := rows.Scan(&x); err == nil {
+		t.Fatal("Scan before Next must error")
+	}
+
+	// Mid-stream close: consume a few rows, then Close while the
+	// parallel fragments are still producing.
+	for i := 0; i < 3; i++ {
+		if !rows.Next() {
+			t.Fatal("difference produced fewer than 3 rows; enlarge the dataset")
+		}
+	}
+	if err := rows.Scan(&x); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After Close: Next is false, Scan errors, Period/Values are
+	// zero-valued, and a clean close is not an error.
+	if rows.Next() {
+		t.Fatal("Next after Close must be false")
+	}
+	if err := rows.Scan(&x); err == nil {
+		t.Fatal("Scan after Close must error")
+	}
+	if b, e := rows.Period(); b != 0 || e != 0 {
+		t.Fatalf("Period after Close = (%d, %d)", b, e)
+	}
+	if v := rows.Values(); v != nil {
+		t.Fatalf("Values after Close = %v", v)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("Err after clean close = %v", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every fragment goroutine of the torn-down parallel difference must
+	// exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked after Close: %d running, want <= %d\n%s",
+			n, base, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// Repeated identical sequential difference queries must stream rows in
+// the identical order — the regression test for the map-iteration
+// nondeterminism of the blocking diff (the cursor exposes emission
+// order directly; only the materialized Result hides it by sorting).
+func TestRowsDiffOrderDeterministic(t *testing.T) {
+	db := snapk.New(0, 500)
+	tl, err := db.CreateTable("l", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := db.CreateTable("r", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 60; i++ {
+		if err := tl.Insert(i, i+30, i%17); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Insert(i+2, i+20, i%5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const sql = `SEQ VT (SELECT x FROM l EXCEPT ALL SELECT x FROM r)`
+	read := func() []string {
+		rows, err := db.QueryRows(context.Background(), sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		var out []string
+		for rows.Next() {
+			var x int64
+			if err := rows.Scan(&x); err != nil {
+				t.Fatal(err)
+			}
+			b, e := rows.Period()
+			out = append(out, fmt.Sprintf("%d@[%d,%d)", x, b, e))
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := read()
+	if len(ref) == 0 {
+		t.Fatal("difference is empty; pick a denser input")
+	}
+	for run := 0; run < 8; run++ {
+		got := read()
+		if len(got) != len(ref) {
+			t.Fatalf("run %d: %d rows, want %d", run, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("run %d: row %d = %s, want %s — difference stream order is nondeterministic", run, i, got[i], ref[i])
+			}
+		}
 	}
 }
 
