@@ -1,0 +1,57 @@
+// Command snaplint runs the repo-specific invariant analyzers over the
+// given package patterns and exits non-zero on findings.
+//
+// Usage:
+//
+//	go run ./cmd/snaplint ./...
+//	go run ./cmd/snaplint -list
+//
+// The suite and the suppression-comment syntax are documented in the
+// README ("Invariants & linting") and in package snapk/internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"snapk/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("snaplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.NewLoader().Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags := lint.RunAnalyzers(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "snaplint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

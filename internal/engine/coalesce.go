@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"sort"
 
 	"snapk/internal/interval"
@@ -127,8 +128,11 @@ func IsCoalesced(in *Table, impl CoalesceImpl) bool {
 	a, b := in.Clone(), c
 	a.Sort()
 	b.Sort()
+	var ka, kb []byte
 	for i := range a.Rows {
-		if a.Rows[i].Key() != b.Rows[i].Key() {
+		ka = a.Rows[i].AppendKey(ka[:0], nil)
+		kb = b.Rows[i].AppendKey(kb[:0], nil)
+		if !bytes.Equal(ka, kb) {
 			return false
 		}
 	}

@@ -162,6 +162,9 @@ func FuzzStreamDiff(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Under -tags snapdebug this asserts the no-mutation contract at
+		// the operator itself, before the differential comparison runs.
+		it = engine.CheckNoAlias("streaming difference", it)
 		got := engine.Materialize(it)
 		it.Close()
 		if !sameCounts(multisetKeys(want), multisetKeys(got)) {
@@ -198,7 +201,10 @@ func FuzzCoalesce(f *testing.F) {
 
 		sorted := tbl.Clone()
 		sorted.SortByEndpoints()
-		stream := engine.Materialize(engine.NewStreamCoalesceIter(engine.NewTableIter(sorted)))
+		// CheckNoAlias is active under -tags snapdebug and an identity
+		// wrapper otherwise.
+		stream := engine.Materialize(engine.CheckNoAlias("streaming coalesce",
+			engine.NewStreamCoalesceIter(engine.NewTableIter(sorted))))
 		if !sameCounts(multisetKeys(blocking), multisetKeys(stream)) {
 			t.Fatalf("streaming coalesce diverges from blocking sweep\ninput:\n%s\nblocking:\n%s\nstreaming:\n%s", tbl, blocking, stream)
 		}
@@ -214,7 +220,7 @@ func FuzzCoalesce(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotAgg := engine.Materialize(it)
+		gotAgg := engine.Materialize(engine.CheckNoAlias("streaming aggregation", it))
 		if !sameCounts(multisetKeys(wantAgg), multisetKeys(gotAgg)) {
 			t.Fatalf("streaming aggregation diverges from blocking sweep\ninput:\n%s\nblocking:\n%s\nstreaming:\n%s", tbl, wantAgg, gotAgg)
 		}

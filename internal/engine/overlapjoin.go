@@ -58,6 +58,7 @@ func drainRows(it RowIter) []tuple.Tuple {
 		if !ok {
 			return rows
 		}
+		//lint:ignore rowretain blocking drain into a private slice; the rows are only ever read (engine producers never reuse yielded backing arrays)
 		rows = append(rows, row)
 	}
 }

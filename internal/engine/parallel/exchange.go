@@ -124,6 +124,7 @@ func (e *executor) startMerge(parts []engine.RowIter) engine.RowIter {
 		}()
 	}
 	e.wg.Add(1)
+	//lint:leakcheck bounded by construction: waits only on producers that are themselves cancellation-aware via drainInto
 	go func() {
 		defer e.wg.Done()
 		producers.Wait()
@@ -139,6 +140,7 @@ func (e *executor) drainInto(it engine.RowIter, ch chan<- batch) {
 	for {
 		row, ok := it.Next()
 		if ok {
+			//lint:ignore rowretain batching for transport only; rows are forwarded downstream unmodified
 			b = append(b, row)
 		}
 		if (!ok || len(b) == e.morsel) && len(b) > 0 {
@@ -204,6 +206,7 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int) []engine.R
 				}
 				scratch = row.AppendKey(scratch[:0], keyIdx)
 				i := int(keyHash(scratch) % uint32(e.workers))
+				//lint:ignore rowretain partition buffering for transport; rows are forwarded downstream unmodified
 				bufs[i] = append(bufs[i], row)
 				if len(bufs[i]) == e.morsel && !flush(i) {
 					return
@@ -217,6 +220,7 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int) []engine.R
 		}()
 	}
 	e.wg.Add(1)
+	//lint:leakcheck bounded by construction: waits only on partition producers whose flush selects on ctx.Done()
 	go func() {
 		defer e.wg.Done()
 		producers.Wait()
@@ -450,6 +454,7 @@ func (e *executor) startOrderedMerge(parts []engine.RowIter) engine.RowIter {
 	schema := parts[0].Schema()
 	srcs := make([]rowSource, len(parts))
 	for i, part := range parts {
+		//lint:ignore orderedchan safe bounded buffer: the merge consumer always drains the exact source it waits on, so a full buffer here cannot stall the heap
 		ch := make(chan batch, 2)
 		srcs[i] = &chanCursor{ch: ch}
 		part := part
@@ -461,7 +466,8 @@ func (e *executor) startOrderedMerge(parts []engine.RowIter) engine.RowIter {
 			e.drainInto(part, ch)
 		}()
 	}
-	return &orderedMergeIter{ctx: e.ctx, schema: schema, srcs: srcs}
+	return engine.CheckOrdered("ordered merge exchange",
+		&orderedMergeIter{ctx: e.ctx, schema: schema, srcs: srcs})
 }
 
 // hashPartitionOrdered is the order-preserving repartition exchange:
@@ -506,6 +512,7 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int) []e
 				}
 				scratch = row.AppendKey(scratch[:0], keyIdx)
 				i := int(keyHash(scratch) % uint32(e.workers))
+				//lint:ignore rowretain partition buffering for transport; rows are forwarded downstream unmodified
 				bufs[i] = append(bufs[i], row)
 				if len(bufs[i]) == e.morsel {
 					// The cancellation probe runs once per batch, not per
@@ -531,7 +538,8 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int) []e
 		for s := range srcs {
 			cursors[s] = &queueCursor{q: queues[s][w]}
 		}
-		parts[w] = &orderedMergeIter{ctx: e.ctx, schema: schema, srcs: cursors}
+		parts[w] = engine.CheckOrdered("ordered repartition exchange",
+			&orderedMergeIter{ctx: e.ctx, schema: schema, srcs: cursors})
 	}
 	return parts
 }

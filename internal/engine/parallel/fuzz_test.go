@@ -90,6 +90,10 @@ func FuzzParStreamSweep(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Under -tags snapdebug this panics at the exchange the moment a
+		// row leaves begin order, naming it, instead of failing the
+		// materialized check below.
+		scan = engine.CheckOrdered("parallel ordered scan", scan)
 		merged := engine.Materialize(scan)
 		scan.Close()
 		if !engine.RowsBeginSorted(merged.Rows) {

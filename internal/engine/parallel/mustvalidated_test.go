@@ -1,0 +1,35 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestMustValidatedPanicMessage pins the uniform panic message format
+// shared by every validated-partition failure site.
+func TestMustValidatedPanicMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("mustValidated must panic on a non-nil error")
+		}
+		msg := fmt.Sprint(r)
+		const want = "parallel: streaming difference over validated partition(s) failed: boom"
+		if !strings.HasPrefix(msg, want) {
+			t.Fatalf("panic message %q does not start with %q", msg, want)
+		}
+	}()
+	mustValidated("streaming difference", errors.New("boom"))
+}
+
+// TestMustValidatedNilIsQuiet pins that a nil error passes through.
+func TestMustValidatedNilIsQuiet(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("mustValidated(nil) must not panic, got %v", r)
+		}
+	}()
+	mustValidated("aggregation", nil)
+}

@@ -142,7 +142,7 @@ func Exec(ctx context.Context, db *engine.DB, p engine.Plan, opt Options) (engin
 		e.wg.Wait()
 		return nil, err
 	}
-	return &execIter{ctx: ectx, cancel: cancel, e: e, it: e.merge(s)}, nil
+	return &execIter{ctx: ectx, cancel: cancel, e: e, it: engine.CheckNoAlias("parallel exec root", e.merge(s))}, nil
 }
 
 // execIter is the root iterator returned by Exec: it owns the execution
@@ -424,12 +424,9 @@ func (e *executor) buildAgg(n engine.AggP) (*pstream, error) {
 		for i, part := range parts {
 			out[i] = newLazySweepIter(part, empty.Schema, func(t *engine.Table) *engine.Table {
 				res, err := engine.TemporalAggregate(t, n.GroupBy, n.Aggs, n.PreAgg, dom)
-				if err != nil {
-					// Validated above: errors are schema-determined. A
-					// failure here is an executor bug and must be loud,
-					// never a silently empty partition.
-					panic(fmt.Sprintf("parallel: aggregation over validated partition failed: %v", err))
-				}
+				// Validated above: errors are schema-determined, so a
+				// failure here is an executor bug.
+				mustValidated("aggregation", err)
 				return res
 			})
 		}
@@ -495,12 +492,9 @@ func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
 			out := make([]engine.RowIter, len(lp))
 			for i := range lp {
 				it, err := engine.NewStreamDiffIter(lp[i], rp[i])
-				if err != nil {
-					// Arity compatibility — the constructor's only failure
-					// mode — was validated above, so this is an executor
-					// bug and must be loud, never a silently empty result.
-					panic(fmt.Sprintf("parallel: streaming difference over validated partitions failed: %v", err))
-				}
+				// Arity compatibility — the constructor's only failure
+				// mode — was validated above.
+				mustValidated("streaming difference", err)
 				out[i] = it
 			}
 			return &pstream{parts: out, schema: schema}, nil
@@ -511,9 +505,7 @@ func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
 		// and must be loud, never a silently empty partition.
 		diff := func(lt, rt *engine.Table) *engine.Table {
 			res, err := engine.TemporalDiff(lt, rt)
-			if err != nil {
-				panic(fmt.Sprintf("parallel: difference over validated partitions failed: %v", err))
-			}
+			mustValidated("difference", err)
 			return res
 		}
 		lp := e.hashPartition(l.sources(), keyIdx)
@@ -668,4 +660,16 @@ func (e *executor) table(p engine.Plan) (*engine.Table, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// mustValidated panics with a uniform message when a per-partition
+// operation that was validated at build time fails anyway. The build
+// functions validate every schema-determined failure mode (arity
+// compatibility, aggregate specs) before fanning work out to
+// partitions, so an error here is an executor bug and must be loud,
+// never a silently empty partition.
+func mustValidated(op string, err error) {
+	if err != nil {
+		panic(fmt.Sprintf("parallel: %s over validated partition(s) failed: %v", op, err))
+	}
 }

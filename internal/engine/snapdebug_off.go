@@ -1,0 +1,17 @@
+//go:build !snapdebug
+
+package engine
+
+// DebugChecks reports whether the snapdebug assertion layer is
+// compiled in. See snapdebug_on.go for what the layer asserts.
+func DebugChecks() bool { return false }
+
+// CheckOrdered is an identity function without the snapdebug build
+// tag; with it, the returned iterator asserts ascending begin order
+// and panics naming op on violation.
+func CheckOrdered(op string, in RowIter) RowIter { return in }
+
+// CheckNoAlias is an identity function without the snapdebug build
+// tag; with it, the returned iterator asserts that yielded rows are
+// never mutated across Next calls and panics naming op on violation.
+func CheckNoAlias(op string, in RowIter) RowIter { return in }

@@ -1,0 +1,26 @@
+//go:build !snapdebug
+
+package engine
+
+import (
+	"testing"
+
+	"snapk/internal/tuple"
+)
+
+// TestSnapdebugOffIsIdentity pins the zero-cost claim: without the
+// snapdebug build tag the check wrappers return their input unchanged
+// and DebugChecks reports false.
+func TestSnapdebugOffIsIdentity(t *testing.T) {
+	if DebugChecks() {
+		t.Fatal("DebugChecks() must report false without -tags snapdebug")
+	}
+	tbl := &Table{Schema: PeriodSchema(tuple.NewSchema("a"))}
+	in := NewTableIter(tbl)
+	if CheckOrdered("op", in) != in {
+		t.Error("CheckOrdered must be an identity function without the tag")
+	}
+	if CheckNoAlias("op", in) != in {
+		t.Error("CheckNoAlias must be an identity function without the tag")
+	}
+}

@@ -1,0 +1,127 @@
+//go:build snapdebug
+
+// The snapdebug build tag compiles in a runtime assertion layer for
+// the two engine invariants that static analysis cannot fully prove:
+// begin-sort order of streams feeding the sweeps, and immutability of
+// yielded rows across Next calls. With the tag, CheckOrdered and
+// CheckNoAlias wrap iterators with asserting shims that panic naming
+// the offending operator; without it (snapdebug_off.go) they are
+// identity functions the compiler erases. The qgen equivalence grids
+// and the fuzz targets run with these wrappers in place, so a fuzzing
+// run under `-tags snapdebug` fails at the operator that broke the
+// invariant rather than at a downstream differential mismatch.
+package engine
+
+import (
+	"fmt"
+
+	"snapk/internal/tuple"
+)
+
+// DebugChecks reports whether the snapdebug assertion layer is
+// compiled in.
+func DebugChecks() bool { return true }
+
+// CheckOrdered wraps in with an assertion that its rows are emitted in
+// ascending begin order — the begin component of the canonical
+// CompareEndpoints (begin, end) order, and exactly the physical
+// property the streaming sweeps rely on (morsel fragments and
+// Append-maintained tables are begin-sorted but not endpoint-sorted,
+// so asserting the full order would reject valid streams). The op name
+// appears in the panic diagnostic.
+func CheckOrdered(op string, in RowIter) RowIter {
+	return &checkOrderedIter{op: op, in: in}
+}
+
+type checkOrderedIter struct {
+	op   string
+	in   RowIter
+	last int64
+	seen bool
+}
+
+func (it *checkOrderedIter) Schema() tuple.Schema { return it.in.Schema() }
+
+func (it *checkOrderedIter) Next() (tuple.Tuple, bool) {
+	row, ok := it.in.Next()
+	if !ok {
+		return nil, false
+	}
+	begin := rowInterval(row).Begin
+	if it.seen && begin < it.last {
+		panic(fmt.Sprintf("engine: snapdebug: %s emitted rows out of begin order (begin %d after %d)",
+			it.op, begin, it.last))
+	}
+	it.last, it.seen = begin, true
+	return row, true
+}
+
+func (it *checkOrderedIter) Close() { it.in.Close() }
+
+// noAliasWindow bounds how many recently yielded rows CheckNoAlias
+// keeps under observation. A small ring catches the realistic bug —
+// an operator reusing a scratch row it just handed out — without
+// retaining the whole stream.
+const noAliasWindow = 64
+
+// CheckNoAlias wraps in with an assertion that rows, once yielded, are
+// never mutated by the producer: each of the last noAliasWindow rows
+// is snapshotted at yield time and re-compared against its live
+// backing array on every subsequent Next and on Close. It deliberately
+// does not reject distinct yields sharing a backing array (scans of
+// the same stored table legitimately do) — only observable mutation,
+// the PR 1 corruption class. The op name appears in the panic
+// diagnostic.
+func CheckNoAlias(op string, in RowIter) RowIter {
+	return &checkNoAliasIter{op: op, in: in}
+}
+
+type yieldedRow struct {
+	live tuple.Tuple // the row as handed to the consumer
+	snap tuple.Tuple // private copy taken at yield time
+}
+
+type checkNoAliasIter struct {
+	op   string
+	in   RowIter
+	ring [noAliasWindow]yieldedRow
+	n    int // rows yielded so far
+}
+
+func (it *checkNoAliasIter) Schema() tuple.Schema { return it.in.Schema() }
+
+func (it *checkNoAliasIter) Next() (tuple.Tuple, bool) {
+	it.verify()
+	row, ok := it.in.Next()
+	if !ok {
+		return nil, false
+	}
+	it.ring[it.n%noAliasWindow] = yieldedRow{live: row, snap: row.Clone()}
+	it.n++
+	return row, true
+}
+
+func (it *checkNoAliasIter) Close() {
+	it.verify()
+	it.in.Close()
+}
+
+func (it *checkNoAliasIter) verify() {
+	held := it.n
+	if held > noAliasWindow {
+		held = noAliasWindow
+	}
+	for i := 0; i < held; i++ {
+		y := it.ring[i]
+		if len(y.live) != len(y.snap) {
+			panic(fmt.Sprintf("engine: snapdebug: %s mutated a yielded row after Next (length %d -> %d)",
+				it.op, len(y.snap), len(y.live)))
+		}
+		for c := range y.live {
+			if y.live[c] != y.snap[c] {
+				panic(fmt.Sprintf("engine: snapdebug: %s mutated a yielded row after Next (column %d: %v -> %v)",
+					it.op, c, y.snap[c], y.live[c]))
+			}
+		}
+	}
+}

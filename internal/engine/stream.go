@@ -60,6 +60,7 @@ func Materialize(it RowIter) *Table {
 		if !ok {
 			return t
 		}
+		//lint:ignore rowretain materialization is the ownership hand-off point; engine producers never reuse yielded backing arrays
 		t.Rows = append(t.Rows, row)
 	}
 }
@@ -290,6 +291,7 @@ func (p *JoinPrep) buildSide(in RowIter, left bool) *JoinBuild {
 			b = &joinBucket{}
 			build[string(scratch)] = b
 		}
+		//lint:ignore rowretain hash-join build side holds rows read-only; engine producers never reuse yielded backing arrays
 		b.rows = append(b.rows, row)
 	}
 	in.Close()
@@ -402,6 +404,7 @@ func (it *hashJoinIter) Next() (tuple.Tuple, bool) {
 		if hasNullAt(prow, it.probeIdx) {
 			continue
 		}
+		//lint:ignore rowretain probe row is held read-only and replaced by the next probe Next
 		it.prow = prow
 		it.piv = rowInterval(prow)
 		it.scratch = prow.AppendKey(it.scratch[:0], it.probeIdx)
@@ -477,7 +480,11 @@ func (db *DB) ExecStream(p Plan) (RowIter, error) {
 				l.Close()
 				return nil, err
 			}
-			return NewStreamDiffIter(l, r)
+			it, err := NewStreamDiffIter(l, r)
+			if err != nil {
+				return nil, err
+			}
+			return CheckNoAlias("streaming difference", it), nil
 		}
 		l, err := db.streamToTable(n.L)
 		if err != nil {
@@ -498,7 +505,11 @@ func (db *DB) ExecStream(p Plan) (RowIter, error) {
 			if err != nil {
 				return nil, err
 			}
-			return NewStreamAggIter(in, n.GroupBy, n.Aggs, db.dom)
+			it, err := NewStreamAggIter(in, n.GroupBy, n.Aggs, db.dom)
+			if err != nil {
+				return nil, err
+			}
+			return CheckNoAlias("streaming aggregation", it), nil
 		}
 		in, err := db.streamToTable(n.In)
 		if err != nil {
@@ -515,7 +526,7 @@ func (db *DB) ExecStream(p Plan) (RowIter, error) {
 			if err != nil {
 				return nil, err
 			}
-			return NewStreamCoalesceIter(in), nil
+			return CheckNoAlias("streaming coalesce", NewStreamCoalesceIter(in)), nil
 		}
 		in, err := db.streamToTable(n.In)
 		if err != nil {

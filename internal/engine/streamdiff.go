@@ -157,6 +157,8 @@ type streamDiffIter struct {
 // mismatch both children are closed and an error is returned, matching
 // the other constructors' contract.
 func NewStreamDiffIter(l, r RowIter) (RowIter, error) {
+	l = CheckOrdered("streaming difference left input", l)
+	r = CheckOrdered("streaming difference right input", r)
 	if l.Schema().Arity() != r.Schema().Arity() {
 		arities := [2]int{l.Schema().Arity(), r.Schema().Arity()}
 		l.Close()

@@ -34,7 +34,9 @@ type sortIter struct {
 
 // NewSortIter wraps in with the endpoint sort enforcer, taking
 // ownership of it.
-func NewSortIter(in RowIter) RowIter { return &sortIter{in: in} }
+func NewSortIter(in RowIter) RowIter {
+	return CheckOrdered("sort enforcer", &sortIter{in: in})
+}
 
 func (it *sortIter) Schema() tuple.Schema { return it.in.Schema() }
 
@@ -228,6 +230,7 @@ type streamCoalesceIter struct {
 // ownership of it. The input must be ordered by ascending interval
 // begin; violations panic.
 func NewStreamCoalesceIter(in RowIter) RowIter {
+	in = CheckOrdered("streaming coalesce input", in)
 	return &streamCoalesceIter{
 		in:     in,
 		n:      in.Schema().Arity() - 2,
@@ -313,6 +316,7 @@ func (it *streamCoalesceIter) Next() (tuple.Tuple, bool) {
 		g, ok2 := it.groups[string(it.scratch)]
 		if !ok2 {
 			key := string(it.scratch)
+			//lint:ignore rowretain the group keeps a read-only view of the data columns; sweep producers never reuse yielded backing arrays
 			g = &coalesceGroup{key: key, data: data, segStart: iv.Begin, curT: iv.Begin}
 			it.groups[key] = g
 		}
@@ -373,6 +377,7 @@ type streamAggIter struct {
 // interval begin; violations panic. On a prep error the child is
 // closed, matching the other constructors' contract.
 func NewStreamAggIter(in RowIter, groupBy []string, aggs []algebra.AggSpec, dom interval.Domain) (RowIter, error) {
+	in = CheckOrdered("streaming aggregation input", in)
 	data := tuple.Schema{Cols: in.Schema().Cols[:in.Schema().Arity()-2]}
 	prep, err := prepareAggregate(data, groupBy, aggs)
 	if err != nil {

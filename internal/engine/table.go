@@ -18,29 +18,12 @@
 // sortedness (the order the streaming sweep operators need) and
 // coalescedness (whether the rows are their own unique encoding) — so
 // the planner can probe scan order in O(1) instead of rescanning stored
-// rows on every plan build. The invariants:
-//
-//   - WHO SETS: NewTable starts an empty table as begin-sorted. Append
-//     maintains sortedness incrementally (O(1) per row, comparing
-//     against the last appended begin). SortByEndpoints establishes
-//     sortedness. Coalesce marks its output coalesced. Clone copies the
-//     metadata (rows are shared and treated as immutable).
-//   - WHO INVALIDATES: Append downgrades sortedness to "known unsorted"
-//     on an out-of-order begin and drops coalescedness to unknown.
-//     Sort (data-major display order) drops sortedness to unknown but
-//     keeps coalescedness (a permutation preserves the multiset).
-//     SetRows — the entry point for bulk row replacement (e.g. the
-//     public API's sequenced DELETE/UPDATE) — drops everything.
-//   - WHO MUST CALL SetRows/InvalidateMeta: any code that writes the
-//     exported Rows slice directly instead of going through the mutator
-//     methods. Tables built as literals (&Table{...}) start with
-//     unknown metadata, which is always safe: unknown falls back to the
-//     O(n) scan.
-//   - CONCURRENCY: metadata is written only by the mutator methods,
-//     never by the read accessors (BeginSorted / KnownCoalesced compute
-//     on a cache miss without memoizing), so concurrent readers of a
-//     shared stored table — the parallel executor's scan fragments and
-//     planner probes — need no synchronization.
+// rows on every plan build. The mutator methods maintain the cache; any
+// code that writes the exported Rows slice directly must call SetRows
+// or InvalidateMeta. The full who-sets / who-invalidates / concurrency
+// contract, along with every other engine invariant and the snaplint
+// analyzer that enforces it, lives in the README's "Invariants &
+// linting" section.
 package engine
 
 import (

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxSelect reports goroutines in the parallel executor that are not
+// cancellation-aware. Every `go func` launched by an exchange must
+// observe its context — receive from ctx.Done() or poll ctx.Err() — or
+// a consumer that stops early (LIMIT, error, Close) strands the
+// producer on a blocked channel send forever; PR 2's leak tests exist
+// because this happened. A goroutine body is also accepted when it
+// calls a same-package function that is itself cancellation-aware
+// (startMerge's producers keep their select inside drainInto).
+//
+// Goroutines whose lifetime is bounded by construction (e.g. a closer
+// that only waits on a WaitGroup whose members are all
+// cancellation-aware) are whitelisted with
+//
+//	//lint:leakcheck <why this goroutine cannot outlive the query>
+var CtxSelect = &Analyzer{
+	Name: "ctxselect",
+	Doc:  "goroutines in internal/engine/parallel must observe ctx.Done()/ctx.Err() or carry //lint:leakcheck",
+	Run:  runCtxSelect,
+}
+
+func runCtxSelect(p *Pass) {
+	if !strings.HasSuffix(p.Pkg.Path, "internal/engine/parallel") {
+		return
+	}
+
+	// awareness of every package-level function and method, so one
+	// level of same-package call indirection resolves.
+	aware := make(map[types.Object]bool)
+	p.funcBodies(func(decl *ast.FuncDecl) {
+		if obj := p.Pkg.Info.Defs[decl.Name]; obj != nil {
+			aware[obj] = p.bodyObservesCtx(decl.Body)
+		}
+	})
+
+	p.funcBodies(func(decl *ast.FuncDecl) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if p.goStmtAware(g, aware) {
+				return true
+			}
+			p.Reportf(g.Pos(),
+				"goroutine does not observe ctx.Done()/ctx.Err() and may leak when the consumer stops early — make it cancellation-aware or whitelist it with //lint:leakcheck <reason>")
+			return true
+		})
+	})
+}
+
+// goStmtAware reports whether the spawned function observes the
+// context, directly or through one same-package call.
+func (p *Pass) goStmtAware(g *ast.GoStmt, aware map[types.Object]bool) bool {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		if p.bodyObservesCtx(fun.Body) {
+			return true
+		}
+		// One level of indirection: the literal calls an aware
+		// same-package function or method.
+		found := false
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			var callee types.Object
+			switch f := call.Fun.(type) {
+			case *ast.Ident:
+				callee = p.Pkg.Info.Uses[f]
+			case *ast.SelectorExpr:
+				callee = p.Pkg.Info.Uses[f.Sel]
+			}
+			if callee != nil && aware[callee] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	case *ast.Ident:
+		return aware[p.Pkg.Info.Uses[fun]]
+	case *ast.SelectorExpr:
+		return aware[p.Pkg.Info.Uses[fun.Sel]]
+	}
+	return false
+}
+
+// bodyObservesCtx reports whether body contains a receive from
+// <-ctx.Done() or a call of ctx.Err() on a context.Context value.
+func (p *Pass) bodyObservesCtx(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		if sel.Sel.Name != "Done" && sel.Sel.Name != "Err" {
+			return true
+		}
+		if isContextType(p.typeOf(sel.X)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

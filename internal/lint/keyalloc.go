@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// KeyAlloc reports per-row key allocation in engine hot loops:
+// Tuple.Key() calls and string-concatenated map keys inside for/range
+// bodies. Key() allocates a fresh string per row; on the paths the PR 4
+// benchmarks profiled (hash partitioning, grouping) the established
+// idiom is AppendKey into a reusable scratch buffer, which hashes the
+// same canonical encoding with zero steady-state allocation. The check
+// is scoped to internal/engine packages — key building in the abstract
+// model layers is not performance-relevant.
+var KeyAlloc = &Analyzer{
+	Name: "keyalloc",
+	Doc:  "engine loops must build row keys with AppendKey scratch buffers, not Tuple.Key()/string concat",
+	Run:  runKeyAlloc,
+}
+
+func runKeyAlloc(p *Pass) {
+	if !strings.Contains(p.Pkg.Path, "internal/engine") {
+		return
+	}
+	p.funcBodies(func(decl *ast.FuncDecl) {
+		walkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+			if !inLoop(stack) {
+				return true
+			}
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := e.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Key" || len(e.Args) != 0 {
+					return true
+				}
+				if isTupleType(p.typeOf(sel.X)) {
+					p.Reportf(e.Pos(),
+						"Tuple.Key() allocates a string per row — in loops, reuse a scratch buffer with AppendKey (key = row.AppendKey(key[:0], idx))")
+				}
+			case *ast.IndexExpr:
+				if bin, ok := e.Index.(*ast.BinaryExpr); ok && bin.Op == token.ADD && isStringExpr(p, bin) {
+					p.Reportf(e.Index.Pos(),
+						"string-concatenated map key allocates per row — in loops, build keys with AppendKey into a scratch buffer")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// inLoop reports whether any enclosing node is a for/range statement.
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+func isStringExpr(p *Pass, e ast.Expr) bool {
+	t := p.typeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

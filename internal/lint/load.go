@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs: where a package lives, which (build-constraint-filtered,
+// non-test) files make it up, and what it imports.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Standard   bool
+}
+
+// Package is one fully type-checked package under analysis: its parsed
+// files plus the go/types objects and expression types the analyzers
+// query.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages for analysis. It is driven
+// entirely by the local toolchain — package metadata comes from
+// `go list -json`, sources are parsed with go/parser and type-checked
+// with go/types, and stdlib dependencies are imported from compiler
+// export data — so it needs no network access and no modules beyond
+// the repository itself. Loader implements types.Importer for the
+// repository's own packages, which is also what lets the fixture tests
+// type-check testdata files against real repo packages.
+type Loader struct {
+	Fset *token.FileSet
+
+	listed map[string]*listedPackage
+	deps   map[string]*types.Package // type-checked dependencies, by import path
+	std    types.Importer            // export-data importer for the standard library
+}
+
+// NewLoader returns an empty loader sharing one FileSet across every
+// package it checks.
+func NewLoader() *Loader {
+	return &Loader{
+		Fset:   token.NewFileSet(),
+		listed: make(map[string]*listedPackage),
+		deps:   make(map[string]*types.Package),
+		std:    importer.Default(),
+	}
+}
+
+// Load resolves the package patterns (as `go list` understands them,
+// e.g. ./... from the module root or snapk/...), type-checks every
+// matched package, and returns them ready for analysis. Matched
+// packages get full type information; their dependencies are checked
+// only as deeply as importing them requires.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	roots, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+	pkgs := make([]*Package, 0, len(roots))
+	for _, path := range roots {
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// list runs `go list -json -deps` over the patterns, records every
+// listed package (dependencies included) for later import resolution,
+// and returns the import paths matched by the patterns themselves in a
+// stable order.
+func (l *Loader) list(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-json", "-deps"}, patterns...)
+	out, err := runGo(args)
+	if err != nil {
+		return nil, err
+	}
+	deps := make(map[string]bool)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		l.listed[p.ImportPath] = &p
+		deps[p.ImportPath] = true
+	}
+	// A second, dependency-free listing separates the packages the
+	// patterns matched (the analysis roots) from their dependencies.
+	out, err = runGo(append([]string{"list"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var roots []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line = strings.TrimSpace(line); line != "" && deps[line] {
+			roots = append(roots, line)
+		}
+	}
+	sort.Strings(roots)
+	return roots, nil
+}
+
+// runGo executes the go tool and returns its stdout, folding stderr
+// into the error on failure.
+func runGo(args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.Bytes(), nil
+}
+
+// check type-checks the listed package at path with full type
+// information.
+func (l *Loader) check(path string) (*Package, error) {
+	lp, ok := l.listed[path]
+	if !ok {
+		if err := l.ensureListed(path); err != nil {
+			return nil, err
+		}
+		lp = l.listed[path]
+	}
+	files := make([]string, 0, len(lp.GoFiles))
+	for _, f := range lp.GoFiles {
+		files = append(files, filepath.Join(lp.Dir, f))
+	}
+	return l.CheckFiles(path, files)
+}
+
+// CheckFiles parses and type-checks the given files as one package
+// under the given import path, resolving imports through the loader.
+// It is the entry point the fixture tests use to check testdata sources
+// (which `go list` deliberately ignores) against real repo packages.
+func (l *Loader) CheckFiles(path string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Import implements types.Importer: standard-library packages come from
+// compiler export data, repository packages are type-checked from
+// source (without retaining analysis-grade type info) and cached.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		if err := l.ensureListed(path); err != nil {
+			return nil, err
+		}
+		lp = l.listed[path]
+	}
+	if lp.Standard {
+		pkg, err := l.std.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: importing %s: %v", path, err)
+		}
+		l.deps[path] = pkg
+		return pkg, nil
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking dependency %s: %v", path, err)
+	}
+	l.deps[path] = pkg
+	return pkg, nil
+}
+
+// ensureListed fetches go list metadata for a package the initial
+// pattern expansion did not cover (e.g. a repo package imported only by
+// a test fixture).
+func (l *Loader) ensureListed(path string) error {
+	out, err := runGo([]string{"list", "-json", "-deps", path})
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if _, ok := l.listed[p.ImportPath]; !ok {
+			l.listed[p.ImportPath] = &p
+		}
+	}
+	if _, ok := l.listed[path]; !ok {
+		return fmt.Errorf("lint: package %s not found", path)
+	}
+	return nil
+}

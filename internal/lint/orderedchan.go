@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OrderedChan reports channel construction inside functions that build
+// an ordered merge (an orderedMergeIter). Order-preserving exchanges
+// must pull from per-producer queues in heap order, so a producer can
+// run arbitrarily far ahead of the merge cursor when partition sizes
+// are skewed; routing that stream through a bounded channel deadlocks
+// the whole exchange (the PR 4 class — producer blocked on a full
+// buffer the merge will not drain until another producer advances).
+// The established idiom is the unbounded batchQueue. A channel in an
+// ordered-merge path needs
+//
+//	//lint:ignore orderedchan <why this channel cannot block the merge>
+//
+// arguing a drain guarantee (e.g. a dedicated consumer that always
+// empties the channel it waits on).
+var OrderedChan = &Analyzer{
+	Name: "orderedchan",
+	Doc:  "no make(chan …) feeding an ordered merge/repartition — bounded buffers deadlock under skew",
+	Run:  runOrderedChan,
+}
+
+func runOrderedChan(p *Pass) {
+	p.funcBodies(func(decl *ast.FuncDecl) {
+		if !buildsOrderedMerge(p, decl.Body) {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "make" {
+				return true
+			}
+			if _, isBuiltin := p.Pkg.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if _, ok := call.Args[0].(*ast.ChanType); !ok {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"channel transport inside an ordered-merge construction deadlocks under partition skew — use an unbounded batchQueue")
+			return true
+		})
+	})
+}
+
+// buildsOrderedMerge reports whether the function constructs an
+// ordered-merge iterator (an orderedMergeIter composite literal).
+func buildsOrderedMerge(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := p.typeOf(lit)
+		if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj().Name() == "orderedMergeIter" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

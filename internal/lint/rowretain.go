@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RowRetain reports tuples obtained from an iterator's Next() that are
+// retained — stored into a struct field, map, slice element, appended,
+// placed in a composite literal, or sent on a channel — without an
+// explicit Clone. Rows yielded by Next are owned by the producer and
+// may alias its internal buffers; retaining one across Next calls is
+// exactly the silent-corruption class PR 1 fixed. Retention is safe
+// only when the producer is known never to reuse the backing array
+// (e.g. materialized tables), which is what the suppression
+// justification must argue:
+//
+//	//lint:ignore rowretain <why the producer never mutates yielded rows>
+var RowRetain = &Analyzer{
+	Name: "rowretain",
+	Doc:  "tuples from Next() must be Cloned before being stored in fields, maps, slices or channels",
+	Run:  runRowRetain,
+}
+
+func runRowRetain(p *Pass) {
+	p.funcBodies(func(decl *ast.FuncDecl) {
+		// tainted holds variables bound to a row that came out of a
+		// Next() call, including sub-slices of one (data := row[:n]
+		// still aliases the producer's buffer).
+		tainted := make(map[types.Object]bool)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.objOf(id)
+				if obj == nil || !isTupleType(obj.Type()) {
+					continue
+				}
+				rhs := as.Rhs[0]
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+				switch r := rhs.(type) {
+				case *ast.CallExpr:
+					if sel, ok := r.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Next" {
+						tainted[obj] = true
+					}
+				case *ast.SliceExpr:
+					if base, ok := r.X.(*ast.Ident); ok && tainted[p.objOf(base)] {
+						tainted[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		if len(tainted) == 0 {
+			return
+		}
+
+		isTaintedIdent := func(e ast.Expr) (*ast.Ident, bool) {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return nil, false
+			}
+			if obj := p.Pkg.Info.Uses[id]; obj != nil && tainted[obj] {
+				return id, true
+			}
+			return nil, false
+		}
+
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					if len(s.Lhs) != len(s.Rhs) {
+						break
+					}
+					switch lhs.(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr:
+					default:
+						continue
+					}
+					if id, ok := isTaintedIdent(s.Rhs[i]); ok {
+						p.Reportf(id.Pos(),
+							"tuple %s obtained from Next() is stored without Clone — the producer may reuse its backing array", id.Name)
+					}
+				}
+			case *ast.CallExpr:
+				if fn, ok := s.Fun.(*ast.Ident); ok && fn.Name == "append" {
+					if _, isBuiltin := p.Pkg.Info.Uses[fn].(*types.Builtin); isBuiltin {
+						for _, arg := range s.Args[1:] {
+							if id, ok := isTaintedIdent(arg); ok {
+								p.Reportf(id.Pos(),
+									"tuple %s obtained from Next() is appended without Clone — the producer may reuse its backing array", id.Name)
+							}
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range s.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					if id, ok := isTaintedIdent(elt); ok {
+						p.Reportf(id.Pos(),
+							"tuple %s obtained from Next() is placed in a composite literal without Clone", id.Name)
+					}
+				}
+			case *ast.SendStmt:
+				if id, ok := isTaintedIdent(s.Value); ok {
+					p.Reportf(id.Pos(),
+						"tuple %s obtained from Next() is sent on a channel without Clone", id.Name)
+				}
+			}
+			return true
+		})
+	})
+}

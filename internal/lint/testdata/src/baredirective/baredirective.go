@@ -1,0 +1,10 @@
+// Package fixture holds suppression directives without justifications;
+// the driver must report them instead of honoring them.
+package fixture
+
+func bare() {
+	//lint:ignore keyalloc
+	_ = 0
+	//lint:leakcheck
+	_ = 1
+}

@@ -1,0 +1,63 @@
+// Package parallel exercises the ctxselect analyzer: goroutines in the
+// parallel executor must observe ctx.Done()/ctx.Err(), directly or via
+// one same-package call, or carry a //lint:leakcheck justification.
+// The fixture is loaded under a package path ending in
+// internal/engine/parallel, the analyzer's scope.
+package parallel
+
+import "context"
+
+type exec struct {
+	ctx context.Context
+	ch  chan int
+}
+
+func (e *exec) leaky() {
+	go func() { // want "does not observe ctx.Done"
+		e.ch <- 1
+	}()
+}
+
+func (e *exec) selects() {
+	go func() {
+		select {
+		case e.ch <- 1:
+		case <-e.ctx.Done():
+		}
+	}()
+}
+
+func (e *exec) polls() {
+	go func() {
+		for e.ctx.Err() == nil {
+			e.ch <- 1
+		}
+	}()
+}
+
+func (e *exec) drain() {
+	for {
+		select {
+		case e.ch <- 1:
+		case <-e.ctx.Done():
+			return
+		}
+	}
+}
+
+func (e *exec) indirectMethod() {
+	go e.drain()
+}
+
+func (e *exec) indirectLiteral() {
+	go func() {
+		e.drain()
+	}()
+}
+
+func (e *exec) whitelisted(done chan struct{}) {
+	//lint:leakcheck fixture: lifetime bounded by the done channel closed in a defer
+	go func() {
+		<-done
+	}()
+}

@@ -1,0 +1,48 @@
+// Package engine exercises the keyalloc analyzer: no per-row
+// Tuple.Key() calls or string-concatenated map keys inside loops —
+// hot paths reuse an AppendKey scratch buffer. The fixture is loaded
+// under a package path containing internal/engine, the analyzer's
+// scope.
+package engine
+
+import "snapk/internal/tuple"
+
+func keyInLoop(rows []tuple.Tuple) map[string]int {
+	m := make(map[string]int)
+	for _, r := range rows {
+		m[r.Key()]++ // want "Tuple.Key"
+	}
+	return m
+}
+
+func keyScratch(rows []tuple.Tuple) map[string]int {
+	m := make(map[string]int)
+	var scratch []byte
+	for _, r := range rows {
+		scratch = r.AppendKey(scratch[:0], nil)
+		m[string(scratch)]++
+	}
+	return m
+}
+
+func concatKey(rows [][2]string) map[string]int {
+	m := make(map[string]int)
+	for _, r := range rows {
+		m[r[0]+"|"+r[1]]++ // want "string-concatenated map key"
+	}
+	return m
+}
+
+func keyOutsideLoop(r tuple.Tuple) string {
+	// A one-shot key outside any loop is clean.
+	return r.Key()
+}
+
+func suppressed(rows []tuple.Tuple) map[string]int {
+	m := make(map[string]int)
+	for _, r := range rows {
+		//lint:ignore keyalloc fixture: cold validation path, runs once per query
+		m[r.Key()]++
+	}
+	return m
+}

@@ -1,0 +1,73 @@
+// Package fixture exercises the rowretain analyzer: tuples obtained
+// from Next() must be Cloned before being retained in struct fields,
+// maps, slices, composite literals or channels.
+package fixture
+
+import "snapk/internal/tuple"
+
+type iter interface {
+	Next() (tuple.Tuple, bool)
+}
+
+type sink struct {
+	rows  []tuple.Tuple
+	last  tuple.Tuple
+	byKey map[string]tuple.Tuple
+}
+
+func (s *sink) retains(it iter) {
+	for {
+		row, ok := it.Next()
+		if !ok {
+			return
+		}
+		s.last = row                 // want "stored without Clone"
+		s.rows = append(s.rows, row) // want "appended without Clone"
+		s.byKey["k"] = row           // want "stored without Clone"
+	}
+}
+
+func (s *sink) clones(it iter) {
+	for {
+		row, ok := it.Next()
+		if !ok {
+			return
+		}
+		s.last = row.Clone()
+		s.rows = append(s.rows, row.Clone())
+	}
+}
+
+func (s *sink) subslice(it iter) {
+	row, ok := it.Next()
+	if !ok {
+		return
+	}
+	data := row[:1]
+	s.rows = append(s.rows, data) // want "appended without Clone"
+}
+
+func (s *sink) literal(it iter) []tuple.Tuple {
+	row, _ := it.Next()
+	return []tuple.Tuple{row} // want "composite literal"
+}
+
+func (s *sink) send(it iter, ch chan tuple.Tuple) {
+	row, _ := it.Next()
+	ch <- row // want "sent on a channel"
+}
+
+func (s *sink) reads(it iter) tuple.Value {
+	// Reading and projecting without retention is clean.
+	row, ok := it.Next()
+	if !ok {
+		return tuple.Null
+	}
+	return row[0]
+}
+
+func (s *sink) suppressed(it iter) {
+	row, _ := it.Next()
+	//lint:ignore rowretain fixture: this producer materializes and never reuses buffers
+	s.last = row
+}

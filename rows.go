@@ -77,6 +77,7 @@ func (r *Rows) Next() bool {
 		r.err = r.ctx.Err()
 		return false
 	}
+	//lint:ignore rowretain the cursor row is exposed read-only via Scan/Values and replaced on the next Next
 	r.cur = row
 	return true
 }
