@@ -13,6 +13,7 @@
 //	snapbench -exp sweep      streaming vs materializing vs partitioned sweep operators
 //	snapbench -exp parstream  parallel streaming sweeps (ordered exchange) vs parallel blocking
 //	snapbench -exp diff       streaming merge-based difference vs the blocking fused diff sweep
+//	snapbench -exp obs        EXPLAIN ANALYZE collector overhead, off vs on
 //	snapbench -exp all        everything above
 //
 // -quick shrinks datasets for a fast smoke run; -runs sets the number of
@@ -28,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"snapk/internal/harness"
 )
@@ -47,7 +49,7 @@ type config struct {
 func parseFlags(args []string, out io.Writer) (config, error) {
 	fs := flag.NewFlagSet("snapbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|parstream|diff|all")
+	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|parstream|diff|obs|all")
 	quick := fs.Bool("quick", false, "use small datasets (smoke run)")
 	runs := fs.Int("runs", 0, "repetitions per measurement (0 = scale default)")
 	jsonPath := fs.String("json", "", "write per-experiment medians as JSON to this path")
@@ -85,6 +87,7 @@ func experiments(w io.Writer, sc harness.Scale, rep *harness.Report) []experimen
 		{"sweep", func() error { return harness.Sweep(w, sc, rep) }},
 		{"parstream", func() error { return harness.ParStream(w, sc, rep) }},
 		{"diff", func() error { return harness.Diff(w, sc, rep) }},
+		{"obs", func() error { return harness.Obs(w, sc, rep) }},
 	}
 }
 
@@ -100,8 +103,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2 // diagnostics already written by the flag package
 	}
 	rep := harness.NewReport(cfg.Scale)
+	exps := experiments(stdout, cfg.Scale, rep)
 	ran := false
-	for _, e := range experiments(stdout, cfg.Scale, rep) {
+	for _, e := range exps {
 		if cfg.Exp != "all" && cfg.Exp != e.Name {
 			continue
 		}
@@ -114,7 +118,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 	if !ran {
-		fmt.Fprintf(stderr, "snapbench: unknown experiment %q\n", cfg.Exp)
+		names := make([]string, len(exps))
+		for i, e := range exps {
+			names[i] = e.Name
+		}
+		fmt.Fprintf(stderr, "snapbench: unknown experiment %q (valid: %s, all)\n",
+			cfg.Exp, strings.Join(names, ", "))
 		return 2
 	}
 	if cfg.JSONPath != "" {

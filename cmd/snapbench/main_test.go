@@ -52,6 +52,12 @@ func TestRunUnknownExperiment(t *testing.T) {
 	if !strings.Contains(errb.String(), "unknown experiment") {
 		t.Fatalf("missing diagnostic: %s", errb.String())
 	}
+	// The diagnostic must list the valid experiment names.
+	for _, name := range []string{"sweep", "diff", "obs", "all"} {
+		if !strings.Contains(errb.String(), name) {
+			t.Fatalf("diagnostic does not list %q: %s", name, errb.String())
+		}
+	}
 }
 
 func TestExperimentRegistryCoversDocumentedIDs(t *testing.T) {
@@ -61,7 +67,7 @@ func TestExperimentRegistryCoversDocumentedIDs(t *testing.T) {
 	for _, e := range exps {
 		ids[e.Name] = true
 	}
-	for _, want := range []string{"fig1", "table1", "fig5", "table2", "table3emp", "table3tpc", "ablation", "scaling", "sweep", "parstream", "diff"} {
+	for _, want := range []string{"fig1", "table1", "fig5", "table2", "table3emp", "table3tpc", "ablation", "scaling", "sweep", "parstream", "diff", "obs"} {
 		if !ids[want] {
 			t.Fatalf("experiment %q missing from registry", want)
 		}
@@ -106,8 +112,11 @@ func TestRunSweepJSONSchema(t *testing.T) {
 		if m.Name == "" || m.Seconds < 0 {
 			t.Fatalf("malformed metric: %+v", m)
 		}
-		if m.Extra["rows"] <= 0 {
+		if m.Rows <= 0 {
 			t.Fatalf("sweep metrics must carry output cardinality: %+v", m)
+		}
+		if m.AllocsPerOp <= 0 {
+			t.Fatalf("sweep metrics must carry allocation counts: %+v", m)
 		}
 		names[m.Name] = true
 	}
@@ -142,7 +151,7 @@ func TestRunParStreamJSONSchema(t *testing.T) {
 		if m.Name == "" || m.Seconds < 0 {
 			t.Fatalf("malformed metric: %+v", m)
 		}
-		if m.Extra["rows"] <= 0 {
+		if m.Rows <= 0 {
 			t.Fatalf("parstream metrics must carry output cardinality: %+v", m)
 		}
 		names[m.Name] = true
@@ -162,10 +171,10 @@ func TestRunParStreamJSONSchema(t *testing.T) {
 	}
 	// Paired variants must agree on output cardinality: the streaming
 	// and blocking parallel sweeps compute the same multiset.
-	var rows []float64
+	var rows []int64
 	for _, m := range rep.Metrics {
 		if strings.HasPrefix(m.Name, "coalesce-") {
-			rows = append(rows, m.Extra["rows"])
+			rows = append(rows, m.Rows)
 		}
 	}
 	for _, r := range rows {
@@ -195,7 +204,7 @@ func TestRunDiffJSONSchema(t *testing.T) {
 		if m.Name == "" || m.Seconds < 0 {
 			t.Fatalf("malformed metric: %+v", m)
 		}
-		if m.Extra["rows"] <= 0 {
+		if m.Rows <= 0 {
 			t.Fatalf("diff metrics must carry output cardinality: %+v", m)
 		}
 		names[m.Name] = true
@@ -215,9 +224,9 @@ func TestRunDiffJSONSchema(t *testing.T) {
 	}
 	// Every physical variant computes the same multiset, so all six must
 	// agree on output cardinality.
-	var rows []float64
+	var rows []int64
 	for _, m := range rep.Metrics {
-		rows = append(rows, m.Extra["rows"])
+		rows = append(rows, m.Rows)
 	}
 	for _, r := range rows {
 		if r != rows[0] {

@@ -7,6 +7,9 @@
 //	snapq -data tpcbih -query Q5 -limit 20
 //	snapq -data employees -query diff-2 -approach nat-ip   # observe the BD bug
 //	snapq -data factory -explain -sql "SEQ VT (SELECT count(*) AS cnt FROM works)"
+//	snapq -data employees -query agg-1 -approach seq-par -explain   # plan + placement annotations
+//	snapq -data employees -query agg-1 -approach seq-par -analyze   # EXPLAIN ANALYZE: runtime counters
+//	snapq -data employees -query agg-1 -approach par-stream -analyze -trace trace.json
 //	snapq -data employees -query join-1 -approach seq-par  # parallel exchange executor
 //	snapq -data employees -query join-1 -approach seq-stream  # forced streaming sweeps
 //	snapq -data employees -query agg-1 -approach par-stream  # parallel streaming sweeps (ordered exchange)
@@ -26,8 +29,10 @@ import (
 	"snapk/internal/csvio"
 	"snapk/internal/dataset"
 	"snapk/internal/engine"
+	"snapk/internal/engine/parallel"
 	"snapk/internal/harness"
 	"snapk/internal/interval"
+	"snapk/internal/obs"
 	"snapk/internal/rewrite"
 	"snapk/internal/sqlfe"
 	"snapk/internal/workload"
@@ -46,6 +51,8 @@ type config struct {
 	Approach string
 	Limit    int
 	Explain  bool
+	Analyze  bool
+	Trace    string
 	Stream   bool
 	Out      string
 }
@@ -65,7 +72,9 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.StringVar(&cfg.QueryID, "query", "", "run a named workload query (join-1..diff-2, Q1..Q19)")
 	fs.StringVar(&cfg.Approach, "approach", "seq", "seq|seq-naive|seq-mat|seq-par|seq-stream|par-stream|nat-ip|nat-align")
 	fs.IntVar(&cfg.Limit, "limit", 50, "maximum rows to print (0 = all)")
-	fs.BoolVar(&cfg.Explain, "explain", false, "print the rewritten plan instead of executing")
+	fs.BoolVar(&cfg.Explain, "explain", false, "print the rewritten plan and its annotated EXPLAIN tree instead of executing")
+	fs.BoolVar(&cfg.Analyze, "analyze", false, "execute and print EXPLAIN ANALYZE: per-operator rows, timings, sweep state and exchange metrics")
+	fs.StringVar(&cfg.Trace, "trace", "", "write the executed query's operator spans as Chrome-trace JSON to this file (implies -analyze)")
 	fs.BoolVar(&cfg.Stream, "stream", false, "print rows as the pipeline produces them instead of materializing and sorting (seq approaches only)")
 	fs.StringVar(&cfg.Out, "out", "", "write the result as CSV to this file instead of printing")
 	if err := fs.Parse(args); err != nil {
@@ -123,18 +132,15 @@ func runQuery(cfg config, stdout io.Writer) error {
 		return err
 	}
 
-	if cfg.Explain {
-		p, err := rewrite.Rewrite(q, db, rewrite.Options{Mode: rewrite.ModeOptimized})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, p)
-		return nil
-	}
-
 	ap, err := parseApproach(cfg.Approach)
 	if err != nil {
 		return err
+	}
+	if cfg.Explain {
+		return explainQuery(db, q, ap, stdout)
+	}
+	if cfg.Analyze || cfg.Trace != "" {
+		return analyzeQuery(db, q, ap, cfg.Trace, stdout)
 	}
 	if cfg.Stream {
 		opt, err := streamOptions(ap)
@@ -228,12 +234,79 @@ func parseApproach(s string) (harness.Approach, error) {
 	case "par-stream":
 		return harness.SeqParStream, nil
 	default:
-		return 0, fmt.Errorf("unknown approach %q", s)
+		return 0, fmt.Errorf("unknown approach %q (valid: seq, seq-naive, seq-mat, seq-par, seq-stream, par-stream, nat-ip, nat-align)", s)
 	}
 }
 
+// explainQuery prints the static EXPLAIN of the query under the given
+// approach: the compact rewritten plan, then the annotated operator
+// tree — sweep modes, sort properties, estimated cardinalities, and the
+// fragment/exchange placement the parallel executor would choose at the
+// approach's worker count.
+func explainQuery(db *engine.DB, q algebra.Query, ap harness.Approach, w io.Writer) error {
+	opt, err := streamOptions(ap)
+	if err != nil {
+		return err
+	}
+	p, err := rewrite.Rewrite(q, db, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, p)
+	fmt.Fprintln(w)
+	n := db.ExplainPlan(p)
+	parallel.AnnotatePlacement(db, p, n, max(opt.Parallelism, 1))
+	fmt.Fprint(w, n.Render())
+	fmt.Fprintf(w, "\nprocess: %s\n", obs.Default.Snapshot())
+	return nil
+}
+
+// analyzeQuery is EXPLAIN ANALYZE: it executes the query through the
+// streaming pipeline with a collector attached, drains the result, and
+// prints the measured per-operator tree plus the process-wide registry
+// line. A non-empty tracePath additionally exports the collected spans
+// as Chrome-trace JSON (view with chrome://tracing or ui.perfetto.dev).
+func analyzeQuery(db *engine.DB, q algebra.Query, ap harness.Approach, tracePath string, w io.Writer) error {
+	opt, err := streamOptions(ap)
+	if err != nil {
+		return err
+	}
+	col := engine.NewCollector()
+	opt.Collect = col
+	it, err := rewrite.Stream(context.Background(), db, q, opt)
+	if err != nil {
+		return err
+	}
+	rows := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		rows++
+	}
+	it.Close()
+	fmt.Fprintf(w, "EXPLAIN ANALYZE (approach %s)\n", ap)
+	fmt.Fprint(w, col.Render())
+	fmt.Fprintf(w, "(%d rows)\n", rows)
+	fmt.Fprintf(w, "process: %s\n", obs.Default.Snapshot())
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := col.WriteTrace(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote trace to %s\n", tracePath)
+	}
+	return nil
+}
+
 // streamOptions maps a seq-family approach to rewrite options for the
-// cursor path; the native baselines have no streaming form.
+// streaming pipeline (the cursor, explain and analyze paths); the
+// native baselines and the materializing executor have no pipeline
+// form.
 func streamOptions(ap harness.Approach) (rewrite.Options, error) {
 	switch ap {
 	case harness.Seq:
@@ -247,7 +320,7 @@ func streamOptions(ap harness.Approach) (rewrite.Options, error) {
 	case harness.SeqParStream:
 		return rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: rewrite.SweepStreaming, Parallelism: harness.DefaultWorkers}, nil
 	default:
-		return rewrite.Options{}, fmt.Errorf("-stream supports seq, seq-naive, seq-par, seq-stream and par-stream, not %s", ap)
+		return rewrite.Options{}, fmt.Errorf("approach %s has no streaming pipeline (valid here: seq, seq-naive, seq-par, seq-stream, par-stream)", ap)
 	}
 }
 

@@ -68,6 +68,13 @@ func TestParseApproach(t *testing.T) {
 	}
 	if _, err := parseApproach("bogus"); err == nil {
 		t.Fatal("expected error for unknown approach")
+	} else {
+		// The diagnostic must list the valid choices.
+		for _, name := range []string{"seq", "seq-par", "par-stream", "nat-align"} {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("approach error does not list %q: %v", name, err)
+			}
+		}
 	}
 }
 
@@ -151,6 +158,70 @@ func TestRunExplainPrintsPlan(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Coalesce") || !strings.Contains(out.String(), "TAgg") {
 		t.Fatalf("explain output lacks plan operators:\n%s", out.String())
+	}
+	// The annotated tree: sweep modes, sequential placement, registry.
+	for _, want := range []string{"sweep=", "{sequential", "process: queries="} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("explain output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// -explain under a parallel approach must annotate fragment/exchange
+// placement at the approach's worker count.
+func TestRunExplainParallelPlacement(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-data", "factory", "-explain", "-approach", "seq-par",
+		"-sql", "SEQ VT (SELECT count(*) AS cnt FROM works)",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"morsel scan ×", "fragments ×"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("parallel explain lacks placement %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// -analyze must execute the query, print the measured operator tree with
+// exact row counts, and -trace must export well-formed Chrome-trace
+// JSON alongside it.
+func TestRunAnalyzeWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-data", "factory", "-approach", "par-stream", "-analyze", "-trace", trace,
+		"-sql", "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"EXPLAIN ANALYZE", "Coalesce", "rows=", "(7 rows)", "process: queries=1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("analyze output lacks %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if !strings.Contains(string(data), "traceEvents") || !strings.Contains(string(data), `"ph":"X"`) {
+		t.Fatalf("trace file is not Chrome-trace JSON: %s", data)
+	}
+	// -trace alone implies -analyze.
+	var out2, errb2 bytes.Buffer
+	code = run([]string{
+		"-data", "factory", "-trace", filepath.Join(dir, "trace2.json"),
+		"-sql", "SEQ VT (SELECT count(*) AS cnt FROM works)",
+	}, &out2, &errb2)
+	if code != 0 {
+		t.Fatalf("-trace alone: exit %d, stderr: %s", code, errb2.String())
+	}
+	if !strings.Contains(out2.String(), "EXPLAIN ANALYZE") {
+		t.Fatalf("-trace alone must run the analyze path:\n%s", out2.String())
 	}
 }
 

@@ -1,0 +1,128 @@
+// Shape tests of the static EXPLAIN tree: plan isomorphism, sweep-mode
+// classification, join strategy detail and the rendered text.
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"snapk/internal/algebra"
+	"snapk/internal/engine"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/tuple"
+)
+
+// explainDB holds one unsorted and one begin-sorted table, so the same
+// plan explains as blocking over one and streaming over the other.
+func explainDB() *engine.DB {
+	db := engine.NewDB(interval.NewDomain(0, 100))
+	un := db.CreateTable("un", tuple.NewSchema("k", "v"))
+	so := db.CreateTable("so", tuple.NewSchema("k", "w"))
+	for i := 0; i < 20; i++ {
+		b := int64((i * 7) % 50)
+		un.Append(tuple.Tuple{tuple.Int(int64(i % 4)), tuple.Int(int64(i))}, interval.New(b, b+10), 1)
+		so.Append(tuple.Tuple{tuple.Int(int64(i % 4)), tuple.Int(int64(i))}, interval.New(int64(i), int64(i)+10), 1)
+	}
+	return db
+}
+
+func TestExplainSweepModes(t *testing.T) {
+	db := explainDB()
+	cases := []struct {
+		name string
+		plan engine.Plan
+		mode string
+	}{
+		{"blocking over unsorted", engine.CoalesceP{In: engine.ScanP{Name: "un"}}, "blocking"},
+		{"enforced behind sort", engine.CoalesceP{In: engine.SortP{In: engine.ScanP{Name: "un"}}, Streaming: true}, "enforced"},
+		{"streaming over sorted", engine.CoalesceP{In: engine.ScanP{Name: "so"}, Streaming: true}, "streaming"},
+	}
+	for _, c := range cases {
+		n := db.ExplainPlan(c.plan)
+		if n.Op != "Coalesce" || n.Mode != c.mode {
+			t.Fatalf("%s: got op=%q mode=%q, want Coalesce/%s", c.name, n.Op, n.Mode, c.mode)
+		}
+		if len(n.Children) != 1 {
+			t.Fatalf("%s: explain tree not isomorphic to the plan: %+v", c.name, n)
+		}
+	}
+	// The sort property must be reported on the nodes that carry it.
+	if db.ExplainPlan(engine.ScanP{Name: "un"}).Ordered {
+		t.Fatal("unsorted scan must not report the order property")
+	}
+	if !db.ExplainPlan(engine.ScanP{Name: "so"}).Ordered {
+		t.Fatal("begin-sorted scan must report the order property")
+	}
+	if db.ExplainPlan(engine.ScanP{Name: "so"}).EstRows != 20 {
+		t.Fatal("scan must estimate its stored cardinality")
+	}
+}
+
+func TestExplainJoinStrategy(t *testing.T) {
+	db := explainDB()
+	equi := engine.JoinP{
+		L: engine.ScanP{Name: "un"}, R: engine.ScanP{Name: "so"},
+		Pred: algebra.Eq(algebra.Col("k"), algebra.Col("r.k")),
+	}
+	n := db.ExplainPlan(equi)
+	if n.Op != "Join" || !strings.Contains(n.Detail, "hash build=") {
+		t.Fatalf("equi join must explain as a hash join with its build side: %+v", n)
+	}
+	if len(n.Children) != 2 {
+		t.Fatalf("join must have two children, got %d", len(n.Children))
+	}
+	sweep := engine.JoinP{
+		L: engine.ScanP{Name: "un"}, R: engine.ScanP{Name: "so"},
+		Pred: algebra.BoolC(true),
+	}
+	if d := db.ExplainPlan(sweep).Detail; !strings.Contains(d, "overlap-sweep") {
+		t.Fatalf("non-equi join must explain as the overlap sweep, got %q", d)
+	}
+}
+
+func TestExplainRender(t *testing.T) {
+	db := explainDB()
+	plan := engine.CoalesceP{
+		In: engine.AggP{
+			GroupBy:   []string{"k"},
+			Aggs:      []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+			PreAgg:    true,
+			Streaming: true,
+			In:        engine.SortP{In: engine.FilterP{Pred: algebra.Gt(algebra.Col("v"), algebra.IntC(3)), In: engine.ScanP{Name: "un"}}},
+		},
+	}
+	out := db.ExplainPlan(plan).Render()
+	for _, want := range []string{
+		"Coalesce sweep=blocking",
+		"Agg [group_by=[k] pre-agg] sweep=enforced",
+		"Sort [endpoint enforcer]",
+		"Filter [",
+		"Scan [un]",
+		"└─ ", // tree drawing
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered EXPLAIN lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// PlanDataSchema must derive the executor's data schema without running
+// the plan — the join-strategy detail depends on it.
+func TestPlanDataSchema(t *testing.T) {
+	db := explainDB()
+	s, err := db.PlanDataSchema(engine.JoinP{
+		L: engine.ScanP{Name: "un"}, R: engine.ScanP{Name: "so"},
+		Pred: algebra.Eq(algebra.Col("k"), algebra.Col("r.k")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concat prefixes only the colliding right-side columns.
+	if got := strings.Join(s.Cols, ","); got != "k,v,r.k,w" {
+		t.Fatalf("join data schema = %q, want k,v,r.k,w", got)
+	}
+	if _, err := db.PlanDataSchema(engine.ScanP{Name: "missing"}); err == nil {
+		t.Fatal("unknown table must surface a schema error")
+	}
+}

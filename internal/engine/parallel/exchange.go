@@ -2,8 +2,10 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"snapk/internal/engine"
 	"snapk/internal/tuple"
@@ -108,7 +110,8 @@ func (it *mergeIter) Close() {}
 // execution context is canceled; a closer goroutine closes the channel
 // once all producers are done, which is how the consumer observes
 // end-of-stream.
-func (e *executor) startMerge(parts []engine.RowIter) engine.RowIter {
+func (e *executor) startMerge(parts []engine.RowIter, parent *engine.OpStats) engine.RowIter {
+	st := parent.Child("Exchange:merge", fmt.Sprintf("fanin=%d", len(parts)))
 	schema := parts[0].Schema()
 	ch := make(chan batch, len(parts))
 	var producers sync.WaitGroup
@@ -120,7 +123,7 @@ func (e *executor) startMerge(parts []engine.RowIter) engine.RowIter {
 			defer e.wg.Done()
 			defer producers.Done()
 			defer part.Close()
-			e.drainInto(part, ch)
+			e.drainInto(part, ch, st)
 		}()
 	}
 	e.wg.Add(1)
@@ -130,12 +133,13 @@ func (e *executor) startMerge(parts []engine.RowIter) engine.RowIter {
 		producers.Wait()
 		close(ch)
 	}()
-	return &mergeIter{ctx: e.ctx, schema: schema, ch: ch}
+	return engine.NewObsIter(&mergeIter{ctx: e.ctx, schema: schema, ch: ch}, st)
 }
 
 // drainInto pumps it into ch in morsel-sized batches until exhaustion or
-// cancellation.
-func (e *executor) drainInto(it engine.RowIter, ch chan<- batch) {
+// cancellation. With st non-nil it records each batch sent and the time
+// the producer spends blocked on a full channel (backpressure wait).
+func (e *executor) drainInto(it engine.RowIter, ch chan<- batch, st *engine.OpStats) {
 	b := make(batch, 0, e.morsel)
 	for {
 		row, ok := it.Next()
@@ -144,10 +148,21 @@ func (e *executor) drainInto(it engine.RowIter, ch chan<- batch) {
 			b = append(b, row)
 		}
 		if (!ok || len(b) == e.morsel) && len(b) > 0 {
-			select {
-			case <-e.ctx.Done():
-				return
-			case ch <- b:
+			if st != nil {
+				t0 := time.Now()
+				select {
+				case <-e.ctx.Done():
+					return
+				case ch <- b:
+				}
+				st.AddWait(time.Since(t0).Nanoseconds())
+				st.AddBatch()
+			} else {
+				select {
+				case <-e.ctx.Done():
+					return
+				case ch <- b:
+				}
 			}
 			b = make(batch, 0, e.morsel)
 		}
@@ -167,7 +182,9 @@ func (e *executor) drainInto(it engine.RowIter, ch chan<- batch) {
 // partitioned inputs are redistributed without first being serialized
 // through a merge exchange; cancellation of the execution context
 // unblocks both sides.
-func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int) []engine.RowIter {
+func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int, parent *engine.OpStats) []engine.RowIter {
+	st := parent.Child("Exchange:partition", fmt.Sprintf("fanout=%d", e.workers))
+	st.InitParts(e.workers)
 	schema := srcs[0].Schema()
 	chans := make([]chan batch, e.workers)
 	for i := range chans {
@@ -188,6 +205,19 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int) []engine.R
 			}
 			flush := func(i int) bool {
 				if len(bufs[i]) == 0 {
+					return true
+				}
+				if st != nil {
+					t0 := time.Now()
+					select {
+					case <-e.ctx.Done():
+						return false
+					case chans[i] <- bufs[i]:
+					}
+					st.AddWait(time.Since(t0).Nanoseconds())
+					st.AddBatch()
+					st.AddPartRows(i, len(bufs[i]))
+					bufs[i] = make(batch, 0, e.morsel)
 					return true
 				}
 				select {
@@ -450,7 +480,8 @@ func (it *orderedMergeIter) Close() {}
 // safe here — the single consumer always drains the source it waits
 // on), with the consumer k-way merging the heads by endpoint order.
 // The merged stream is begin-sorted iff every part is.
-func (e *executor) startOrderedMerge(parts []engine.RowIter) engine.RowIter {
+func (e *executor) startOrderedMerge(parts []engine.RowIter, parent *engine.OpStats) engine.RowIter {
+	st := parent.Child("Exchange:ordered-merge", fmt.Sprintf("fanin=%d", len(parts)))
 	schema := parts[0].Schema()
 	srcs := make([]rowSource, len(parts))
 	for i, part := range parts {
@@ -463,11 +494,11 @@ func (e *executor) startOrderedMerge(parts []engine.RowIter) engine.RowIter {
 			defer e.wg.Done()
 			defer close(ch)
 			defer part.Close()
-			e.drainInto(part, ch)
+			e.drainInto(part, ch, st)
 		}()
 	}
-	return engine.CheckOrdered("ordered merge exchange",
-		&orderedMergeIter{ctx: e.ctx, schema: schema, srcs: srcs})
+	return engine.NewObsIter(engine.CheckOrdered("ordered merge exchange",
+		&orderedMergeIter{ctx: e.ctx, schema: schema, srcs: srcs}), st)
 }
 
 // hashPartitionOrdered is the order-preserving repartition exchange:
@@ -480,7 +511,9 @@ func (e *executor) startOrderedMerge(parts []engine.RowIter) engine.RowIter {
 // stream is begin-sorted, which is what lets each worker run a
 // STREAMING sweep over its partition. See batchQueue for why the
 // per-(source, partition) transport must be unbounded.
-func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int) []engine.RowIter {
+func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int, parent *engine.OpStats) []engine.RowIter {
+	st := parent.Child("Exchange:ordered-partition", fmt.Sprintf("fanout=%d", e.workers))
+	st.InitParts(e.workers)
 	schema := srcs[0].Schema()
 	queues := make([][]*batchQueue, len(srcs))
 	for s := range queues {
@@ -517,17 +550,22 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int) []e
 				if len(bufs[i]) == e.morsel {
 					// The cancellation probe runs once per batch, not per
 					// row: queue puts never block, so this is the only
-					// teardown point and ctx.Err is not free.
+					// teardown point and ctx.Err is not free. (No wait time
+					// to record for the same reason — only batch counts.)
 					if e.ctx.Err() != nil {
 						return
 					}
 					queues[si][i].put(bufs[i])
+					st.AddBatch()
+					st.AddPartRows(i, len(bufs[i]))
 					bufs[i] = make(batch, 0, e.morsel)
 				}
 			}
 			for i := range bufs {
 				if len(bufs[i]) > 0 {
 					queues[si][i].put(bufs[i])
+					st.AddBatch()
+					st.AddPartRows(i, len(bufs[i]))
 				}
 			}
 		}()
@@ -549,7 +587,8 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int) []e
 // the source and every worker pulls from the shared bounded channel —
 // morsel-driven scheduling for sources that are not indexable tables
 // (e.g. the output of a blocking operator feeding a join probe side).
-func (e *executor) repartition(src engine.RowIter) []engine.RowIter {
+func (e *executor) repartition(src engine.RowIter, parent *engine.OpStats) []engine.RowIter {
+	st := parent.Child("Exchange:repartition", fmt.Sprintf("fanout=%d", e.workers))
 	schema := src.Schema()
 	ch := make(chan batch, e.workers)
 	e.wg.Add(1)
@@ -557,7 +596,7 @@ func (e *executor) repartition(src engine.RowIter) []engine.RowIter {
 		defer e.wg.Done()
 		defer close(ch)
 		defer src.Close()
-		e.drainInto(src, ch)
+		e.drainInto(src, ch, st)
 	}()
 	parts := make([]engine.RowIter, e.workers)
 	for i := range parts {

@@ -65,6 +65,13 @@ type Options struct {
 	// MorselSize is the number of rows per scan morsel and per exchange
 	// batch; 0 selects the default (256).
 	MorselSize int
+	// Stats, when non-nil, is the EXPLAIN ANALYZE parent node: the
+	// executor attaches one OpStats child per operator and exchange
+	// (with per-fragment children for partitioned operators) beneath it
+	// and wraps every physical iterator in an instrumented ObsIter. Nil
+	// disables collection entirely — every wrapper is an identity no-op,
+	// so the uninstrumented hot path is unchanged.
+	Stats *engine.OpStats
 }
 
 // DefaultMorselSize is the scan-morsel / exchange-batch row count used
@@ -136,13 +143,16 @@ func Exec(ctx context.Context, db *engine.DB, p engine.Plan, opt Options) (engin
 	}
 	ectx, cancel := context.WithCancel(ctx)
 	e := &executor{ctx: ectx, db: db, workers: workers, morsel: morsel}
-	s, err := e.build(p)
+	s, err := e.build(p, opt.Stats)
 	if err != nil {
 		cancel()
 		e.wg.Wait()
 		return nil, err
 	}
-	return &execIter{ctx: ectx, cancel: cancel, e: e, it: engine.CheckNoAlias("parallel exec root", e.merge(s))}, nil
+	// The outermost ObsIter counts rows on the parent node itself, so its
+	// row count is exactly what the root cursor observes.
+	root := engine.NewObsIter(engine.CheckNoAlias("parallel exec root", e.merge(s, opt.Stats)), opt.Stats)
+	return &execIter{ctx: ectx, cancel: cancel, e: e, it: root}, nil
 }
 
 // execIter is the root iterator returned by Exec: it owns the execution
@@ -185,35 +195,56 @@ func (it *execIter) Close() {
 // materialization boundary receives pre-sorted input. The price is a
 // per-row heap compare on sorted scan-only plans; if that ever shows up
 // in profiles, thread a need-order flag from the consumer instead.
-func (e *executor) merge(s *pstream) engine.RowIter {
+func (e *executor) merge(s *pstream, parent *engine.OpStats) engine.RowIter {
 	if s.seq != nil {
 		return s.seq
 	}
 	if s.ordered {
-		return e.startOrderedMerge(s.parts)
+		return e.startOrderedMerge(s.parts, parent)
 	}
-	return e.startMerge(s.parts)
+	return e.startMerge(s.parts, parent)
 }
 
 // partition converts a stream to W fragment iterators, inserting a
 // repartition exchange under sequential sources.
-func (e *executor) partition(s *pstream) []engine.RowIter {
+func (e *executor) partition(s *pstream, parent *engine.OpStats) []engine.RowIter {
 	if s.parts != nil {
 		return s.parts
 	}
-	return e.repartition(s.seq)
+	return e.repartition(s.seq, parent)
+}
+
+// obsStream wraps the physical iterators of s with EXPLAIN ANALYZE
+// instrumentation recording into st: the sequential form onto st
+// itself, fragments onto per-fragment children (the per-worker skew
+// view). Identity when st is nil.
+func obsStream(s *pstream, st *engine.OpStats) *pstream {
+	if st == nil {
+		return s
+	}
+	if s.seq != nil {
+		s.seq = engine.NewObsIter(s.seq, st)
+		return s
+	}
+	for i := range s.parts {
+		s.parts[i] = engine.NewObsIter(s.parts[i], st.Fragment(i))
+	}
+	return s
 }
 
 // build compiles a plan node to a pstream, pushing streaming operators
 // into partitioned fragments and placing exchanges only where the plan
-// shape requires them.
-func (e *executor) build(p engine.Plan) (*pstream, error) {
+// shape requires them. parent is the EXPLAIN ANALYZE attachment point
+// (nil when not collecting): each node adds its own OpStats child and
+// builds its inputs beneath it, so the stats tree mirrors the plan.
+func (e *executor) build(p engine.Plan, parent *engine.OpStats) (*pstream, error) {
 	switch n := p.(type) {
 	case engine.ScanP:
 		t, err := e.db.Table(n.Name)
 		if err != nil {
 			return nil, err
 		}
+		st := parent.Child("Scan", n.Name)
 		// Cached table metadata makes this an O(1) probe on the load
 		// paths. A begin-sorted table yields begin-sorted fragments:
 		// every morsel scan claims strictly increasing row ranges from
@@ -221,38 +252,49 @@ func (e *executor) build(p engine.Plan) (*pstream, error) {
 		// subsequence of the stored order.
 		ordered := t.BeginSorted()
 		if e.workers <= 1 {
-			return &pstream{seq: engine.NewTableIter(t), schema: t.Schema, ordered: ordered}, nil
+			return obsStream(&pstream{seq: engine.NewTableIter(t), schema: t.Schema, ordered: ordered}, st), nil
 		}
 		ctr := new(atomic.Int64)
 		parts := make([]engine.RowIter, e.workers)
 		for i := range parts {
 			parts[i] = &morselTableIter{t: t, ctr: ctr, size: e.morsel}
 		}
-		return &pstream{parts: parts, schema: t.Schema, ordered: ordered}, nil
+		return obsStream(&pstream{parts: parts, schema: t.Schema, ordered: ordered}, st), nil
 	case engine.FilterP:
-		in, err := e.build(n.In)
+		st := parent.Child("Filter", "")
+		in, err := e.build(n.In, st)
 		if err != nil {
 			return nil, err
 		}
-		return e.mapStream(in, func(it engine.RowIter) (engine.RowIter, error) {
+		out, err := e.mapStream(in, func(it engine.RowIter) (engine.RowIter, error) {
 			return engine.NewFilterIter(it, n.Pred)
 		})
-	case engine.ProjectP:
-		in, err := e.build(n.In)
 		if err != nil {
 			return nil, err
 		}
-		return e.mapStream(in, func(it engine.RowIter) (engine.RowIter, error) {
+		return obsStream(out, st), nil
+	case engine.ProjectP:
+		st := parent.Child("Project", "")
+		in, err := e.build(n.In, st)
+		if err != nil {
+			return nil, err
+		}
+		out, err := e.mapStream(in, func(it engine.RowIter) (engine.RowIter, error) {
 			return engine.NewProjectIter(it, n.Exprs)
 		})
-	case engine.JoinP:
-		return e.buildJoin(n)
-	case engine.UnionP:
-		l, err := e.build(n.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.build(n.R)
+		return obsStream(out, st), nil
+	case engine.JoinP:
+		return e.buildJoin(n, parent)
+	case engine.UnionP:
+		st := parent.Child("Union", "")
+		l, err := e.build(n.L, st)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.build(n.R, st)
 		if err != nil {
 			l.close()
 			return nil, err
@@ -262,11 +304,11 @@ func (e *executor) build(p engine.Plan) (*pstream, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &pstream{seq: u, schema: u.Schema()}, nil
+			return obsStream(&pstream{seq: u, schema: u.Schema()}, st), nil
 		}
 		// Pair the fragments of both sides: fragment i concatenates
 		// l_i and r_i, so the union itself needs no extra exchange.
-		lp, rp := e.partition(l), e.partition(r)
+		lp, rp := e.partition(l, st), e.partition(r, st)
 		parts := make([]engine.RowIter, len(lp))
 		for i := range parts {
 			u, err := engine.NewUnionIter(lp[i], rp[i])
@@ -282,22 +324,26 @@ func (e *executor) build(p engine.Plan) (*pstream, error) {
 			}
 			parts[i] = u
 		}
-		return &pstream{parts: parts, schema: parts[0].Schema()}, nil
+		return obsStream(&pstream{parts: parts, schema: parts[0].Schema()}, st), nil
 	case engine.DiffP:
-		return e.buildDiff(n)
+		return e.buildDiff(n, parent)
 	case engine.AggP:
-		return e.buildAgg(n)
+		return e.buildAgg(n, parent)
 	case engine.CoalesceP:
-		return e.buildCoalesce(n)
+		return e.buildCoalesce(n, parent)
 	case engine.SortP:
 		// e.table materializes into a private table, so sorting in place
 		// is safe — no stored table is mutated and no copy is needed.
-		in, err := e.table(n.In)
+		st := parent.Child("Sort", "enforcer")
+		done := st.Span()
+		in, err := e.table(n.In, st)
 		if err != nil {
+			done()
 			return nil, err
 		}
 		in.SortByEndpoints()
-		return &pstream{seq: engine.NewTableIter(in), schema: in.Schema, ordered: true}, nil
+		done()
+		return obsStream(&pstream{seq: engine.NewTableIter(in), schema: in.Schema, ordered: true}, st), nil
 	default:
 		return nil, fmt.Errorf("parallel: unknown plan node %T", p)
 	}
@@ -323,44 +369,54 @@ func dataIdx(schema tuple.Schema) []int {
 // partition begin-sorted and each worker runs the streaming sweep with
 // O(open intervals) state; otherwise each worker materializes its
 // partition and runs the blocking sweep (the ablation baseline).
-func (e *executor) buildCoalesce(n engine.CoalesceP) (*pstream, error) {
+func (e *executor) buildCoalesce(n engine.CoalesceP, parent *engine.OpStats) (*pstream, error) {
 	if e.workers > 1 {
-		in, err := e.build(n.In)
+		var st *engine.OpStats
+		if n.Streaming {
+			st = parent.Child("Coalesce", "streaming")
+		} else {
+			st = parent.Child("Coalesce", "blocking")
+		}
+		in, err := e.build(n.In, st)
 		if err != nil {
 			return nil, err
 		}
 		schema := in.schema
 		if n.Streaming {
-			parts := e.hashPartitionOrdered(in.sources(), dataIdx(schema))
+			parts := e.hashPartitionOrdered(in.sources(), dataIdx(schema), st)
 			out := make([]engine.RowIter, len(parts))
 			for i, part := range parts {
 				out[i] = engine.NewStreamCoalesceIter(part)
 			}
-			return &pstream{parts: out, schema: schema}, nil
+			return obsStream(&pstream{parts: out, schema: schema}, st), nil
 		}
-		parts := e.hashPartition(in.sources(), dataIdx(schema))
+		parts := e.hashPartition(in.sources(), dataIdx(schema), st)
 		out := make([]engine.RowIter, len(parts))
 		for i, part := range parts {
 			out[i] = newLazySweepIter(part, schema, func(t *engine.Table) *engine.Table {
 				return engine.Coalesce(t, n.Impl)
 			})
 		}
-		return &pstream{parts: out, schema: schema}, nil
+		return obsStream(&pstream{parts: out, schema: schema}, st), nil
 	}
 	if n.Streaming {
-		in, err := e.build(n.In)
+		st := parent.Child("Coalesce", "streaming")
+		in, err := e.build(n.In, st)
 		if err != nil {
 			return nil, err
 		}
-		it := engine.NewStreamCoalesceIter(e.merge(in))
-		return &pstream{seq: it, schema: it.Schema()}, nil
+		it := engine.NewStreamCoalesceIter(e.merge(in, st))
+		return obsStream(&pstream{seq: it, schema: it.Schema()}, st), nil
 	}
-	in, err := e.table(n.In)
+	st := parent.Child("Coalesce", "blocking")
+	in, err := e.table(n.In, st)
 	if err != nil {
 		return nil, err
 	}
+	done := st.Span()
 	out := engine.Coalesce(in, n.Impl)
-	return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+	done()
+	return obsStream(&pstream{seq: engine.NewTableIter(out), schema: out.Schema}, st), nil
 }
 
 // buildAgg compiles split-based aggregation. Grouped aggregation with
@@ -374,10 +430,16 @@ func (e *executor) buildCoalesce(n engine.CoalesceP) (*pstream, error) {
 // blocking sweep. Global aggregation (a single group) cannot be
 // partitioned, but with the sort property it now streams over the
 // ordered merge of all fragments instead of materializing.
-func (e *executor) buildAgg(n engine.AggP) (*pstream, error) {
+func (e *executor) buildAgg(n engine.AggP, parent *engine.OpStats) (*pstream, error) {
 	dom := e.db.Domain()
 	if e.workers > 1 && len(n.GroupBy) > 0 {
-		in, err := e.build(n.In)
+		var st *engine.OpStats
+		if n.Streaming && n.PreAgg {
+			st = parent.Child("Agg", "streaming")
+		} else {
+			st = parent.Child("Agg", blockingAggDetail(n))
+		}
+		in, err := e.build(n.In, st)
 		if err != nil {
 			return nil, err
 		}
@@ -400,7 +462,7 @@ func (e *executor) buildAgg(n engine.AggP) (*pstream, error) {
 			return nil, err
 		}
 		if n.Streaming && n.PreAgg {
-			parts := e.hashPartitionOrdered(in.sources(), keyIdx)
+			parts := e.hashPartitionOrdered(in.sources(), keyIdx, st)
 			out := make([]engine.RowIter, len(parts))
 			for i, part := range parts {
 				it, err := engine.NewStreamAggIter(part, n.GroupBy, n.Aggs, dom)
@@ -417,9 +479,9 @@ func (e *executor) buildAgg(n engine.AggP) (*pstream, error) {
 				}
 				out[i] = it
 			}
-			return &pstream{parts: out, schema: empty.Schema}, nil
+			return obsStream(&pstream{parts: out, schema: empty.Schema}, st), nil
 		}
-		parts := e.hashPartition(in.sources(), keyIdx)
+		parts := e.hashPartition(in.sources(), keyIdx, st)
 		out := make([]engine.RowIter, len(parts))
 		for i, part := range parts {
 			out[i] = newLazySweepIter(part, empty.Schema, func(t *engine.Table) *engine.Table {
@@ -430,32 +492,44 @@ func (e *executor) buildAgg(n engine.AggP) (*pstream, error) {
 				return res
 			})
 		}
-		return &pstream{parts: out, schema: empty.Schema}, nil
+		return obsStream(&pstream{parts: out, schema: empty.Schema}, st), nil
 	}
 	// The single-group streaming sweep needs one begin-ordered stream;
 	// the order-preserving merge exchange provides it even over
 	// multiple fragments, so the sequential-engine restriction of the
 	// blocking-only executor is gone.
 	if n.Streaming && n.PreAgg {
-		in, err := e.build(n.In)
+		st := parent.Child("Agg", "streaming")
+		in, err := e.build(n.In, st)
 		if err != nil {
 			return nil, err
 		}
-		it, err := engine.NewStreamAggIter(e.merge(in), n.GroupBy, n.Aggs, dom)
+		it, err := engine.NewStreamAggIter(e.merge(in, st), n.GroupBy, n.Aggs, dom)
 		if err != nil {
 			return nil, err
 		}
-		return &pstream{seq: it, schema: it.Schema()}, nil
+		return obsStream(&pstream{seq: it, schema: it.Schema()}, st), nil
 	}
-	in, err := e.table(n.In)
+	st := parent.Child("Agg", blockingAggDetail(n))
+	in, err := e.table(n.In, st)
 	if err != nil {
 		return nil, err
 	}
+	done := st.Span()
 	out, err := engine.TemporalAggregate(in, n.GroupBy, n.Aggs, n.PreAgg, dom)
+	done()
 	if err != nil {
 		return nil, err
 	}
-	return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+	return obsStream(&pstream{seq: engine.NewTableIter(out), schema: out.Schema}, st), nil
+}
+
+// blockingAggDetail names the blocking aggregation flavor.
+func blockingAggDetail(n engine.AggP) string {
+	if n.PreAgg {
+		return "blocking pre-agg"
+	}
+	return "blocking"
 }
 
 // buildDiff compiles snapshot-reducible difference. With multiple
@@ -468,13 +542,19 @@ func (e *executor) buildAgg(n engine.AggP) (*pstream, error) {
 // streaming merge-based diff with O(open intervals + active groups)
 // state instead of materializing its partitions; the materializing
 // per-partition diff remains as the blocking ablation.
-func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
+func (e *executor) buildDiff(n engine.DiffP, parent *engine.OpStats) (*pstream, error) {
 	if e.workers > 1 {
-		l, err := e.build(n.L)
+		var st *engine.OpStats
+		if n.Streaming {
+			st = parent.Child("Diff", "streaming")
+		} else {
+			st = parent.Child("Diff", "blocking")
+		}
+		l, err := e.build(n.L, st)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.build(n.R)
+		r, err := e.build(n.R, st)
 		if err != nil {
 			l.close()
 			return nil, err
@@ -487,8 +567,8 @@ func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
 		schema := l.schema
 		keyIdx := dataIdx(schema)
 		if n.Streaming {
-			lp := e.hashPartitionOrdered(l.sources(), keyIdx)
-			rp := e.hashPartitionOrdered(r.sources(), keyIdx)
+			lp := e.hashPartitionOrdered(l.sources(), keyIdx, st)
+			rp := e.hashPartitionOrdered(r.sources(), keyIdx, st)
 			out := make([]engine.RowIter, len(lp))
 			for i := range lp {
 				it, err := engine.NewStreamDiffIter(lp[i], rp[i])
@@ -497,7 +577,7 @@ func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
 				mustValidated("streaming difference", err)
 				out[i] = it
 			}
-			return &pstream{parts: out, schema: schema}, nil
+			return obsStream(&pstream{parts: out, schema: schema}, st), nil
 		}
 		// Build-time validation: arity compatibility (checked above) is
 		// the only failure mode of TemporalDiff, so the per-partition
@@ -508,47 +588,51 @@ func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
 			mustValidated("difference", err)
 			return res
 		}
-		lp := e.hashPartition(l.sources(), keyIdx)
-		rp := e.hashPartition(r.sources(), keyIdx)
+		lp := e.hashPartition(l.sources(), keyIdx, st)
+		rp := e.hashPartition(r.sources(), keyIdx, st)
 		out := make([]engine.RowIter, len(lp))
 		for i := range lp {
 			out[i] = newLazyDiffIter(lp[i], rp[i], schema, diff)
 		}
-		return &pstream{parts: out, schema: schema}, nil
+		return obsStream(&pstream{parts: out, schema: schema}, st), nil
 	}
 	// The streaming merge sweep needs one begin-ordered stream per side;
 	// the order-preserving merge exchange provides it even over multiple
 	// fragments, so the sequential streaming diff composes with parallel
 	// children exactly like global streaming aggregation.
 	if n.Streaming {
-		l, err := e.build(n.L)
+		st := parent.Child("Diff", "streaming")
+		l, err := e.build(n.L, st)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.build(n.R)
+		r, err := e.build(n.R, st)
 		if err != nil {
 			l.close()
 			return nil, err
 		}
-		it, err := engine.NewStreamDiffIter(e.merge(l), e.merge(r))
+		it, err := engine.NewStreamDiffIter(e.merge(l, st), e.merge(r, st))
 		if err != nil {
 			return nil, err
 		}
-		return &pstream{seq: it, schema: it.Schema()}, nil
+		return obsStream(&pstream{seq: it, schema: it.Schema()}, st), nil
 	}
-	l, err := e.table(n.L)
+	st := parent.Child("Diff", "blocking")
+	l, err := e.table(n.L, st)
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.table(n.R)
+	r, err := e.table(n.R, st)
 	if err != nil {
 		return nil, err
 	}
+	done := st.Span()
 	out, err := engine.TemporalDiff(l, r)
+	done()
 	if err != nil {
 		return nil, err
 	}
-	return &pstream{seq: engine.NewTableIter(out), schema: out.Schema}, nil
+	return obsStream(&pstream{seq: engine.NewTableIter(out), schema: out.Schema}, st), nil
 }
 
 // buildJoin compiles the temporal join: the build side is drained once
@@ -559,12 +643,13 @@ func (e *executor) buildDiff(n engine.DiffP) (*pstream, error) {
 // input. Joins without an equality conjunct fall back to the sequential
 // endpoint-sorted overlap sweep (which drains both inputs anyway),
 // still fed by parallel children.
-func (e *executor) buildJoin(n engine.JoinP) (*pstream, error) {
-	l, err := e.build(n.L)
+func (e *executor) buildJoin(n engine.JoinP, parent *engine.OpStats) (*pstream, error) {
+	st := parent.Child("Join", "")
+	l, err := e.build(n.L, st)
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.build(n.R)
+	r, err := e.build(n.R, st)
 	if err != nil {
 		l.close()
 		return nil, err
@@ -576,7 +661,10 @@ func (e *executor) buildJoin(n engine.JoinP) (*pstream, error) {
 		return nil, err
 	}
 	if !prep.HasEquiKey() {
-		j, err := engine.NewJoinIter(e.merge(l), e.merge(r), n.Pred)
+		if st != nil {
+			st.Detail = "overlap-sweep"
+		}
+		j, err := engine.NewJoinIter(e.merge(l, st), e.merge(r, st), n.Pred)
 		if err != nil {
 			return nil, err
 		}
@@ -584,34 +672,43 @@ func (e *executor) buildJoin(n engine.JoinP) (*pstream, error) {
 			j.Close()
 			return nil, err
 		}
-		return &pstream{seq: j, schema: j.Schema()}, nil
+		return obsStream(&pstream{seq: j, schema: j.Schema()}, st), nil
 	}
 	// Drain the build side eagerly (as the sequential engine does); a
 	// canceled context surfaces as an error rather than a silently
-	// truncated hash table.
+	// truncated hash table. The drain happens outside any Next, so an
+	// explicit span attributes its cost to the join node.
 	var jb *engine.JoinBuild
 	var probe *pstream
+	done := st.Span()
 	if engine.BuildLeftSmaller(e.db.EstimateRows(n.L), e.db.EstimateRows(n.R)) {
-		jb = prep.BuildLeft(e.merge(l))
+		if st != nil {
+			st.Detail = "hash build=left"
+		}
+		jb = prep.BuildLeft(e.merge(l, st))
 		probe = r
 	} else {
-		jb = prep.Build(e.merge(r))
+		if st != nil {
+			st.Detail = "hash build=right"
+		}
+		jb = prep.Build(e.merge(r, st))
 		probe = l
 	}
+	done()
 	if err := e.ctx.Err(); err != nil {
 		probe.close()
 		return nil, err
 	}
 	if e.workers <= 1 {
-		it := jb.Probe(e.merge(probe))
-		return &pstream{seq: it, schema: it.Schema()}, nil
+		it := jb.Probe(e.merge(probe, st))
+		return obsStream(&pstream{seq: it, schema: it.Schema()}, st), nil
 	}
-	pp := e.partition(probe)
+	pp := e.partition(probe, st)
 	parts := make([]engine.RowIter, len(pp))
 	for i, part := range pp {
 		parts[i] = jb.Probe(part)
 	}
-	return &pstream{parts: parts, schema: prep.Schema()}, nil
+	return obsStream(&pstream{parts: parts, schema: prep.Schema()}, st), nil
 }
 
 // mapStream wraps every fragment (or the sequential iterator) of in with
@@ -648,12 +745,12 @@ func (e *executor) mapStream(in *pstream, wrap func(engine.RowIter) (engine.RowI
 // table materializes a subplan — the input boundary of the blocking
 // operators. The subplan itself still runs with parallel fragments; a
 // canceled context surfaces as an error rather than a truncated table.
-func (e *executor) table(p engine.Plan) (*engine.Table, error) {
-	s, err := e.build(p)
+func (e *executor) table(p engine.Plan, parent *engine.OpStats) (*engine.Table, error) {
+	s, err := e.build(p, parent)
 	if err != nil {
 		return nil, err
 	}
-	it := e.merge(s)
+	it := e.merge(s, parent)
 	defer it.Close()
 	t := engine.Materialize(it)
 	if err := e.ctx.Err(); err != nil {

@@ -425,57 +425,97 @@ func (it *hashJoinIter) Close() { it.probe.Close() }
 // difference and coalesce) consume their input streams and keep their
 // endpoint-sweep internals. The caller must Close the returned iterator.
 func (db *DB) ExecStream(p Plan) (RowIter, error) {
+	return db.ExecStreamObs(p, nil)
+}
+
+// ExecStreamObs is ExecStream with EXPLAIN ANALYZE instrumentation: each
+// operator gets an OpStats child of parent and its iterator is wrapped
+// in an ObsIter recording into it. With parent == nil (the ExecStream
+// path) every Child and NewObsIter call is an identity no-op, so the
+// uninstrumented hot path is unchanged.
+func (db *DB) ExecStreamObs(p Plan, parent *OpStats) (RowIter, error) {
 	switch n := p.(type) {
 	case ScanP:
 		t, err := db.Table(n.Name)
 		if err != nil {
 			return nil, err
 		}
-		return NewTableIter(t), nil
+		return NewObsIter(NewTableIter(t), parent.Child("Scan", n.Name)), nil
 	case FilterP:
-		in, err := db.ExecStream(n.In)
+		st := parent.Child("Filter", "")
+		in, err := db.ExecStreamObs(n.In, st)
 		if err != nil {
 			return nil, err
 		}
-		return newFilterIter(in, n.Pred)
+		it, err := newFilterIter(in, n.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return NewObsIter(it, st), nil
 	case ProjectP:
-		in, err := db.ExecStream(n.In)
+		st := parent.Child("Project", "")
+		in, err := db.ExecStreamObs(n.In, st)
 		if err != nil {
 			return nil, err
 		}
-		return newProjectIter(in, n.Exprs)
+		it, err := newProjectIter(in, n.Exprs)
+		if err != nil {
+			return nil, err
+		}
+		return NewObsIter(it, st), nil
 	case JoinP:
-		l, err := db.ExecStream(n.L)
+		st := parent.Child("Join", "")
+		l, err := db.ExecStreamObs(n.L, st)
 		if err != nil {
 			return nil, err
 		}
-		r, err := db.ExecStream(n.R)
+		r, err := db.ExecStreamObs(n.R, st)
 		if err != nil {
 			l.Close()
 			return nil, err
 		}
-		if BuildLeftSmaller(db.EstimateRows(n.L), db.EstimateRows(n.R)) {
-			return newJoinIterBuildLeft(l, r, n.Pred)
+		// The hash-join build side drains at construction, outside any
+		// Next: attribute it to the join node via an explicit span.
+		buildLeft := BuildLeftSmaller(db.EstimateRows(n.L), db.EstimateRows(n.R))
+		if st != nil {
+			st.Detail = joinDetail(l.Schema(), r.Schema(), n.Pred, buildLeft)
 		}
-		return newJoinIter(l, r, n.Pred)
+		done := st.Span()
+		var it RowIter
+		if buildLeft {
+			it, err = newJoinIterBuildLeft(l, r, n.Pred)
+		} else {
+			it, err = newJoinIter(l, r, n.Pred)
+		}
+		done()
+		if err != nil {
+			return nil, err
+		}
+		return NewObsIter(it, st), nil
 	case UnionP:
-		l, err := db.ExecStream(n.L)
+		st := parent.Child("Union", "")
+		l, err := db.ExecStreamObs(n.L, st)
 		if err != nil {
 			return nil, err
 		}
-		r, err := db.ExecStream(n.R)
+		r, err := db.ExecStreamObs(n.R, st)
 		if err != nil {
 			l.Close()
 			return nil, err
 		}
-		return newUnionIter(l, r)
+		it, err := newUnionIter(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return NewObsIter(it, st), nil
 	case DiffP:
 		if n.Streaming {
-			l, err := db.ExecStream(n.L)
+			st := parent.Child("Diff", "streaming")
+			l, err := db.ExecStreamObs(n.L, st)
 			if err != nil {
 				return nil, err
 			}
-			r, err := db.ExecStream(n.R)
+			r, err := db.ExecStreamObs(n.R, st)
 			if err != nil {
 				l.Close()
 				return nil, err
@@ -484,24 +524,30 @@ func (db *DB) ExecStream(p Plan) (RowIter, error) {
 			if err != nil {
 				return nil, err
 			}
-			return CheckNoAlias("streaming difference", it), nil
+			// ObsIter sits inside the aliasing check so its StateSizer
+			// assertion reaches the sweep iterator directly.
+			return CheckNoAlias("streaming difference", NewObsIter(it, st)), nil
 		}
-		l, err := db.streamToTable(n.L)
+		st := parent.Child("Diff", "blocking")
+		l, err := db.streamToTableObs(n.L, st)
 		if err != nil {
 			return nil, err
 		}
-		r, err := db.streamToTable(n.R)
+		r, err := db.streamToTableObs(n.R, st)
 		if err != nil {
 			return nil, err
 		}
+		done := st.Span()
 		out, err := TemporalDiff(l, r)
+		done()
 		if err != nil {
 			return nil, err
 		}
-		return NewTableIter(out), nil
+		return NewObsIter(NewTableIter(out), st), nil
 	case AggP:
 		if n.Streaming && n.PreAgg {
-			in, err := db.ExecStream(n.In)
+			st := parent.Child("Agg", "streaming")
+			in, err := db.ExecStreamObs(n.In, st)
 			if err != nil {
 				return nil, err
 			}
@@ -509,39 +555,73 @@ func (db *DB) ExecStream(p Plan) (RowIter, error) {
 			if err != nil {
 				return nil, err
 			}
-			return CheckNoAlias("streaming aggregation", it), nil
+			return CheckNoAlias("streaming aggregation", NewObsIter(it, st)), nil
 		}
-		in, err := db.streamToTable(n.In)
+		st := parent.Child("Agg", aggDetail(n))
+		in, err := db.streamToTableObs(n.In, st)
 		if err != nil {
 			return nil, err
 		}
+		done := st.Span()
 		out, err := TemporalAggregate(in, n.GroupBy, n.Aggs, n.PreAgg, db.dom)
+		done()
 		if err != nil {
 			return nil, err
 		}
-		return NewTableIter(out), nil
+		return NewObsIter(NewTableIter(out), st), nil
 	case CoalesceP:
 		if n.Streaming {
-			in, err := db.ExecStream(n.In)
+			st := parent.Child("Coalesce", "streaming")
+			in, err := db.ExecStreamObs(n.In, st)
 			if err != nil {
 				return nil, err
 			}
-			return CheckNoAlias("streaming coalesce", NewStreamCoalesceIter(in)), nil
+			return CheckNoAlias("streaming coalesce", NewObsIter(NewStreamCoalesceIter(in), st)), nil
 		}
-		in, err := db.streamToTable(n.In)
+		st := parent.Child("Coalesce", "blocking")
+		in, err := db.streamToTableObs(n.In, st)
 		if err != nil {
 			return nil, err
 		}
-		return NewTableIter(Coalesce(in, n.Impl)), nil
+		done := st.Span()
+		out := Coalesce(in, n.Impl)
+		done()
+		return NewObsIter(NewTableIter(out), st), nil
 	case SortP:
-		in, err := db.ExecStream(n.In)
+		st := parent.Child("Sort", "enforcer")
+		in, err := db.ExecStreamObs(n.In, st)
 		if err != nil {
 			return nil, err
 		}
-		return NewSortIter(in), nil
+		// sortIter drains and sorts inside its first Next, so the ObsIter
+		// timing captures the enforcement cost without an explicit span.
+		return NewObsIter(NewSortIter(in), st), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", p)
 	}
+}
+
+// joinDetail summarizes the join strategy for EXPLAIN ANALYZE: hash join
+// with its build side, or the interval-overlap sweep fallback.
+func joinDetail(lSchema, rSchema tuple.Schema, pred algebra.Expr, buildLeft bool) string {
+	lData := tuple.Schema{Cols: lSchema.Cols[:lSchema.Arity()-2]}
+	rData := tuple.Schema{Cols: rSchema.Cols[:rSchema.Arity()-2]}
+	prep, err := PrepareJoin(lData, rData, pred)
+	if err != nil || !prep.HasEquiKey() {
+		return "overlap-sweep"
+	}
+	if buildLeft {
+		return "hash build=left"
+	}
+	return "hash build=right"
+}
+
+// aggDetail names the blocking aggregation flavor.
+func aggDetail(n AggP) string {
+	if n.PreAgg {
+		return "blocking pre-agg"
+	}
+	return "blocking"
 }
 
 // NewFilterIter wraps in with the pipelined Filter operator. It takes
@@ -572,7 +652,13 @@ func NewJoinIter(l, r RowIter, pred algebra.Expr) (RowIter, error) {
 // streamToTable materializes the streaming evaluation of a subplan —
 // the input boundary of the blocking operators.
 func (db *DB) streamToTable(p Plan) (*Table, error) {
-	it, err := db.ExecStream(p)
+	return db.streamToTableObs(p, nil)
+}
+
+// streamToTableObs is streamToTable with the subplan's operator stats
+// attached under parent (nil disables collection).
+func (db *DB) streamToTableObs(p Plan, parent *OpStats) (*Table, error) {
+	it, err := db.ExecStreamObs(p, parent)
 	if err != nil {
 		return nil, err
 	}

@@ -149,6 +149,15 @@ type streamDiffIter struct {
 	primed     bool
 	drained    bool
 	scratch    []byte // reusable group-key buffer (one key string per distinct group, not per row)
+	// peak sweep state, reported through MaxState for EXPLAIN ANALYZE.
+	maxGroups int
+	maxOpen   int
+}
+
+// MaxState reports the observed peak sweep state (live groups plus the
+// largest per-group open-end heap) — the engine.StateSizer hook.
+func (it *streamDiffIter) MaxState() int64 {
+	return int64(it.maxGroups + it.maxOpen)
 }
 
 // NewStreamDiffIter returns the streaming temporal difference l − r,
@@ -286,6 +295,12 @@ func (it *streamDiffIter) Next() (tuple.Tuple, bool) {
 		g.curDelta += sign
 		g.curEvent = true
 		g.ends.push(iv.End, -sign)
+		if n := len(it.groups); n > it.maxGroups {
+			it.maxGroups = n
+		}
+		if n := g.ends.len(); n > it.maxOpen {
+			it.maxOpen = n
+		}
 		if !g.reg {
 			it.track(g)
 		}

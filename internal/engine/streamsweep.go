@@ -224,6 +224,17 @@ type streamCoalesceIter struct {
 	seen    bool
 	drained bool
 	scratch []byte // reusable group-key buffer (one key string per distinct group, not per row)
+	// peak sweep state, reported through MaxState for EXPLAIN ANALYZE:
+	// most live groups at once plus the largest single group's open-end
+	// heap — the O(active groups + open intervals) bound, observed.
+	maxGroups int
+	maxOpen   int
+}
+
+// MaxState reports the observed peak sweep state (live groups plus the
+// largest per-group open-interval heap) — the engine.StateSizer hook.
+func (it *streamCoalesceIter) MaxState() int64 {
+	return int64(it.maxGroups + it.maxOpen)
 }
 
 // NewStreamCoalesceIter returns the streaming coalesce over in, taking
@@ -323,6 +334,12 @@ func (it *streamCoalesceIter) Next() (tuple.Tuple, bool) {
 		g.advance(iv.Begin, it.enqueue)
 		g.curDelta++
 		g.ends.push(iv.End, struct{}{})
+		if n := len(it.groups); n > it.maxGroups {
+			it.maxGroups = n
+		}
+		if n := g.ends.len(); n > it.maxOpen {
+			it.maxOpen = n
+		}
 		if !g.reg {
 			it.track(g)
 		}
@@ -370,6 +387,15 @@ type streamAggIter struct {
 	seen    bool
 	drained bool
 	scratch []byte // reusable group-key buffer (one key string per distinct group, not per row)
+	// peak sweep state, reported through MaxState for EXPLAIN ANALYZE.
+	maxGroups int
+	maxOpen   int
+}
+
+// MaxState reports the observed peak sweep state (live groups plus the
+// largest per-group pending-exit heap) — the engine.StateSizer hook.
+func (it *streamAggIter) MaxState() int64 {
+	return int64(it.maxGroups + it.maxOpen)
 }
 
 // NewStreamAggIter returns the streaming pre-aggregated split over in,
@@ -559,6 +585,12 @@ func (it *streamAggIter) Next() (tuple.Tuple, bool) {
 		}
 		g.alive++
 		g.pending.push(iv.End, row)
+		if n := len(it.groups); n > it.maxGroups {
+			it.maxGroups = n
+		}
+		if n := g.pending.len(); n > it.maxOpen {
+			it.maxOpen = n
+		}
 		if !g.reg {
 			it.track(g)
 		}

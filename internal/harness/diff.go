@@ -64,12 +64,12 @@ func Diff(w io.Writer, sc Scale, rep *Report) error {
 		}
 		db, sortedDB := diffInputs(n)
 		for _, v := range variants {
-			d, rows, err := runDiffVariant(db, sortedDB, v, sc.Runs)
+			d, allocs, rows, err := runDiffVariant(db, sortedDB, v, sc.Runs)
 			if err != nil {
 				return fmt.Errorf("diff %s: %w", v.name, err)
 			}
 			tw.AddRow(fmt.Sprintf("%d", n), v.name, FormatDuration(d), fmt.Sprintf("%d", rows))
-			rep.Add("diff", fmt.Sprintf("%s/rows=%d", v.name, n), d, map[string]float64{"rows": float64(rows)})
+			rep.AddDetail("diff", fmt.Sprintf("%s/rows=%d", v.name, n), d, allocs, int64(rows), nil)
 		}
 	}
 	_, err := tw.WriteTo(w)
@@ -106,15 +106,15 @@ func diffInputs(n int) (unsorted, sorted *engine.DB) {
 	return unsorted, sorted
 }
 
-// runDiffVariant times one variant and returns its median runtime and
-// output cardinality.
-func runDiffVariant(db, sortedDB *engine.DB, v diffVariant, runs int) (d time.Duration, rows int, err error) {
+// runDiffVariant times one variant and returns its median runtime,
+// median allocations per run and output cardinality.
+func runDiffVariant(db, sortedDB *engine.DB, v diffVariant, runs int) (d time.Duration, allocs float64, rows int, err error) {
 	target := db
 	if v.sorted {
 		target = sortedDB
 	}
 	plan := v.plan()
-	d, err = Median(runs, func() error {
+	d, allocs, err = MedianAllocs(runs, func() error {
 		var it engine.RowIter
 		var err error
 		if v.par > 1 {
@@ -132,5 +132,5 @@ func runDiffVariant(db, sortedDB *engine.DB, v diffVariant, runs int) (d time.Du
 		}
 		return nil
 	})
-	return d, rows, err
+	return d, allocs, rows, err
 }

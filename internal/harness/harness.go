@@ -164,6 +164,36 @@ func Median(runs int, f func() error) (time.Duration, error) {
 	return ds[len(ds)/2], nil
 }
 
+// MedianAllocs times f like Median while also measuring allocation
+// pressure: it returns the median duration and the median number of heap
+// allocations per execution, from runtime.MemStats.Mallocs deltas — a
+// process-wide counter, so allocations made by the pipeline's worker
+// goroutines are included (and so are those of any unrelated concurrent
+// goroutines; the harness runs experiments one at a time).
+func MedianAllocs(runs int, f func() error) (time.Duration, float64, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	ds := make([]time.Duration, 0, runs)
+	as := make([]float64, 0, runs)
+	var ms runtime.MemStats
+	for i := 0; i < runs; i++ {
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, 0, err
+		}
+		d := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		ds = append(ds, d)
+		as = append(as, float64(ms.Mallocs-before))
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	sort.Float64s(as)
+	return ds[len(ds)/2], as[len(as)/2], nil
+}
+
 // TableWriter accumulates aligned experiment tables.
 type TableWriter struct {
 	header []string
@@ -229,7 +259,13 @@ type Metric struct {
 	Name string `json:"name"`
 	// Seconds is the median runtime.
 	Seconds float64 `json:"seconds"`
-	// Extra holds derived values such as {"speedup": 2.7} or row counts.
+	// AllocsPerOp is the median heap allocation count per measured
+	// execution (0 when the experiment does not measure allocations).
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Rows is the output cardinality of the measured configuration (0
+	// when not applicable).
+	Rows int64 `json:"rows,omitempty"`
+	// Extra holds derived values such as {"speedup": 2.7}.
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
@@ -248,16 +284,25 @@ func NewReport(sc Scale) *Report {
 	return &Report{Scale: sc.Name, Workers: DefaultWorkers}
 }
 
-// Add records one measurement; it is a no-op on a nil report.
+// Add records one runtime-only measurement; it is a no-op on a nil
+// report.
 func (r *Report) Add(experiment, name string, d time.Duration, extra map[string]float64) {
+	r.AddDetail(experiment, name, d, 0, 0, extra)
+}
+
+// AddDetail records one measurement together with its allocation count
+// and output cardinality; it is a no-op on a nil report.
+func (r *Report) AddDetail(experiment, name string, d time.Duration, allocsPerOp float64, rows int64, extra map[string]float64) {
 	if r == nil {
 		return
 	}
 	r.Metrics = append(r.Metrics, Metric{
-		Experiment: experiment,
-		Name:       name,
-		Seconds:    d.Seconds(),
-		Extra:      extra,
+		Experiment:  experiment,
+		Name:        name,
+		Seconds:     d.Seconds(),
+		AllocsPerOp: allocsPerOp,
+		Rows:        rows,
+		Extra:       extra,
 	})
 }
 

@@ -45,12 +45,12 @@ func ParStream(w io.Writer, sc Scale, rep *Report) error {
 		}
 		db, sortedDB := sweepInputs(n)
 		for _, v := range variants {
-			d, rows, err := runSweepVariant(db, sortedDB, v, sc.Runs)
+			d, allocs, rows, err := runSweepVariant(db, sortedDB, v, sc.Runs)
 			if err != nil {
 				return fmt.Errorf("parstream %s: %w", v.name, err)
 			}
 			tw.AddRow(fmt.Sprintf("%d", n), v.name, FormatDuration(d), fmt.Sprintf("%d", rows))
-			rep.Add("parstream", fmt.Sprintf("%s/rows=%d", v.name, n), d, map[string]float64{"rows": float64(rows)})
+			rep.AddDetail("parstream", fmt.Sprintf("%s/rows=%d", v.name, n), d, allocs, int64(rows), nil)
 		}
 	}
 	_, err := tw.WriteTo(w)

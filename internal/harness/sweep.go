@@ -79,12 +79,12 @@ func Sweep(w io.Writer, sc Scale, rep *Report) error {
 		}
 		db, sortedDB := sweepInputs(n)
 		for _, v := range append(append([]sweepVariant{}, coalesceVariants...), aggVariants...) {
-			d, rows, err := runSweepVariant(db, sortedDB, v, sc.Runs)
+			d, allocs, rows, err := runSweepVariant(db, sortedDB, v, sc.Runs)
 			if err != nil {
 				return fmt.Errorf("sweep %s: %w", v.name, err)
 			}
 			tw.AddRow(fmt.Sprintf("%d", n), v.name, FormatDuration(d), fmt.Sprintf("%d", rows))
-			rep.Add("sweep", fmt.Sprintf("%s/rows=%d", v.name, n), d, map[string]float64{"rows": float64(rows)})
+			rep.AddDetail("sweep", fmt.Sprintf("%s/rows=%d", v.name, n), d, allocs, int64(rows), nil)
 		}
 	}
 	_, err := tw.WriteTo(w)
@@ -107,15 +107,15 @@ func sweepInputs(n int) (unsorted, sorted *engine.DB) {
 	return unsorted, sorted
 }
 
-// runSweepVariant times one variant and returns its median runtime and
-// output cardinality.
-func runSweepVariant(db, sortedDB *engine.DB, v sweepVariant, runs int) (d time.Duration, rows int, err error) {
+// runSweepVariant times one variant and returns its median runtime,
+// median allocations per run and output cardinality.
+func runSweepVariant(db, sortedDB *engine.DB, v sweepVariant, runs int) (d time.Duration, allocs float64, rows int, err error) {
 	target := db
 	if v.sorted {
 		target = sortedDB
 	}
 	plan := v.plan(engine.ScanP{Name: "sal"})
-	d, err = Median(runs, func() error {
+	d, allocs, err = MedianAllocs(runs, func() error {
 		var it engine.RowIter
 		var err error
 		if v.par > 1 {
@@ -133,5 +133,5 @@ func runSweepVariant(db, sortedDB *engine.DB, v sweepVariant, runs int) (d time.
 		}
 		return nil
 	})
-	return d, rows, err
+	return d, allocs, rows, err
 }

@@ -21,6 +21,7 @@ import (
 	"snapk/internal/algebra"
 	"snapk/internal/engine"
 	"snapk/internal/engine/parallel"
+	"snapk/internal/obs"
 	"snapk/internal/tuple"
 )
 
@@ -83,6 +84,14 @@ type Options struct {
 	// streaming engine. Ignored when Materialize is set. Results are
 	// multiset-identical at every worker count.
 	Parallelism int
+	// Collect, when non-nil, enables EXPLAIN ANALYZE: Stream attaches the
+	// executed plan's per-operator/per-fragment statistics tree under the
+	// collector (one "result" node whose row count is exactly what the
+	// cursor observes, with the operator tree beneath it). Nil — the
+	// default — compiles every instrumentation hook to an identity no-op,
+	// so the hot path is unchanged. Ignored by the materializing executor,
+	// which has no iterators to instrument.
+	Collect *engine.Collector
 }
 
 // Rewrite reduces a snapshot query to a physical plan over the period
@@ -92,6 +101,7 @@ func Rewrite(q algebra.Query, cat algebra.Catalog, opt Options) (engine.Plan, er
 	if _, err := algebra.OutSchema(q, cat); err != nil {
 		return nil, err
 	}
+	obs.Default.QueriesRun.Add(1)
 	if opt.Pushdown {
 		oq, err := algebra.Optimize(q, cat)
 		if err != nil {
@@ -153,14 +163,19 @@ func (rw *rewriter) beginOrdered(p engine.Plan) bool {
 func (rw *rewriter) sweepInput(p engine.Plan) (engine.Plan, bool) {
 	switch rw.opt.Sweep {
 	case SweepBlocking:
+		obs.Default.CountSweep(false, false)
 		return p, false
 	case SweepStreaming:
-		if !rw.beginOrdered(p) {
+		enforced := !rw.beginOrdered(p)
+		if enforced {
 			p = engine.SortP{In: p}
 		}
+		obs.Default.CountSweep(true, enforced)
 		return p, true
 	default: // SweepAuto: stream exactly when the order comes for free
-		return p, rw.beginOrdered(p)
+		stream := rw.beginOrdered(p)
+		obs.Default.CountSweep(stream, false)
+		return p, stream
 	}
 }
 
@@ -174,17 +189,24 @@ func (rw *rewriter) sweepInput(p engine.Plan) (engine.Plan, bool) {
 func (rw *rewriter) sweepInput2(l, r engine.Plan) (engine.Plan, engine.Plan, bool) {
 	switch rw.opt.Sweep {
 	case SweepBlocking:
+		obs.Default.CountSweep(false, false)
 		return l, r, false
 	case SweepStreaming:
+		enforced := false
 		if !rw.beginOrdered(l) {
 			l = engine.SortP{In: l}
+			enforced = true
 		}
 		if !rw.beginOrdered(r) {
 			r = engine.SortP{In: r}
+			enforced = true
 		}
+		obs.Default.CountSweep(true, enforced)
 		return l, r, true
 	default: // SweepAuto: stream exactly when the order comes for free
-		return l, r, rw.beginOrdered(l) && rw.beginOrdered(r)
+		stream := rw.beginOrdered(l) && rw.beginOrdered(r)
+		obs.Default.CountSweep(stream, false)
+		return l, r, stream
 	}
 }
 
@@ -311,9 +333,15 @@ func Stream(ctx context.Context, db *engine.DB, q algebra.Query, opt Options) (e
 	if err != nil {
 		return nil, err
 	}
+	// When collecting, the whole executed tree hangs under one "result"
+	// node: its row count is exactly what the root cursor observes.
+	var st *engine.OpStats
+	if opt.Collect != nil {
+		st = opt.Collect.Root.Child("result", "")
+	}
 	// The parallel executor also serves Parallelism <= 1: it degenerates
 	// to the sequential streaming engine wrapped with ctx cancellation.
-	return parallel.Exec(ctx, db, p, parallel.Options{Workers: max(opt.Parallelism, 1)})
+	return parallel.Exec(ctx, db, p, parallel.Options{Workers: max(opt.Parallelism, 1), Stats: st})
 }
 
 // OutSchema returns the data schema of the result of q on db, mirroring

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"snapk/internal/engine"
+	"snapk/internal/obs"
 	"snapk/internal/rewrite"
 	"snapk/internal/sqlfe"
 	"snapk/internal/tuple"
@@ -28,6 +29,11 @@ type Rows struct {
 	err    error
 	closed bool
 	done   bool
+	// emitted counts rows delivered through this cursor, flushed to the
+	// process-wide registry once at end of stream / Close — a local
+	// increment per row, never a per-row atomic on the cursor hot path.
+	emitted int64
+	flushed bool
 }
 
 // QueryRows evaluates a snapshot SQL query under the Seq approach and
@@ -71,6 +77,7 @@ func (r *Rows) Next() bool {
 	if !ok {
 		r.done = true
 		r.cur = nil
+		r.flushEmitted()
 		// Distinguish a natural end of stream from a canceled pipeline at
 		// the moment the stream ends, so a cancel issued after full
 		// consumption does not retroactively become an error.
@@ -79,7 +86,20 @@ func (r *Rows) Next() bool {
 	}
 	//lint:ignore rowretain the cursor row is exposed read-only via Scan/Values and replaced on the next Next
 	r.cur = row
+	r.emitted++
 	return true
+}
+
+// flushEmitted adds the cursor's row count to the process-wide registry
+// exactly once, at end of stream or Close (whichever comes first).
+func (r *Rows) flushEmitted() {
+	if r.flushed {
+		return
+	}
+	r.flushed = true
+	if r.emitted > 0 {
+		obs.Default.RowsEmitted.Add(r.emitted)
+	}
 }
 
 // Err returns the error that ended iteration early — currently only
@@ -182,6 +202,7 @@ func (r *Rows) Close() error {
 	}
 	r.closed = true
 	r.cur = nil
+	r.flushEmitted()
 	r.it.Close()
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	snapk "snapk"
+	"snapk/internal/obs"
 )
 
 // The cursor must stream the same rows Query materializes, and expose
@@ -331,5 +332,28 @@ func TestQueryRowsParseError(t *testing.T) {
 	db := factoryDB(t)
 	if _, err := db.QueryRows(context.Background(), `THIS IS NOT SQL`); err == nil {
 		t.Fatal("parse error expected")
+	}
+}
+
+// Draining a cursor must flush its row count to the process-wide
+// observability registry exactly once — the end-of-stream flush and the
+// Close flush must not double-count.
+func TestRowsFlushEmittedOnce(t *testing.T) {
+	db := factoryDB(t)
+	before := obs.Default.RowsEmitted.Load()
+	rows, err := db.QueryRows(context.Background(), `SEQ VT (SELECT name FROM works)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for rows.Next() {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("empty result")
+	}
+	rows.Close() // second flush path; must be a no-op
+	if got := obs.Default.RowsEmitted.Load() - before; got != n {
+		t.Fatalf("registry delta = %d, want %d (exactly the drained rows)", got, n)
 	}
 }
