@@ -170,6 +170,21 @@ func FuzzStreamDiff(f *testing.F) {
 		if !sameCounts(multisetKeys(want), multisetKeys(got)) {
 			t.Fatalf("streaming diff diverges from blocking sweep\nleft:\n%s\nright:\n%s\nblocking:\n%s\nstreaming:\n%s", l, r, want, got)
 		}
+
+		// Batch drive at a deliberately awkward capacity: the NextBatch
+		// path through the same sweep (asserted by the batch-aware
+		// snapdebug wrappers under -tags snapdebug) must produce the
+		// identical multiset.
+		bit, err := engine.NewStreamDiffIter(engine.NewTableIter(ls), engine.NewTableIter(rs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bit = engine.CheckNoAlias("streaming difference (batch)", bit)
+		batched := engine.Materialize(engine.NewRowAdapter(bit.(engine.BatchIter), 3))
+		bit.Close()
+		if !sameCounts(multisetKeys(want), multisetKeys(batched)) {
+			t.Fatalf("batch-driven streaming diff diverges\nleft:\n%s\nright:\n%s\nwant:\n%s\ngot:\n%s", l, r, want, batched)
+		}
 	})
 }
 
@@ -207,6 +222,15 @@ func FuzzCoalesce(f *testing.F) {
 			engine.NewStreamCoalesceIter(engine.NewTableIter(sorted))))
 		if !sameCounts(multisetKeys(blocking), multisetKeys(stream)) {
 			t.Fatalf("streaming coalesce diverges from blocking sweep\ninput:\n%s\nblocking:\n%s\nstreaming:\n%s", tbl, blocking, stream)
+		}
+
+		// Batch drive of the same sweep at an awkward capacity must match.
+		bcoal := engine.CheckNoAlias("streaming coalesce (batch)",
+			engine.NewStreamCoalesceIter(engine.NewTableIter(sorted)))
+		batched := engine.Materialize(engine.NewRowAdapter(bcoal.(engine.BatchIter), 3))
+		bcoal.Close()
+		if !sameCounts(multisetKeys(blocking), multisetKeys(batched)) {
+			t.Fatalf("batch-driven streaming coalesce diverges\ninput:\n%s\nwant:\n%s\ngot:\n%s", tbl, blocking, batched)
 		}
 
 		// The streaming pre-aggregated split must match the blocking one

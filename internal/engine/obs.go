@@ -129,12 +129,12 @@ func (st *OpStats) Span() func() {
 
 // Rows, Nexts, Time, MaxState, Batches and Wait read the counters; they
 // are meaningful once the query has been drained or closed.
-func (st *OpStats) Rows() int64          { return st.rows.Load() }
-func (st *OpStats) Nexts() int64         { return st.nexts.Load() }
-func (st *OpStats) Time() time.Duration  { return time.Duration(st.timeNs.Load()) }
-func (st *OpStats) MaxState() int64      { return st.state.Load() }
-func (st *OpStats) Batches() int64       { return st.batches.Load() }
-func (st *OpStats) Wait() time.Duration  { return time.Duration(st.waitNs.Load()) }
+func (st *OpStats) Rows() int64         { return st.rows.Load() }
+func (st *OpStats) Nexts() int64        { return st.nexts.Load() }
+func (st *OpStats) Time() time.Duration { return time.Duration(st.timeNs.Load()) }
+func (st *OpStats) MaxState() int64     { return st.state.Load() }
+func (st *OpStats) Batches() int64      { return st.batches.Load() }
+func (st *OpStats) Wait() time.Duration { return time.Duration(st.waitNs.Load()) }
 func (st *OpStats) Children() []*OpStats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -207,10 +207,16 @@ type ObsIter struct {
 
 // NewObsIter wraps in with per-operator instrumentation recording into
 // st. With st == nil it returns in unchanged — the collector-off hot
-// path pays nothing.
+// path pays nothing. A batch-capable input gets a batch-capable
+// wrapper, so instrumentation never severs the NextBatch chain: batch
+// operators report rows AND batches, with the root row count still
+// exactly the rows the cursor observes.
 func NewObsIter(in RowIter, st *OpStats) RowIter {
 	if st == nil {
 		return in
+	}
+	if bi, ok := in.(BatchIter); ok {
+		return &obsBatchIter{ObsIter: ObsIter{in: in, st: st}, bin: bi}
 	}
 	return &ObsIter{in: in, st: st}
 }
@@ -245,6 +251,33 @@ func (it *ObsIter) recordState() {
 			it.st.state.Store(v)
 		}
 	}
+}
+
+// obsBatchIter is the batch-capable form of ObsIter: one timing/count
+// update per NextBatch call (rows += batch length, batches += 1), so
+// the instrumentation overhead amortizes exactly like the execution it
+// measures. Per-row Next calls keep flowing through the embedded
+// ObsIter, so mixed drivers stay consistent.
+type obsBatchIter struct {
+	ObsIter
+	bin BatchIter
+}
+
+func (it *obsBatchIter) NextBatch(b *RowBatch) bool {
+	t0 := it.st.c.now()
+	ok := it.bin.NextBatch(b)
+	t1 := it.st.c.now()
+	it.st.timeNs.Add(t1 - t0)
+	it.st.nexts.Add(1)
+	it.st.startNs.CompareAndSwap(0, t0)
+	if ok {
+		it.st.rows.Add(int64(b.Len()))
+		it.st.batches.Add(1)
+	} else {
+		it.st.endNs.Store(t1)
+		it.recordState()
+	}
+	return ok
 }
 
 // Render returns the EXPLAIN ANALYZE operator tree: one line per

@@ -75,8 +75,14 @@ func TestAnalyzeCountsStateAndTrace(t *testing.T) {
 	if root.Rows() != int64(res.Len()) {
 		t.Fatalf("root rows=%d, materialized %d", root.Rows(), res.Len())
 	}
-	if root.Nexts() != root.Rows()+1 {
-		t.Fatalf("drained iterator must count rows+1 Next calls, got rows=%d nexts=%d", root.Rows(), root.Nexts())
+	// Materialize drives the batch-capable chain via NextBatch, so the
+	// pull counter amortizes: one Next/NextBatch call per delivered batch
+	// plus the exhausting call, with the row count unchanged.
+	if root.Batches() < 1 {
+		t.Fatalf("batch-driven drain must count batches, got %d", root.Batches())
+	}
+	if root.Nexts() != root.Batches()+1 {
+		t.Fatalf("drained batch iterator must count batches+1 pull calls, got batches=%d nexts=%d", root.Batches(), root.Nexts())
 	}
 	if root.MaxState() <= 0 {
 		t.Fatal("streaming sweep must report peak open-interval/group state")
@@ -129,6 +135,31 @@ func TestAnalyzeCountsStateAndTrace(t *testing.T) {
 	}
 	if spans != 3 {
 		t.Fatalf("expected 3 operator spans (Coalesce, Sort, Scan), got %d", spans)
+	}
+}
+
+// The per-row ablation (engine.PerRow) must restore the classic Volcano
+// accounting: one Next call per row plus the exhausting call, and no
+// batch counter.
+func TestAnalyzePerRowAblationCounts(t *testing.T) {
+	db := obsDB()
+	col := engine.NewCollector()
+	plan := engine.CoalesceP{In: engine.SortP{In: engine.ScanP{Name: "t"}}, Streaming: true}
+	it, err := db.ExecStreamObs(plan, col.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Materialize(engine.PerRow(it))
+	it.Close()
+	root := col.RootOp()
+	if root.Rows() != int64(res.Len()) {
+		t.Fatalf("root rows=%d, materialized %d", root.Rows(), res.Len())
+	}
+	if root.Nexts() != root.Rows()+1 {
+		t.Fatalf("per-row drain must count rows+1 Next calls, got rows=%d nexts=%d", root.Rows(), root.Nexts())
+	}
+	if root.Batches() != 0 {
+		t.Fatalf("per-row drain must not count batches, got %d", root.Batches())
 	}
 }
 

@@ -53,6 +53,15 @@ func newOverlapJoinIter(l, r RowIter, joined tuple.Schema, res algebra.Compiled)
 
 func drainRows(it RowIter) []tuple.Tuple {
 	var rows []tuple.Tuple
+	if bi, ok := it.(BatchIter); ok {
+		// Batch drain into a private slice: the batch's row slice is
+		// copied out before the producer reuses it.
+		b := NewRowBatch(DefaultBatchSize)
+		for bi.NextBatch(b) {
+			rows = append(rows, b.Rows...)
+		}
+		return rows
+	}
 	for {
 		row, ok := it.Next()
 		if !ok {

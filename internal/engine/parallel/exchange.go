@@ -14,8 +14,65 @@ import (
 // batch is the unit of exchange between pipeline fragments: a bounded
 // slice of period-encoded rows. Batching amortizes channel synchronization
 // over many rows, which is what makes exchange operators cheaper than a
-// channel send per row.
+// channel send per row. Each transport batch is freshly allocated by its
+// producer and handed over wholesale, so consumer-side iterators may
+// adopt it directly as an engine.RowBatch row slice — the zero-copy
+// batch pass-through of the vectorized hop.
 type batch []tuple.Tuple
+
+// capOf returns the effective row capacity of a consumer-supplied
+// batch (DefaultBatchSize for a zero-capacity one).
+func capOf(b *engine.RowBatch) int {
+	if c := b.Cap(); c > 0 {
+		return c
+	}
+	return engine.DefaultBatchSize
+}
+
+// exchange owns the producer-side lifecycle of one exchange: a context
+// derived from the execution context, canceled once EVERY consumer-side
+// iterator of the exchange has been closed. This is what lets an
+// iterator-level Close unblock producers parked on a bounded transport
+// channel instead of stranding them until executor-level cancellation.
+// The refcount counts consumers, not partitions: producers fan rows out
+// to ALL partitions, so canceling on the first partition Close would
+// truncate the still-live ones — only the last Close tears the
+// producers down.
+type exchange struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	refs   atomic.Int32
+}
+
+// newExchange derives an exchange lifecycle with the given number of
+// consumer-side iterators from the execution context.
+func (e *executor) newExchange(consumers int) *exchange {
+	ctx, cancel := context.WithCancel(e.ctx)
+	x := &exchange{ctx: ctx, cancel: cancel}
+	x.refs.Store(int32(consumers))
+	return x
+}
+
+// release records one consumer Close; the last one cancels the
+// exchange context and with it every producer blocked on a send.
+func (x *exchange) release() {
+	if x.refs.Add(-1) == 0 {
+		x.cancel()
+	}
+}
+
+// pullFunc returns the per-row read function of src for an exchange
+// producer: when the batch hop is enabled and src is batch-capable, the
+// child chain is pulled one batch at a time behind a row adapter (the
+// producer's own loop stays per-row — hash routing is inherently
+// per-row — but every deeper operator boundary amortizes). The adapter
+// owns no resources beyond src, which the producer closes itself.
+func (e *executor) pullFunc(src engine.RowIter) func() (tuple.Tuple, bool) {
+	if bi, ok := src.(engine.BatchIter); ok && e.batchSize > 0 {
+		return engine.NewRowAdapter(bi, e.batchSize).Next
+	}
+	return src.Next
+}
 
 // morselTableIter is the partitioned scan source: workers claim morsels
 // (contiguous row ranges) of a shared table through an atomic cursor, so
@@ -49,6 +106,34 @@ func (it *morselTableIter) Next() (tuple.Tuple, bool) {
 	}
 }
 
+// NextBatch hands out the remainder of the claimed morsel (up to the
+// consumer's capacity) as one slice append — the partitioned sibling of
+// tableIter.NextBatch.
+func (it *morselTableIter) NextBatch(b *engine.RowBatch) bool {
+	b.Reset()
+	limit := capOf(b)
+	for {
+		if it.i < it.end {
+			n := it.end - it.i
+			if n > limit {
+				n = limit
+			}
+			b.Rows = append(b.Rows, it.t.Rows[it.i:it.i+n]...)
+			it.i += n
+			return true
+		}
+		start := int(it.ctr.Add(int64(it.size))) - it.size
+		if start >= len(it.t.Rows) {
+			return false
+		}
+		end := start + it.size
+		if end > len(it.t.Rows) {
+			end = len(it.t.Rows)
+		}
+		it.i, it.end = start, end
+	}
+}
+
 func (it *morselTableIter) Close() {}
 
 // chanIter is the receiving end of a repartition exchange: one of W
@@ -57,16 +142,30 @@ func (it *morselTableIter) Close() {}
 // the ctx-aware receive cannot drift between the RowIter form and the
 // ordered-merge rowSource form.
 type chanIter struct {
-	ctx    context.Context
+	x      *exchange
 	schema tuple.Schema
 	cur    chanCursor
+	closed bool
 }
 
 func (it *chanIter) Schema() tuple.Schema { return it.schema }
 
-func (it *chanIter) Next() (tuple.Tuple, bool) { return it.cur.next(it.ctx) }
+func (it *chanIter) Next() (tuple.Tuple, bool) { return it.cur.next(it.x.ctx) }
 
-func (it *chanIter) Close() {}
+// NextBatch adopts a whole transport batch when the cursor is at a
+// batch boundary — the zero-copy pass-through.
+func (it *chanIter) NextBatch(b *engine.RowBatch) bool {
+	return it.cur.nextBatch(it.x.ctx, b)
+}
+
+// Close releases this consumer's reference on the exchange; the last
+// partition closed cancels the producers (see exchange).
+func (it *chanIter) Close() {
+	if !it.closed {
+		it.closed = true
+		it.x.release()
+	}
+}
 
 // mergeIter is the merge exchange: W fragment goroutines each drain one
 // per-worker iterator into batches and push them onto a shared bounded
@@ -76,17 +175,18 @@ func (it *chanIter) Close() {}
 // of the execution context stops every producer, and the channel is
 // closed once all of them have exited.
 type mergeIter struct {
-	ctx    context.Context
+	x      *exchange
 	schema tuple.Schema
 	ch     <-chan batch
 	cur    batch
 	i      int
+	closed bool
 }
 
 func (it *mergeIter) Schema() tuple.Schema { return it.schema }
 
 func (it *mergeIter) Next() (tuple.Tuple, bool) {
-	if it.ctx.Err() != nil {
+	if it.x.ctx.Err() != nil {
 		return nil, false
 	}
 	for {
@@ -103,7 +203,36 @@ func (it *mergeIter) Next() (tuple.Tuple, bool) {
 	}
 }
 
-func (it *mergeIter) Close() {}
+// NextBatch adopts one transport batch wholesale (transport batches are
+// freshly allocated per send, so the hand-off is zero-copy); a partial
+// batch left behind by per-row pulls is copied out first.
+func (it *mergeIter) NextBatch(b *engine.RowBatch) bool {
+	b.Reset()
+	if it.i < len(it.cur) {
+		b.Rows = append(b.Rows, it.cur[it.i:]...)
+		it.cur, it.i = nil, 0
+		return true
+	}
+	if it.x.ctx.Err() != nil {
+		return false
+	}
+	nb, ok := <-it.ch
+	if !ok {
+		return false
+	}
+	b.Rows = nb
+	return true
+}
+
+// Close releases the merge's single consumer reference, canceling the
+// producers — closing a merged iterator before exhaustion no longer
+// strands them on the bounded channel until executor teardown.
+func (it *mergeIter) Close() {
+	if !it.closed {
+		it.closed = true
+		it.x.release()
+	}
+}
 
 // startMerge spawns one producer goroutine per part and returns the
 // merged stream. Producers exit when their input is exhausted or the
@@ -113,6 +242,7 @@ func (it *mergeIter) Close() {}
 func (e *executor) startMerge(parts []engine.RowIter, parent *engine.OpStats) engine.RowIter {
 	st := parent.Child("Exchange:merge", fmt.Sprintf("fanin=%d", len(parts)))
 	schema := parts[0].Schema()
+	x := e.newExchange(1)
 	ch := make(chan batch, len(parts))
 	var producers sync.WaitGroup
 	for _, part := range parts {
@@ -123,7 +253,7 @@ func (e *executor) startMerge(parts []engine.RowIter, parent *engine.OpStats) en
 			defer e.wg.Done()
 			defer producers.Done()
 			defer part.Close()
-			e.drainInto(part, ch, st)
+			e.drainInto(x.ctx, part, ch, st, false)
 		}()
 	}
 	e.wg.Add(1)
@@ -133,13 +263,66 @@ func (e *executor) startMerge(parts []engine.RowIter, parent *engine.OpStats) en
 		producers.Wait()
 		close(ch)
 	}()
-	return engine.NewObsIter(&mergeIter{ctx: e.ctx, schema: schema, ch: ch}, st)
+	return engine.NewObsIter(&mergeIter{x: x, schema: schema, ch: ch}, st)
+}
+
+// send pushes one transport batch onto ch, recording the backpressure
+// wait on BOTH select arms: a producer aborted by cancellation while
+// blocked on a full channel previously returned without recording its
+// wait, under-reporting backpressure exactly when it mattered most.
+// countBatch records the send on the exchange node's batch counter —
+// off for the merge exchanges, whose consumer-side ObsIter counts
+// delivered batches on the same node (counting both would double).
+// Reports false when the exchange was canceled.
+func (e *executor) send(ctx context.Context, ch chan<- batch, b batch, st *engine.OpStats, countBatch bool) bool {
+	if st == nil {
+		select {
+		case <-ctx.Done():
+			return false
+		case ch <- b:
+			return true
+		}
+	}
+	t0 := time.Now()
+	sent := false
+	select {
+	case <-ctx.Done():
+	case ch <- b:
+		sent = true
+	}
+	st.AddWait(time.Since(t0).Nanoseconds())
+	if sent && countBatch {
+		st.AddBatch()
+	}
+	return sent
 }
 
 // drainInto pumps it into ch in morsel-sized batches until exhaustion or
-// cancellation. With st non-nil it records each batch sent and the time
-// the producer spends blocked on a full channel (backpressure wait).
-func (e *executor) drainInto(it engine.RowIter, ch chan<- batch, st *engine.OpStats) {
+// cancellation of the exchange context. With the batch hop enabled and a
+// batch-capable input, the operator chain fills each transport batch
+// directly through NextBatch — one virtual call per batch instead of one
+// per row — and the slice is handed over wholesale (a fresh slice per
+// send, because the consumer adopts it). With st non-nil the producer's
+// blocked time is recorded (and each batch sent, when countBatch says
+// the consumer side is not already counting them).
+func (e *executor) drainInto(ctx context.Context, it engine.RowIter, ch chan<- batch, st *engine.OpStats, countBatch bool) {
+	if bi, ok := it.(engine.BatchIter); ok && e.batchSize > 0 {
+		for {
+			// One cancellation probe per batch: NextBatch can spin for a
+			// while on selective operators, and the send below only
+			// observes cancellation when it actually blocks.
+			if ctx.Err() != nil {
+				return
+			}
+			rb := engine.RowBatch{Rows: make([]tuple.Tuple, 0, e.batchSize)}
+			if !bi.NextBatch(&rb) {
+				return
+			}
+			if !e.send(ctx, ch, batch(rb.Rows), st, countBatch) {
+				return
+			}
+		}
+	}
 	b := make(batch, 0, e.morsel)
 	for {
 		row, ok := it.Next()
@@ -148,21 +331,8 @@ func (e *executor) drainInto(it engine.RowIter, ch chan<- batch, st *engine.OpSt
 			b = append(b, row)
 		}
 		if (!ok || len(b) == e.morsel) && len(b) > 0 {
-			if st != nil {
-				t0 := time.Now()
-				select {
-				case <-e.ctx.Done():
-					return
-				case ch <- b:
-				}
-				st.AddWait(time.Since(t0).Nanoseconds())
-				st.AddBatch()
-			} else {
-				select {
-				case <-e.ctx.Done():
-					return
-				case ch <- b:
-				}
+			if !e.send(ctx, ch, b, st, countBatch) {
+				return
 			}
 			b = make(batch, 0, e.morsel)
 		}
@@ -186,6 +356,7 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int, parent *en
 	st := parent.Child("Exchange:partition", fmt.Sprintf("fanout=%d", e.workers))
 	st.InitParts(e.workers)
 	schema := srcs[0].Schema()
+	x := e.newExchange(e.workers)
 	chans := make([]chan batch, e.workers)
 	for i := range chans {
 		chans[i] = make(chan batch, len(srcs)+1)
@@ -207,30 +378,17 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int, parent *en
 				if len(bufs[i]) == 0 {
 					return true
 				}
-				if st != nil {
-					t0 := time.Now()
-					select {
-					case <-e.ctx.Done():
-						return false
-					case chans[i] <- bufs[i]:
-					}
-					st.AddWait(time.Since(t0).Nanoseconds())
-					st.AddBatch()
-					st.AddPartRows(i, len(bufs[i]))
-					bufs[i] = make(batch, 0, e.morsel)
-					return true
-				}
-				select {
-				case <-e.ctx.Done():
+				if !e.send(x.ctx, chans[i], bufs[i], st, true) {
 					return false
-				case chans[i] <- bufs[i]:
-					bufs[i] = make(batch, 0, e.morsel)
-					return true
 				}
+				st.AddPartRows(i, len(bufs[i]))
+				bufs[i] = make(batch, 0, e.morsel)
+				return true
 			}
 			var scratch []byte
+			next := e.pullFunc(src)
 			for {
-				row, ok := src.Next()
+				row, ok := next()
 				if !ok {
 					break
 				}
@@ -260,7 +418,7 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int, parent *en
 	}()
 	parts := make([]engine.RowIter, e.workers)
 	for i := range parts {
-		parts[i] = &chanIter{ctx: e.ctx, schema: schema, cur: chanCursor{ch: chans[i]}}
+		parts[i] = &chanIter{x: x, schema: schema, cur: chanCursor{ch: chans[i]}}
 	}
 	return parts
 }
@@ -306,6 +464,28 @@ func (c *chanCursor) next(ctx context.Context) (tuple.Tuple, bool) {
 			}
 			c.cur, c.i = b, 0
 		}
+	}
+}
+
+// nextBatch adopts one transport batch wholesale into out (zero-copy —
+// transport batches are freshly allocated per send); a partial batch
+// left behind by per-row pulls is copied out first.
+func (c *chanCursor) nextBatch(ctx context.Context, out *engine.RowBatch) bool {
+	out.Reset()
+	if c.i < len(c.cur) {
+		out.Rows = append(out.Rows, c.cur[c.i:]...)
+		c.cur, c.i = nil, 0
+		return true
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case b, ok := <-c.ch:
+		if !ok {
+			return false
+		}
+		out.Rows = b
+		return true
 	}
 }
 
@@ -400,6 +580,10 @@ type orderedMergeIter struct {
 	srcs   []rowSource
 	heap   []mergeEntry
 	inited bool
+	// onClose releases this consumer's reference on the owning exchange
+	// (nil when the sources need no producer teardown).
+	onClose func()
+	closed  bool
 }
 
 // mergeEntry is one heap element: a source's current head row with its
@@ -473,7 +657,34 @@ func (it *orderedMergeIter) Next() (tuple.Tuple, bool) {
 	return row, true
 }
 
-func (it *orderedMergeIter) Close() {}
+// NextBatch fills out through the per-row heap merge — the k-way
+// compare is inherently per-row, but one NextBatch call amortizes the
+// downstream virtual-call hop over the whole batch.
+func (it *orderedMergeIter) NextBatch(b *engine.RowBatch) bool {
+	b.Reset()
+	limit := capOf(b)
+	for b.Len() < limit {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		b.Append(row)
+	}
+	return b.Len() > 0
+}
+
+// Close releases the consumer reference on the owning exchange, so
+// closing an ordered-merge iterator before exhaustion unblocks its
+// producers.
+func (it *orderedMergeIter) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	if it.onClose != nil {
+		it.onClose()
+	}
+}
 
 // startOrderedMerge is the order-preserving sibling of startMerge: one
 // producer goroutine and one bounded channel per part (backpressure is
@@ -483,6 +694,7 @@ func (it *orderedMergeIter) Close() {}
 func (e *executor) startOrderedMerge(parts []engine.RowIter, parent *engine.OpStats) engine.RowIter {
 	st := parent.Child("Exchange:ordered-merge", fmt.Sprintf("fanin=%d", len(parts)))
 	schema := parts[0].Schema()
+	x := e.newExchange(1)
 	srcs := make([]rowSource, len(parts))
 	for i, part := range parts {
 		//lint:ignore orderedchan safe bounded buffer: the merge consumer always drains the exact source it waits on, so a full buffer here cannot stall the heap
@@ -494,11 +706,11 @@ func (e *executor) startOrderedMerge(parts []engine.RowIter, parent *engine.OpSt
 			defer e.wg.Done()
 			defer close(ch)
 			defer part.Close()
-			e.drainInto(part, ch, st)
+			e.drainInto(x.ctx, part, ch, st, false)
 		}()
 	}
 	return engine.NewObsIter(engine.CheckOrdered("ordered merge exchange",
-		&orderedMergeIter{ctx: e.ctx, schema: schema, srcs: srcs}), st)
+		&orderedMergeIter{ctx: x.ctx, schema: schema, srcs: srcs, onClose: x.release}), st)
 }
 
 // hashPartitionOrdered is the order-preserving repartition exchange:
@@ -515,6 +727,7 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int, par
 	st := parent.Child("Exchange:ordered-partition", fmt.Sprintf("fanout=%d", e.workers))
 	st.InitParts(e.workers)
 	schema := srcs[0].Schema()
+	x := e.newExchange(e.workers)
 	queues := make([][]*batchQueue, len(srcs))
 	for s := range queues {
 		queues[s] = make([]*batchQueue, e.workers)
@@ -538,8 +751,9 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int, par
 				bufs[i] = make(batch, 0, e.morsel)
 			}
 			var scratch []byte
+			next := e.pullFunc(src)
 			for {
-				row, ok := src.Next()
+				row, ok := next()
 				if !ok {
 					break
 				}
@@ -552,7 +766,11 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int, par
 					// row: queue puts never block, so this is the only
 					// teardown point and ctx.Err is not free. (No wait time
 					// to record for the same reason — only batch counts.)
-					if e.ctx.Err() != nil {
+					// The exchange context also covers all-consumers-closed,
+					// so an early Close of every partition stops this
+					// producer instead of letting it pump the whole source
+					// into the unbounded queues.
+					if x.ctx.Err() != nil {
 						return
 					}
 					queues[si][i].put(bufs[i])
@@ -577,7 +795,7 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int, par
 			cursors[s] = &queueCursor{q: queues[s][w]}
 		}
 		parts[w] = engine.CheckOrdered("ordered repartition exchange",
-			&orderedMergeIter{ctx: e.ctx, schema: schema, srcs: cursors})
+			&orderedMergeIter{ctx: x.ctx, schema: schema, srcs: cursors, onClose: x.release})
 	}
 	return parts
 }
@@ -590,17 +808,18 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int, par
 func (e *executor) repartition(src engine.RowIter, parent *engine.OpStats) []engine.RowIter {
 	st := parent.Child("Exchange:repartition", fmt.Sprintf("fanout=%d", e.workers))
 	schema := src.Schema()
+	x := e.newExchange(e.workers)
 	ch := make(chan batch, e.workers)
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
 		defer close(ch)
 		defer src.Close()
-		e.drainInto(src, ch, st)
+		e.drainInto(x.ctx, src, ch, st, true)
 	}()
 	parts := make([]engine.RowIter, e.workers)
 	for i := range parts {
-		parts[i] = &chanIter{ctx: e.ctx, schema: schema, cur: chanCursor{ch: ch}}
+		parts[i] = &chanIter{x: x, schema: schema, cur: chanCursor{ch: ch}}
 	}
 	return parts
 }

@@ -65,6 +65,16 @@ type Options struct {
 	// MorselSize is the number of rows per scan morsel and per exchange
 	// batch; 0 selects the default (256).
 	MorselSize int
+	// BatchSize is the row capacity of the batch-at-a-time hop: with it
+	// enabled, exchange producers fill transport batches through
+	// NextBatch (one virtual call per batch per operator boundary),
+	// consumer-side iterators adopt them wholesale as engine.RowBatch
+	// row slices, and the root iterator returned by Exec implements
+	// engine.BatchIter. 0 ties the batch size to MorselSize — one knob
+	// governs scan morsels, exchange batches and operator batches.
+	// Negative values disable the batch protocol entirely: the per-row
+	// Volcano compatibility path, kept as the ablation baseline.
+	BatchSize int
 	// Stats, when non-nil, is the EXPLAIN ANALYZE parent node: the
 	// executor attaches one OpStats child per operator and exchange
 	// (with per-fragment children for partitioned operators) beneath it
@@ -86,7 +96,10 @@ type executor struct {
 	db      *engine.DB
 	workers int
 	morsel  int
-	wg      sync.WaitGroup
+	// batchSize is the resolved batch-hop row capacity; 0 means the
+	// batch protocol is disabled (the per-row ablation).
+	batchSize int
+	wg        sync.WaitGroup
 }
 
 // pstream is a stream in one of two physical forms: a single sequential
@@ -141,8 +154,15 @@ func Exec(ctx context.Context, db *engine.DB, p engine.Plan, opt Options) (engin
 	if morsel <= 0 {
 		morsel = DefaultMorselSize
 	}
+	batchSize := opt.BatchSize
+	if batchSize == 0 {
+		batchSize = morsel
+	}
+	if batchSize < 0 {
+		batchSize = 0 // per-row ablation: batch protocol disabled
+	}
 	ectx, cancel := context.WithCancel(ctx)
-	e := &executor{ctx: ectx, db: db, workers: workers, morsel: morsel}
+	e := &executor{ctx: ectx, db: db, workers: workers, morsel: morsel, batchSize: batchSize}
 	s, err := e.build(p, opt.Stats)
 	if err != nil {
 		cancel()
@@ -152,6 +172,9 @@ func Exec(ctx context.Context, db *engine.DB, p engine.Plan, opt Options) (engin
 	// The outermost ObsIter counts rows on the parent node itself, so its
 	// row count is exactly what the root cursor observes.
 	root := engine.NewObsIter(engine.CheckNoAlias("parallel exec root", e.merge(s, opt.Stats)), opt.Stats)
+	if bi, ok := root.(engine.BatchIter); ok && e.batchSize > 0 {
+		return &execBatchIter{execIter: execIter{ctx: ectx, cancel: cancel, e: e, it: root}, bit: bi}, nil
+	}
 	return &execIter{ctx: ectx, cancel: cancel, e: e, it: root}, nil
 }
 
@@ -186,6 +209,23 @@ func (it *execIter) Close() {
 	it.e.wg.Wait()
 }
 
+// execBatchIter is the batch-capable root returned when the batch hop
+// is enabled and the merged stream is batch-capable: the cursor (or any
+// other consumer) drives the whole pipeline through NextBatch, one
+// virtual call per batch end to end.
+type execBatchIter struct {
+	execIter
+	bit engine.BatchIter
+}
+
+func (it *execBatchIter) NextBatch(b *engine.RowBatch) bool {
+	if it.ctx.Err() != nil {
+		b.Reset()
+		return false
+	}
+	return it.bit.NextBatch(b)
+}
+
 // merge collapses a stream to a single iterator, inserting a merge
 // exchange over partitioned fragments. When the stream carries the sort
 // property, the order-preserving merge keeps it: sortedness survives
@@ -196,13 +236,21 @@ func (it *execIter) Close() {
 // per-row heap compare on sorted scan-only plans; if that ever shows up
 // in profiles, thread a need-order flag from the consumer instead.
 func (e *executor) merge(s *pstream, parent *engine.OpStats) engine.RowIter {
-	if s.seq != nil {
-		return s.seq
+	it := s.seq
+	switch {
+	case it != nil:
+	case s.ordered:
+		it = e.startOrderedMerge(s.parts, parent)
+	default:
+		it = e.startMerge(s.parts, parent)
 	}
-	if s.ordered {
-		return e.startOrderedMerge(s.parts, parent)
+	if e.batchSize == 0 {
+		// Per-row ablation: hide batch capability so engine-internal
+		// drains (Materialize, hash-join build) stay on the classic
+		// Volcano path too, keeping the comparison honest.
+		return engine.PerRow(it)
 	}
-	return e.startMerge(s.parts, parent)
+	return it
 }
 
 // partition converts a stream to W fragment iterators, inserting a

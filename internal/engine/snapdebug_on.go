@@ -30,6 +30,9 @@ func DebugChecks() bool { return true }
 // so asserting the full order would reject valid streams). The op name
 // appears in the panic diagnostic.
 func CheckOrdered(op string, in RowIter) RowIter {
+	if bi, ok := in.(BatchIter); ok {
+		return &checkOrderedBatchIter{checkOrderedIter: checkOrderedIter{op: op, in: in}, bin: bi}
+	}
 	return &checkOrderedIter{op: op, in: in}
 }
 
@@ -58,6 +61,33 @@ func (it *checkOrderedIter) Next() (tuple.Tuple, bool) {
 
 func (it *checkOrderedIter) Close() { it.in.Close() }
 
+// checkOrderedBatchIter is the batch-capable form of the order checker:
+// wrapping a batch-capable input must not sever the NextBatch chain, so
+// the assertion layer composes with batch execution instead of silently
+// downgrading it to per-row. It additionally asserts the NextBatch
+// return contract (true iff at least one row was delivered).
+type checkOrderedBatchIter struct {
+	checkOrderedIter
+	bin BatchIter
+}
+
+func (it *checkOrderedBatchIter) NextBatch(b *RowBatch) bool {
+	ok := it.bin.NextBatch(b)
+	if ok != (b.Len() > 0) {
+		panic(fmt.Sprintf("engine: snapdebug: %s broke the NextBatch contract (ok=%v with %d rows)",
+			it.op, ok, b.Len()))
+	}
+	for _, row := range b.Rows {
+		begin := rowInterval(row).Begin
+		if it.seen && begin < it.last {
+			panic(fmt.Sprintf("engine: snapdebug: %s emitted rows out of begin order (begin %d after %d)",
+				it.op, begin, it.last))
+		}
+		it.last, it.seen = begin, true
+	}
+	return ok
+}
+
 // noAliasWindow bounds how many recently yielded rows CheckNoAlias
 // keeps under observation. A small ring catches the realistic bug —
 // an operator reusing a scratch row it just handed out — without
@@ -73,6 +103,9 @@ const noAliasWindow = 64
 // the PR 1 corruption class. The op name appears in the panic
 // diagnostic.
 func CheckNoAlias(op string, in RowIter) RowIter {
+	if bi, ok := in.(BatchIter); ok {
+		return &checkNoAliasBatchIter{checkNoAliasIter: checkNoAliasIter{op: op, in: in}, bin: bi}
+	}
 	return &checkNoAliasIter{op: op, in: in}
 }
 
@@ -104,6 +137,32 @@ func (it *checkNoAliasIter) Next() (tuple.Tuple, bool) {
 func (it *checkNoAliasIter) Close() {
 	it.verify()
 	it.in.Close()
+}
+
+// checkNoAliasBatchIter is the batch-capable form of the mutation
+// checker: every row of a delivered batch joins the snapshot ring, and
+// the ring is re-verified before each subsequent NextBatch — which is
+// exactly where the batch-boundary aliasing class bites (a producer
+// reusing row backing arrays when it refills its batch). The batch's
+// row SLICE being reused is legal and not flagged; mutation of the row
+// tuples themselves is the violation.
+type checkNoAliasBatchIter struct {
+	checkNoAliasIter
+	bin BatchIter
+}
+
+func (it *checkNoAliasBatchIter) NextBatch(b *RowBatch) bool {
+	it.verify()
+	ok := it.bin.NextBatch(b)
+	if ok != (b.Len() > 0) {
+		panic(fmt.Sprintf("engine: snapdebug: %s broke the NextBatch contract (ok=%v with %d rows)",
+			it.op, ok, b.Len()))
+	}
+	for _, row := range b.Rows {
+		it.ring[it.n%noAliasWindow] = yieldedRow{live: row, snap: row.Clone()}
+		it.n++
+	}
+	return ok
 }
 
 func (it *checkNoAliasIter) verify() {

@@ -50,11 +50,41 @@ func (it *tableIter) Next() (tuple.Tuple, bool) {
 	return row, true
 }
 
+// NextBatch hands out the next chunk of stored rows — the batch form of
+// the table scan: one bounds check and one copy of row references per
+// batch instead of a virtual call per row.
+func (it *tableIter) NextBatch(b *RowBatch) bool {
+	b.Reset()
+	n := len(it.t.Rows) - it.i
+	if n <= 0 {
+		return false
+	}
+	if c := cap(b.Rows); c > 0 && n > c {
+		n = c
+	} else if c == 0 && n > DefaultBatchSize {
+		n = DefaultBatchSize
+	}
+	b.Rows = append(b.Rows, it.t.Rows[it.i:it.i+n]...)
+	it.i += n
+	return true
+}
+
 func (it *tableIter) Close() {}
 
-// Materialize drains the iterator into a table. It does not Close it.
+// Materialize drains the iterator into a table, batch-at-a-time when
+// the iterator supports it. It does not Close it.
 func Materialize(it RowIter) *Table {
 	t := &Table{Schema: it.Schema()}
+	if bi, ok := it.(BatchIter); ok {
+		b := NewRowBatch(DefaultBatchSize)
+		for bi.NextBatch(b) {
+			// Materialization is the ownership hand-off point: the batch's
+			// row slice is copied out before the producer reuses it, and
+			// engine producers never reuse yielded row backing arrays.
+			t.Rows = append(t.Rows, b.Rows...)
+		}
+		return t
+	}
 	for {
 		row, ok := it.Next()
 		if !ok {
@@ -66,9 +96,12 @@ func Materialize(it RowIter) *Table {
 }
 
 // filterIter streams the rows of its input satisfying a predicate —
-// the pipelined form of Filter.
+// the pipelined form of Filter. Under batch drive it evaluates the
+// predicate over whole child batches, so the per-row cost is one
+// compiled-predicate call with no iterator indirection.
 type filterIter struct {
 	in   RowIter
+	cur  batchCursor
 	pred algebra.Compiled
 }
 
@@ -80,14 +113,14 @@ func newFilterIter(in RowIter, pred algebra.Expr) (RowIter, error) {
 		in.Close()
 		return nil, err
 	}
-	return &filterIter{in: in, pred: c}, nil
+	return &filterIter{in: in, cur: batchCursor{in: in}, pred: c}, nil
 }
 
 func (it *filterIter) Schema() tuple.Schema { return it.in.Schema() }
 
 func (it *filterIter) Next() (tuple.Tuple, bool) {
 	for {
-		row, ok := it.in.Next()
+		row, ok := it.cur.next()
 		if !ok {
 			return nil, false
 		}
@@ -97,13 +130,45 @@ func (it *filterIter) Next() (tuple.Tuple, bool) {
 	}
 }
 
+// NextBatch filters whole child chunks with a plain range loop — per
+// row only the compiled predicate and a conditional append — and emits
+// as soon as one chunk yields any passing rows rather than blocking to
+// fill the batch (a ragged batch is legal anywhere in the stream).
+func (it *filterIter) NextBatch(out *RowBatch) bool {
+	out.Reset()
+	it.cur.enableBatch(batchCapOf(out))
+	for out.Len() == 0 {
+		rows, ok := it.cur.nextChunk()
+		if !ok {
+			break
+		}
+		for _, row := range rows {
+			if algebra.Truthy(it.pred(row)) {
+				out.Append(row)
+			}
+		}
+	}
+	return out.Len() > 0
+}
+
 func (it *filterIter) Close() { it.in.Close() }
+
+// batchCapOf returns the effective row capacity of an output batch —
+// its own capacity, or the engine default when the caller handed over
+// an empty batch with no backing yet.
+func batchCapOf(b *RowBatch) int {
+	if c := cap(b.Rows); c > 0 {
+		return c
+	}
+	return DefaultBatchSize
+}
 
 // projectIter evaluates projection expressions row-at-a-time, carrying
 // the period attributes through unchanged — the pipelined form of
 // Project (the Π_{A, Abegin, Aend} pattern of Fig 4).
 type projectIter struct {
 	in     RowIter
+	cur    batchCursor
 	fns    []algebra.Compiled
 	schema tuple.Schema
 }
@@ -122,16 +187,14 @@ func newProjectIter(in RowIter, exprs []algebra.NamedExpr) (RowIter, error) {
 		fns[i] = c
 		cols[i] = ne.Name
 	}
-	return &projectIter{in: in, fns: fns, schema: PeriodSchema(tuple.NewSchema(cols...))}, nil
+	return &projectIter{in: in, cur: batchCursor{in: in}, fns: fns, schema: PeriodSchema(tuple.NewSchema(cols...))}, nil
 }
 
 func (it *projectIter) Schema() tuple.Schema { return it.schema }
 
-func (it *projectIter) Next() (tuple.Tuple, bool) {
-	row, ok := it.in.Next()
-	if !ok {
-		return nil, false
-	}
+// project evaluates the projection expressions over one input row,
+// carrying the period attributes through unchanged.
+func (it *projectIter) project(row tuple.Tuple) tuple.Tuple {
 	n := len(row)
 	res := make(tuple.Tuple, len(it.fns)+2)
 	for i, f := range it.fns {
@@ -139,7 +202,32 @@ func (it *projectIter) Next() (tuple.Tuple, bool) {
 	}
 	res[len(it.fns)] = row[n-2]
 	res[len(it.fns)+1] = row[n-1]
-	return res, true
+	return res
+}
+
+func (it *projectIter) Next() (tuple.Tuple, bool) {
+	row, ok := it.cur.next()
+	if !ok {
+		return nil, false
+	}
+	return it.project(row), true
+}
+
+// NextBatch projects one whole child chunk per call with a plain range
+// loop: expression evaluation still runs per row (each output row needs
+// its own backing array), but the iterator hop above and below is paid
+// once per batch.
+func (it *projectIter) NextBatch(out *RowBatch) bool {
+	out.Reset()
+	it.cur.enableBatch(batchCapOf(out))
+	rows, ok := it.cur.nextChunk()
+	if !ok {
+		return false
+	}
+	for _, row := range rows {
+		out.Append(it.project(row))
+	}
+	return true
 }
 
 func (it *projectIter) Close() { it.in.Close() }
@@ -147,8 +235,9 @@ func (it *projectIter) Close() { it.in.Close() }
 // unionIter concatenates two union-compatible streams — the pipelined
 // form of UnionAll.
 type unionIter struct {
-	l, r  RowIter
-	lDone bool // l exhausted, now draining r
+	l, r   RowIter
+	lb, rb BatchIter // batch forms of the children, bound on first NextBatch
+	lDone  bool      // l exhausted, now draining r
 }
 
 // newUnionIter takes ownership of both inputs: on error the children
@@ -175,6 +264,23 @@ func (it *unionIter) Next() (tuple.Tuple, bool) {
 	return it.r.Next()
 }
 
+// NextBatch drains the left input batch-at-a-time, then the right: the
+// concatenation needs no per-row work at all, so whole child batches
+// pass straight through.
+func (it *unionIter) NextBatch(out *RowBatch) bool {
+	if it.lb == nil {
+		it.lb = AsBatchIter(it.l, batchCapOf(out))
+		it.rb = AsBatchIter(it.r, batchCapOf(out))
+	}
+	if !it.lDone {
+		if it.lb.NextBatch(out) {
+			return true
+		}
+		it.lDone = true
+	}
+	return it.rb.NextBatch(out)
+}
+
 func (it *unionIter) Close() {
 	it.l.Close()
 	it.r.Close()
@@ -190,6 +296,7 @@ func (it *unionIter) Close() {
 type hashJoinIter struct {
 	schema   tuple.Schema
 	probe    RowIter
+	cur      batchCursor
 	build    map[string]*joinBucket
 	probeIdx []int
 	res      algebra.Compiled
@@ -275,24 +382,24 @@ func (p *JoinPrep) buildSide(in RowIter, left bool) *JoinBuild {
 	}
 	build := make(map[string]*joinBucket)
 	var scratch []byte
-	for {
-		row, ok := in.Next()
-		if !ok {
-			break
+	src := AsBatchIter(in, DefaultBatchSize)
+	batch := NewRowBatch(DefaultBatchSize)
+	for src.NextBatch(batch) {
+		for _, row := range batch.Rows {
+			// SQL comparison semantics: a NULL in any join key compares
+			// unknown, so such rows can never match.
+			if hasNullAt(row, keyIdx) {
+				continue
+			}
+			scratch = row.AppendKey(scratch[:0], keyIdx)
+			b, okB := build[string(scratch)]
+			if !okB {
+				b = &joinBucket{}
+				build[string(scratch)] = b
+			}
+			//lint:ignore rowretain hash-join build side holds rows read-only; engine producers never reuse yielded row backing (only the batch slice is reused, and the row is copied out of it here)
+			b.rows = append(b.rows, row)
 		}
-		// SQL comparison semantics: a NULL in any join key compares
-		// unknown, so such rows can never match.
-		if hasNullAt(row, keyIdx) {
-			continue
-		}
-		scratch = row.AppendKey(scratch[:0], keyIdx)
-		b, okB := build[string(scratch)]
-		if !okB {
-			b = &joinBucket{}
-			build[string(scratch)] = b
-		}
-		//lint:ignore rowretain hash-join build side holds rows read-only; engine producers never reuse yielded backing arrays
-		b.rows = append(b.rows, row)
 	}
 	in.Close()
 	return &JoinBuild{prep: p, build: build, left: left}
@@ -308,6 +415,7 @@ func (b *JoinBuild) Probe(probe RowIter) RowIter {
 	return &hashJoinIter{
 		schema:   b.prep.Schema(),
 		probe:    probe,
+		cur:      batchCursor{in: probe},
 		build:    b.build,
 		probeIdx: probeIdx,
 		res:      b.prep.res,
@@ -374,6 +482,23 @@ func hasNullAt(row tuple.Tuple, idx []int) bool {
 
 func (it *hashJoinIter) Schema() tuple.Schema { return it.schema }
 
+// NextBatch runs the probe loop until the output batch is full or the
+// probe side is exhausted, reading probe rows batch-at-a-time: the
+// iterator hop on both sides of the probe is paid once per batch.
+func (it *hashJoinIter) NextBatch(out *RowBatch) bool {
+	out.Reset()
+	limit := batchCapOf(out)
+	it.cur.enableBatch(limit)
+	for out.Len() < limit {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		out.Append(row)
+	}
+	return out.Len() > 0
+}
+
 func (it *hashJoinIter) Next() (tuple.Tuple, bool) {
 	for {
 		for it.bi < len(it.bucket) {
@@ -397,7 +522,7 @@ func (it *hashJoinIter) Next() (tuple.Tuple, bool) {
 			data = append(data, tuple.Int(iv.Begin), tuple.Int(iv.End))
 			return data, true
 		}
-		prow, ok := it.probe.Next()
+		prow, ok := it.cur.next()
 		if !ok {
 			return nil, false
 		}

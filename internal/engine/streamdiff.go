@@ -136,13 +136,14 @@ func (g *diffGroup) flush(emit func(tuple.Tuple, interval.Interval, int64)) {
 // merged sweep position passes its next event; fully closed groups are
 // evicted from the state map.
 type streamDiffIter struct {
-	l, r    RowIter
-	n       int // data arity
-	groups  map[string]*diffGroup
-	expiry  minHeap[*diffGroup] // group wake-ups keyed by next event time
-	nextSeq int
-	queue   []tuple.Tuple
-	qi      int
+	l, r       RowIter
+	lcur, rcur batchCursor
+	n          int // data arity
+	groups     map[string]*diffGroup
+	expiry     minHeap[*diffGroup] // group wake-ups keyed by next event time
+	nextSeq    int
+	queue      []tuple.Tuple
+	qi         int
 	// one-row lookahead per input, filled on first Next
 	lRow, rRow tuple.Tuple
 	lOk, rOk   bool
@@ -177,6 +178,8 @@ func NewStreamDiffIter(l, r RowIter) (RowIter, error) {
 	return &streamDiffIter{
 		l:      l,
 		r:      r,
+		lcur:   batchCursor{in: l},
+		rcur:   batchCursor{in: r},
 		n:      l.Schema().Arity() - 2,
 		groups: make(map[string]*diffGroup),
 	}, nil
@@ -225,21 +228,25 @@ func (it *streamDiffIter) enqueue(data tuple.Tuple, iv interval.Interval, mult i
 	}
 }
 
-func (it *streamDiffIter) Next() (tuple.Tuple, bool) {
+// fill runs the merged sweep until the output queue holds at least one
+// emitted row or both inputs are fully drained, reporting whether rows
+// are available — the shared production step behind both Next and
+// NextBatch. The one-row lookahead per side is pulled through the
+// per-side batch cursors, so a batch-driven chain amortizes both input
+// hops.
+func (it *streamDiffIter) fill() bool {
 	for {
 		if it.qi < len(it.queue) {
-			row := it.queue[it.qi]
-			it.qi++
-			return row, true
+			return true
 		}
 		it.queue = it.queue[:0]
 		it.qi = 0
 		if it.drained {
-			return nil, false
+			return false
 		}
 		if !it.primed {
-			it.lRow, it.lOk = it.l.Next()
-			it.rRow, it.rOk = it.r.Next()
+			it.lRow, it.lOk = it.lcur.next()
+			it.rRow, it.rOk = it.rcur.next()
 			it.primed = true
 		}
 		// Merge step: take the earlier begin (ties go left — immaterial
@@ -249,13 +256,13 @@ func (it *streamDiffIter) Next() (tuple.Tuple, bool) {
 		switch {
 		case it.lOk && (!it.rOk || rowInterval(it.lRow).Begin <= rowInterval(it.rRow).Begin):
 			row, sign = it.lRow, 1
-			it.lRow, it.lOk = it.l.Next()
+			it.lRow, it.lOk = it.lcur.next()
 			if it.lOk && rowInterval(it.lRow).Begin < rowInterval(row).Begin {
 				panic(fmt.Sprintf("engine: streaming difference left input not begin-sorted (begin %d after %d); planner must insert a sort enforcer", rowInterval(it.lRow).Begin, rowInterval(row).Begin))
 			}
 		case it.rOk:
 			row, sign = it.rRow, -1
-			it.rRow, it.rOk = it.r.Next()
+			it.rRow, it.rOk = it.rcur.next()
 			if it.rOk && rowInterval(it.rRow).Begin < rowInterval(row).Begin {
 				panic(fmt.Sprintf("engine: streaming difference right input not begin-sorted (begin %d after %d); planner must insert a sort enforcer", rowInterval(it.rRow).Begin, rowInterval(row).Begin))
 			}
@@ -305,6 +312,34 @@ func (it *streamDiffIter) Next() (tuple.Tuple, bool) {
 			it.track(g)
 		}
 	}
+}
+
+func (it *streamDiffIter) Next() (tuple.Tuple, bool) {
+	if !it.fill() {
+		return nil, false
+	}
+	row := it.queue[it.qi]
+	it.qi++
+	return row, true
+}
+
+// NextBatch copies emitted segments out of the sweep queue
+// chunk-at-a-time, enabling batch reads on both inputs from the first
+// call on; see streamCoalesceIter.NextBatch for the copy-out rationale.
+func (it *streamDiffIter) NextBatch(out *RowBatch) bool {
+	out.Reset()
+	limit := batchCapOf(out)
+	it.lcur.enableBatch(limit)
+	it.rcur.enableBatch(limit)
+	for out.Len() < limit && it.fill() {
+		n := len(it.queue) - it.qi
+		if r := limit - out.Len(); n > r {
+			n = r
+		}
+		out.Rows = append(out.Rows, it.queue[it.qi:it.qi+n]...)
+		it.qi += n
+	}
+	return out.Len() > 0
 }
 
 func (it *streamDiffIter) Close() {

@@ -54,6 +54,27 @@ func (it *sortIter) Next() (tuple.Tuple, bool) {
 	return row, true
 }
 
+// NextBatch re-emits the sorted rows chunk-at-a-time; the drain on
+// first use already reads the child batch-at-a-time via drainRows.
+func (it *sortIter) NextBatch(b *RowBatch) bool {
+	if !it.loaded {
+		it.rows = drainRows(it.in)
+		SortRowsByEndpoints(it.rows)
+		it.loaded = true
+	}
+	b.Reset()
+	n := len(it.rows) - it.i
+	if n <= 0 {
+		return false
+	}
+	if c := batchCapOf(b); n > c {
+		n = c
+	}
+	b.Rows = append(b.Rows, it.rows[it.i:it.i+n]...)
+	it.i += n
+	return true
+}
+
 func (it *sortIter) Close() { it.in.Close() }
 
 // minHeap is the one binary min-heap behind both streaming sweeps —
@@ -215,6 +236,7 @@ func (g *coalesceGroup) flush(emit func(tuple.Tuple, interval.Interval, int64)) 
 // all closed and committed are evicted from the state map.
 type streamCoalesceIter struct {
 	in      RowIter
+	cur     batchCursor
 	n       int // data arity
 	groups  map[string]*coalesceGroup
 	expiry  minHeap[*coalesceGroup] // group wake-ups keyed by next event time
@@ -244,6 +266,7 @@ func NewStreamCoalesceIter(in RowIter) RowIter {
 	in = CheckOrdered("streaming coalesce input", in)
 	return &streamCoalesceIter{
 		in:     in,
+		cur:    batchCursor{in: in},
 		n:      in.Schema().Arity() - 2,
 		groups: make(map[string]*coalesceGroup),
 	}
@@ -293,19 +316,21 @@ func (it *streamCoalesceIter) enqueue(data tuple.Tuple, iv interval.Interval, mu
 	}
 }
 
-func (it *streamCoalesceIter) Next() (tuple.Tuple, bool) {
+// fill runs the sweep until the output queue holds at least one emitted
+// row or the stream is fully drained, reporting whether rows are
+// available — the shared production step behind both Next (one row per
+// call) and NextBatch (the queue copied out chunk-at-a-time).
+func (it *streamCoalesceIter) fill() bool {
 	for {
 		if it.qi < len(it.queue) {
-			row := it.queue[it.qi]
-			it.qi++
-			return row, true
+			return true
 		}
 		it.queue = it.queue[:0]
 		it.qi = 0
 		if it.drained {
-			return nil, false
+			return false
 		}
-		row, ok := it.in.Next()
+		row, ok := it.cur.next()
 		if !ok {
 			// End of input: sweep every remaining live group past its
 			// last pending end (order is immaterial — the output is a
@@ -346,6 +371,35 @@ func (it *streamCoalesceIter) Next() (tuple.Tuple, bool) {
 	}
 }
 
+func (it *streamCoalesceIter) Next() (tuple.Tuple, bool) {
+	if !it.fill() {
+		return nil, false
+	}
+	row := it.queue[it.qi]
+	it.qi++
+	return row, true
+}
+
+// NextBatch copies finished segments out of the sweep queue
+// chunk-at-a-time, reading the input batch-at-a-time from the first
+// call on. Copying (rather than handing out the queue slice) keeps the
+// queue's backing array private, so its reuse on the next fill cannot
+// alias a delivered batch.
+func (it *streamCoalesceIter) NextBatch(out *RowBatch) bool {
+	out.Reset()
+	limit := batchCapOf(out)
+	it.cur.enableBatch(limit)
+	for out.Len() < limit && it.fill() {
+		n := len(it.queue) - it.qi
+		if r := limit - out.Len(); n > r {
+			n = r
+		}
+		out.Rows = append(out.Rows, it.queue[it.qi:it.qi+n]...)
+		it.qi += n
+	}
+	return out.Len() > 0
+}
+
 func (it *streamCoalesceIter) Close() { it.in.Close() }
 
 // aggGroup is the per-group state of the streaming pre-aggregated
@@ -375,6 +429,7 @@ type aggGroup struct {
 // aggregateSweep.
 type streamAggIter struct {
 	in      RowIter
+	cur     batchCursor
 	prep    *aggPrep
 	aggs    []algebra.AggSpec
 	dom     interval.Domain
@@ -412,6 +467,7 @@ func NewStreamAggIter(in RowIter, groupBy []string, aggs []algebra.AggSpec, dom 
 	}
 	it := &streamAggIter{
 		in:     in,
+		cur:    batchCursor{in: in},
 		prep:   prep,
 		aggs:   aggs,
 		dom:    dom,
@@ -534,19 +590,21 @@ func (it *streamAggIter) advance(g *aggGroup, t interval.Time) {
 	it.boundary(g, t)
 }
 
-func (it *streamAggIter) Next() (tuple.Tuple, bool) {
+// fill runs the sweep until the output queue holds at least one emitted
+// row or the stream is fully drained, reporting whether rows are
+// available — the shared production step behind both Next and
+// NextBatch.
+func (it *streamAggIter) fill() bool {
 	for {
 		if it.qi < len(it.queue) {
-			row := it.queue[it.qi]
-			it.qi++
-			return row, true
+			return true
 		}
 		it.queue = it.queue[:0]
 		it.qi = 0
 		if it.drained {
-			return nil, false
+			return false
 		}
-		row, ok := it.in.Next()
+		row, ok := it.cur.next()
 		if !ok {
 			for _, g := range it.groups {
 				// Drain the remaining exits; then global aggregation closes
@@ -595,6 +653,33 @@ func (it *streamAggIter) Next() (tuple.Tuple, bool) {
 			it.track(g)
 		}
 	}
+}
+
+func (it *streamAggIter) Next() (tuple.Tuple, bool) {
+	if !it.fill() {
+		return nil, false
+	}
+	row := it.queue[it.qi]
+	it.qi++
+	return row, true
+}
+
+// NextBatch copies finished segments out of the sweep queue
+// chunk-at-a-time; see streamCoalesceIter.NextBatch for the copy-out
+// rationale.
+func (it *streamAggIter) NextBatch(out *RowBatch) bool {
+	out.Reset()
+	limit := batchCapOf(out)
+	it.cur.enableBatch(limit)
+	for out.Len() < limit && it.fill() {
+		n := len(it.queue) - it.qi
+		if r := limit - out.Len(); n > r {
+			n = r
+		}
+		out.Rows = append(out.Rows, it.queue[it.qi:it.qi+n]...)
+		it.qi += n
+	}
+	return out.Len() > 0
 }
 
 func (it *streamAggIter) Close() { it.in.Close() }

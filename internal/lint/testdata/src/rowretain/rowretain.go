@@ -3,7 +3,10 @@
 // maps, slices, composite literals or channels.
 package fixture
 
-import "snapk/internal/tuple"
+import (
+	"snapk/internal/engine"
+	"snapk/internal/tuple"
+)
 
 type iter interface {
 	Next() (tuple.Tuple, bool)
@@ -70,4 +73,67 @@ func (s *sink) suppressed(it iter) {
 	row, _ := it.Next()
 	//lint:ignore rowretain fixture: this producer materializes and never reuses buffers
 	s.last = row
+}
+
+// --- batch protocol -------------------------------------------------
+
+type batchIter interface {
+	NextBatch(*engine.RowBatch) bool
+}
+
+// cursor mimics the engine's in-operator batch cursors: a lowercase
+// next() hands out exactly the same producer-owned rows as Next().
+type cursor struct{ it iter }
+
+func (c *cursor) next() (tuple.Tuple, bool) { return c.it.Next() }
+
+type batchSink struct {
+	saved   []tuple.Tuple
+	batches [][]tuple.Tuple
+	rows    []tuple.Tuple
+	last    tuple.Tuple
+}
+
+func (s *batchSink) retainsSlice(it batchIter, b *engine.RowBatch) {
+	for it.NextBatch(b) {
+		s.saved = b.Rows                      // want "batch row slice is stored"
+		s.batches = append(s.batches, b.Rows) // want "batch row slice is appended"
+		rows := b.Rows
+		s.batches = append(s.batches, rows[:1]) // want "batch row slice is appended"
+	}
+}
+
+func (s *batchSink) copiesOut(it batchIter, b *engine.RowBatch) {
+	for it.NextBatch(b) {
+		// The sanctioned hand-off idiom: rows are copied out of the
+		// batch slice before the producer reuses it.
+		s.rows = append(s.rows, b.Rows...)
+	}
+}
+
+func (s *batchSink) retainsRows(it batchIter, b *engine.RowBatch) {
+	for it.NextBatch(b) {
+		for _, row := range b.Rows {
+			s.rows = append(s.rows, row) // want "appended without Clone"
+		}
+		row := b.Rows[0]
+		s.last = row // want "stored without Clone"
+	}
+}
+
+func (s *batchSink) retainsLowercase(c *cursor) {
+	row, _ := c.next()
+	s.last = row // want "stored without Clone"
+}
+
+func (s *batchSink) literalAndSend(it batchIter, b *engine.RowBatch, ch chan []tuple.Tuple) {
+	it.NextBatch(b)
+	_ = [][]tuple.Tuple{b.Rows} // want "composite literal"
+	ch <- b.Rows                // want "sent on a channel"
+}
+
+func (s *batchSink) suppressedSlice(it batchIter, b *engine.RowBatch) {
+	it.NextBatch(b)
+	//lint:ignore rowretain fixture: this producer allocates a fresh slice per batch
+	s.saved = b.Rows
 }

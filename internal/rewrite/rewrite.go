@@ -84,6 +84,15 @@ type Options struct {
 	// streaming engine. Ignored when Materialize is set. Results are
 	// multiset-identical at every worker count.
 	Parallelism int
+	// BatchSize is the row capacity of the batch-at-a-time iterator hop
+	// (engine.BatchIter): converted operators amortize the virtual
+	// Next-call tax over BatchSize rows, and parallel exchanges hand
+	// their transport batches through wholesale. Zero — the default —
+	// ties the batch size to the exchange morsel size; a negative value
+	// disables the batch protocol entirely (the per-row ablation,
+	// restoring classic Volcano pull). Results are multiset-identical at
+	// every setting.
+	BatchSize int
 	// Collect, when non-nil, enables EXPLAIN ANALYZE: Stream attaches the
 	// executed plan's per-operator/per-fragment statistics tree under the
 	// collector (one "result" node whose row count is exactly what the
@@ -341,7 +350,7 @@ func Stream(ctx context.Context, db *engine.DB, q algebra.Query, opt Options) (e
 	}
 	// The parallel executor also serves Parallelism <= 1: it degenerates
 	// to the sequential streaming engine wrapped with ctx cancellation.
-	return parallel.Exec(ctx, db, p, parallel.Options{Workers: max(opt.Parallelism, 1), Stats: st})
+	return parallel.Exec(ctx, db, p, parallel.Options{Workers: max(opt.Parallelism, 1), BatchSize: opt.BatchSize, Stats: st})
 }
 
 // OutSchema returns the data schema of the result of q on db, mirroring

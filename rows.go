@@ -34,6 +34,15 @@ type Rows struct {
 	// increment per row, never a per-row atomic on the cursor hot path.
 	emitted int64
 	flushed bool
+	// Batch drain: when the pipeline root is batch-capable, the cursor
+	// pulls engine.DefaultBatchSize rows per NextBatch call and hands
+	// them out one at a time, so the whole operator chain pays one
+	// virtual call per batch instead of one per row. Row tuples are
+	// immutable once yielded, so the current row staying live across a
+	// refill is safe; only the batch's row slice is reused.
+	bit engine.BatchIter
+	b   engine.RowBatch
+	bi  int
 }
 
 // QueryRows evaluates a snapshot SQL query under the Seq approach and
@@ -56,11 +65,16 @@ func (db *DB) QueryRows(ctx context.Context, sql string) (*Rows, error) {
 		return nil, err
 	}
 	sch := it.Schema()
-	return &Rows{
+	r := &Rows{
 		ctx:  ctx,
 		it:   it,
 		cols: append([]string{}, sch.Cols[:sch.Arity()-2]...),
-	}, nil
+	}
+	if bit, ok := it.(engine.BatchIter); ok {
+		r.bit = bit
+		r.b = *engine.NewRowBatch(engine.DefaultBatchSize)
+	}
+	return r, nil
 }
 
 // Columns returns the data column names of the result (the validity
@@ -73,7 +87,7 @@ func (r *Rows) Next() bool {
 	if r.closed || r.done {
 		return false
 	}
-	row, ok := r.it.Next()
+	row, ok := r.next()
 	if !ok {
 		r.done = true
 		r.cur = nil
@@ -88,6 +102,24 @@ func (r *Rows) Next() bool {
 	r.cur = row
 	r.emitted++
 	return true
+}
+
+// next pulls the next result row, refilling the cursor batch when
+// the pipeline is batch-capable and falling back to per-row pull when
+// it is not.
+func (r *Rows) next() (tuple.Tuple, bool) {
+	if r.bit == nil {
+		return r.it.Next()
+	}
+	if r.bi >= r.b.Len() {
+		if !r.bit.NextBatch(&r.b) {
+			return nil, false
+		}
+		r.bi = 0
+	}
+	row := r.b.Rows[r.bi]
+	r.bi++
+	return row, true
 }
 
 // flushEmitted adds the cursor's row count to the process-wide registry
