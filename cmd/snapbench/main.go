@@ -15,6 +15,7 @@
 //	snapbench -exp diff       streaming merge-based difference vs the blocking fused diff sweep
 //	snapbench -exp obs        EXPLAIN ANALYZE collector overhead, off vs on
 //	snapbench -exp batch      batch-at-a-time (NextBatch) drive vs the per-row Volcano ablation
+//	snapbench -exp chaos      resource-governor overhead, ungoverned vs governed (limits never trip)
 //	snapbench -exp all        everything above
 //
 // -quick shrinks datasets for a fast smoke run; -runs sets the number of
@@ -50,7 +51,7 @@ type config struct {
 func parseFlags(args []string, out io.Writer) (config, error) {
 	fs := flag.NewFlagSet("snapbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|parstream|diff|obs|batch|all")
+	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|parstream|diff|obs|batch|chaos|all")
 	quick := fs.Bool("quick", false, "use small datasets (smoke run)")
 	runs := fs.Int("runs", 0, "repetitions per measurement (0 = scale default)")
 	jsonPath := fs.String("json", "", "write per-experiment medians as JSON to this path")
@@ -90,6 +91,7 @@ func experiments(w io.Writer, sc harness.Scale, rep *harness.Report) []experimen
 		{"diff", func() error { return harness.Diff(w, sc, rep) }},
 		{"obs", func() error { return harness.Obs(w, sc, rep) }},
 		{"batch", func() error { return harness.Batch(w, sc, rep) }},
+		{"chaos", func() error { return harness.Chaos(w, sc, rep) }},
 	}
 }
 

@@ -311,3 +311,61 @@ func TestRunFig1WithJSON(t *testing.T) {
 		t.Fatalf("-json file not written: %v", err)
 	}
 }
+
+// The chaos experiment backs the fault-domain acceptance numbers
+// (governor overhead within noise); pin its -json metric naming (paired
+// ungoverned/governed entries with an overhead extra) so downstream
+// parsing does not silently break.
+func TestRunChaosJSONSchema(t *testing.T) {
+	sc := harness.Quick
+	sc.Fig5Sizes = []int{200} // keep the test fast
+	sc.Runs = 1
+	rep := harness.NewReport(sc)
+	var out bytes.Buffer
+	if err := harness.Chaos(&out, sc, rep); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, m := range rep.Metrics {
+		if m.Experiment != "chaos" {
+			t.Fatalf("metric experiment = %q, want chaos", m.Experiment)
+		}
+		if m.Name == "" || m.Seconds < 0 {
+			t.Fatalf("malformed metric: %+v", m)
+		}
+		if m.Rows <= 0 {
+			t.Fatalf("chaos metrics must carry output cardinality: %+v", m)
+		}
+		if strings.Contains(m.Name, "/governed/") {
+			if _, ok := m.Extra["overhead"]; !ok {
+				t.Fatalf("governed metric must carry the overhead extra: %+v", m)
+			}
+		}
+		names[m.Name] = true
+	}
+	w := harness.DefaultWorkers
+	for _, want := range []string{
+		"filter-project/ungoverned/rows=200",
+		"filter-project/governed/rows=200",
+		"coalesce-streaming/governed/rows=200",
+		"agg-streaming/governed/rows=200",
+		"diff-streaming/governed/rows=200",
+		fmt.Sprintf("coalesce-parallel-x%d/ungoverned/rows=200", w),
+		fmt.Sprintf("coalesce-parallel-x%d/governed/rows=200", w),
+	} {
+		if !names[want] {
+			t.Fatalf("metric %q missing; got %v", want, names)
+		}
+	}
+	// Governing with limits that never trip must not change results:
+	// the ungoverned/governed pair agrees on output cardinality.
+	cards := make(map[string]int64)
+	for _, m := range rep.Metrics {
+		base := strings.Replace(strings.Replace(m.Name, "/ungoverned/", "/", 1), "/governed/", "/", 1)
+		if prev, ok := cards[base]; ok && prev != m.Rows {
+			t.Fatalf("runs of %s disagree on cardinality: %d vs %d", base, prev, m.Rows)
+		} else {
+			cards[base] = m.Rows
+		}
+	}
+}

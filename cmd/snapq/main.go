@@ -284,7 +284,11 @@ func analyzeQuery(db *engine.DB, q algebra.Query, ap harness.Approach, tracePath
 		}
 		rows++
 	}
+	streamErr := engine.IterErr(it)
 	it.Close()
+	if streamErr != nil {
+		return streamErr
+	}
 	fmt.Fprintf(w, "EXPLAIN ANALYZE (approach %s)\n", ap)
 	fmt.Fprint(w, col.Render())
 	fmt.Fprintf(w, "(%d rows)\n", rows)
@@ -345,6 +349,10 @@ func streamRows(db *engine.DB, q algebra.Query, opt rewrite.Options, limit int, 
 		}
 		fmt.Fprintf(w, "%v\n", row)
 		n++
+	}
+	// A truncated stream must not print as a complete result.
+	if err := engine.IterErr(it); err != nil {
+		return err
 	}
 	fmt.Fprintf(w, "(%d rows)\n", n)
 	return nil

@@ -131,6 +131,9 @@ func (a *batchAdapter) Next() (tuple.Tuple, bool) { return a.in.Next() }
 
 func (a *batchAdapter) Close() { a.in.Close() }
 
+// Err delegates the terminal error to the wrapped per-row iterator.
+func (a *batchAdapter) Err() error { return IterErr(a.in) }
+
 // NewRowAdapter lowers a batch iterator to the per-row protocol: the
 // adapter pulls one batch at a time and hands its rows out per Next
 // call. size < 1 selects DefaultBatchSize.
@@ -162,6 +165,14 @@ func (a *rowAdapter) Next() (tuple.Tuple, bool) {
 
 func (a *rowAdapter) Close() { a.in.Close() }
 
+// Err delegates the terminal error to the wrapped batch iterator.
+func (a *rowAdapter) Err() error {
+	if e, ok := a.in.(ErrIter); ok {
+		return e.Err()
+	}
+	return nil
+}
+
 // PerRow hides the batch capability of it: the returned iterator
 // implements RowIter only, so batch-capable consumers (Materialize, the
 // cursor, exchange drains) fall back to per-row pulls. This is the
@@ -175,6 +186,10 @@ type perRowIter struct{ in RowIter }
 func (it *perRowIter) Schema() tuple.Schema      { return it.in.Schema() }
 func (it *perRowIter) Next() (tuple.Tuple, bool) { return it.in.Next() }
 func (it *perRowIter) Close()                    { it.in.Close() }
+
+// Err delegates the terminal error: PerRow hides batch capability, not
+// the error contract.
+func (it *perRowIter) Err() error { return IterErr(it.in) }
 
 // batchCursor is the in-operator read side of the batch protocol: a
 // converted operator reads its child through one of these, and the

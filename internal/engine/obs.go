@@ -245,6 +245,10 @@ func (it *ObsIter) Close() {
 	it.in.Close()
 }
 
+// Err delegates the terminal error: instrumentation never severs the
+// error-carrying protocol.
+func (it *ObsIter) Err() error { return IterErr(it.in) }
+
 func (it *ObsIter) recordState() {
 	if s, ok := it.in.(StateSizer); ok {
 		if v := s.MaxState(); v > it.st.state.Load() {

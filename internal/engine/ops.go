@@ -126,7 +126,7 @@ func TemporalJoin(l, r *Table, pred algebra.Expr) (*Table, error) {
 		return nil, err
 	}
 	defer it.Close()
-	return Materialize(it), nil
+	return MaterializeErr(it)
 }
 
 // Split implements the split operator N_G (Def 8.3): every row of r1 is

@@ -35,10 +35,15 @@ type overlapJoinIter struct {
 func newOverlapJoinIter(l, r RowIter, joined tuple.Schema, res algebra.Compiled) (RowIter, error) {
 	lA := l.Schema().Arity() - 2
 	rA := r.Schema().Arity() - 2
-	lRows := drainRows(l)
-	rRows := drainRows(r)
+	lRows, lErr := drainRowsErr(l)
+	rRows, rErr := drainRowsErr(r)
 	l.Close()
 	r.Close()
+	// A sweep over a truncated input would silently drop join pairs:
+	// surface the drain error as a construction error instead.
+	if err := FirstErr(lErr, rErr); err != nil {
+		return nil, err
+	}
 	SortRowsByEndpoints(lRows)
 	SortRowsByEndpoints(rRows)
 	return &overlapJoinIter{
@@ -51,7 +56,10 @@ func newOverlapJoinIter(l, r RowIter, joined tuple.Schema, res algebra.Compiled)
 	}, nil
 }
 
-func drainRows(it RowIter) []tuple.Tuple {
+// drainRowsErr drains it into a private slice and reports the error
+// that ended the stream early, nil on a natural end. It does not Close
+// it.
+func drainRowsErr(it RowIter) ([]tuple.Tuple, error) {
 	var rows []tuple.Tuple
 	if bi, ok := it.(BatchIter); ok {
 		// Batch drain into a private slice: the batch's row slice is
@@ -60,12 +68,12 @@ func drainRows(it RowIter) []tuple.Tuple {
 		for bi.NextBatch(b) {
 			rows = append(rows, b.Rows...)
 		}
-		return rows
+		return rows, IterErr(it)
 	}
 	for {
 		row, ok := it.Next()
 		if !ok {
-			return rows
+			return rows, IterErr(it)
 		}
 		//lint:ignore rowretain blocking drain into a private slice; the rows are only ever read (engine producers never reuse yielded backing arrays)
 		rows = append(rows, row)

@@ -250,7 +250,11 @@ func (e *executor) startMerge(parts []engine.RowIter, parent *engine.OpStats) en
 		producers.Add(1)
 		e.wg.Add(1)
 		go func() {
+			// LIFO: part.Close and producers.Done run first, so a panic in
+			// either is still caught by recoverPanic before wg.Done releases
+			// the executor's reaper.
 			defer e.wg.Done()
+			defer e.recoverPanic("exchange:merge producer")
 			defer producers.Done()
 			defer part.Close()
 			e.drainInto(x.ctx, part, ch, st, false)
@@ -260,10 +264,11 @@ func (e *executor) startMerge(parts []engine.RowIter, parent *engine.OpStats) en
 	//lint:leakcheck bounded by construction: waits only on producers that are themselves cancellation-aware via drainInto
 	go func() {
 		defer e.wg.Done()
+		defer e.recoverPanic("exchange:merge closer")
 		producers.Wait()
 		close(ch)
 	}()
-	return engine.NewObsIter(&mergeIter{x: x, schema: schema, ch: ch}, st)
+	return engine.NewObsIter(e.inject("exchange:merge", &mergeIter{x: x, schema: schema, ch: ch}), st)
 }
 
 // send pushes one transport batch onto ch, recording the backpressure
@@ -305,6 +310,13 @@ func (e *executor) send(ctx context.Context, ch chan<- batch, b batch, st *engin
 // send, because the consumer adopts it). With st non-nil the producer's
 // blocked time is recorded (and each batch sent, when countBatch says
 // the consumer side is not already counting them).
+// A drain that ends because its input FAILED (rather than ended
+// naturally) reports the input's terminal error to the executor's
+// central error slot, per the error-carrying iterator protocol:
+// exchange consumers only ever observe a clean end-of-stream, so the
+// producer side is where a truncation must be converted into a query
+// error. No trailing partial batch is sent on a failed drain — the rows
+// of a failed stream are not results.
 func (e *executor) drainInto(ctx context.Context, it engine.RowIter, ch chan<- batch, st *engine.OpStats, countBatch bool) {
 	if bi, ok := it.(engine.BatchIter); ok && e.batchSize > 0 {
 		for {
@@ -316,6 +328,7 @@ func (e *executor) drainInto(ctx context.Context, it engine.RowIter, ch chan<- b
 			}
 			rb := engine.RowBatch{Rows: make([]tuple.Tuple, 0, e.batchSize)}
 			if !bi.NextBatch(&rb) {
+				e.fail(engine.IterErr(it))
 				return
 			}
 			if !e.send(ctx, ch, batch(rb.Rows), st, countBatch) {
@@ -326,6 +339,12 @@ func (e *executor) drainInto(ctx context.Context, it engine.RowIter, ch chan<- b
 	b := make(batch, 0, e.morsel)
 	for {
 		row, ok := it.Next()
+		if !ok {
+			if err := engine.IterErr(it); err != nil {
+				e.fail(err)
+				return
+			}
+		}
 		if ok {
 			//lint:ignore rowretain batching for transport only; rows are forwarded downstream unmodified
 			b = append(b, row)
@@ -368,6 +387,7 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int, parent *en
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
+			defer e.recoverPanic("exchange:partition producer")
 			defer producers.Done()
 			defer src.Close()
 			bufs := make([]batch, e.workers)
@@ -390,6 +410,13 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int, parent *en
 			for {
 				row, ok := next()
 				if !ok {
+					// A failed source means the partitions are missing rows:
+					// report it centrally and skip the trailing flush (the
+					// buffered rows of a failed stream are not results).
+					if err := engine.IterErr(src); err != nil {
+						e.fail(err)
+						return
+					}
 					break
 				}
 				scratch = row.AppendKey(scratch[:0], keyIdx)
@@ -411,6 +438,7 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int, parent *en
 	//lint:leakcheck bounded by construction: waits only on partition producers whose flush selects on ctx.Done()
 	go func() {
 		defer e.wg.Done()
+		defer e.recoverPanic("exchange:partition closer")
 		producers.Wait()
 		for _, ch := range chans {
 			close(ch)
@@ -418,7 +446,8 @@ func (e *executor) hashPartition(srcs []engine.RowIter, keyIdx []int, parent *en
 	}()
 	parts := make([]engine.RowIter, e.workers)
 	for i := range parts {
-		parts[i] = &chanIter{x: x, schema: schema, cur: chanCursor{ch: chans[i]}}
+		parts[i] = e.inject(fmt.Sprintf("exchange:partition:%d", i),
+			&chanIter{x: x, schema: schema, cur: chanCursor{ch: chans[i]}})
 	}
 	return parts
 }
@@ -544,11 +573,18 @@ func (q *batchQueue) get() (batch, bool) {
 
 // queueCursor adapts one batchQueue to a rowSource. Cancellation is
 // observed through the producer closing the queue, so get never blocks
-// past teardown.
+// past teardown. When a governor is attached, the bytes a producer
+// charged for each queued batch are released as the consumer takes it —
+// the outstanding charge is exactly the queue depth, which is what the
+// memory budget bounds on the otherwise-unbounded ordered transport.
+// (Batches stranded in a torn-down queue stay charged; the governor's
+// lifetime is the query's, so nothing leaks past it.)
 type queueCursor struct {
-	q   *batchQueue
-	cur batch
-	i   int
+	q        *batchQueue
+	gov      *engine.Governor
+	rowBytes int64
+	cur      batch
+	i        int
 }
 
 func (c *queueCursor) next(ctx context.Context) (tuple.Tuple, bool) {
@@ -562,6 +598,7 @@ func (c *queueCursor) next(ctx context.Context) (tuple.Tuple, bool) {
 		if !ok {
 			return nil, false
 		}
+		c.gov.ReleaseMem(int64(len(b)) * c.rowBytes)
 		c.cur, c.i = b, 0
 	}
 }
@@ -704,13 +741,15 @@ func (e *executor) startOrderedMerge(parts []engine.RowIter, parent *engine.OpSt
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
+			defer e.recoverPanic("exchange:ordered-merge producer")
 			defer close(ch)
 			defer part.Close()
 			e.drainInto(x.ctx, part, ch, st, false)
 		}()
 	}
 	return engine.NewObsIter(engine.CheckOrdered("ordered merge exchange",
-		&orderedMergeIter{ctx: x.ctx, schema: schema, srcs: srcs, onClose: x.release}), st)
+		e.inject("exchange:ordered-merge",
+			&orderedMergeIter{ctx: x.ctx, schema: schema, srcs: srcs, onClose: x.release})), st)
 }
 
 // hashPartitionOrdered is the order-preserving repartition exchange:
@@ -735,11 +774,13 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int, par
 			queues[s][w] = newBatchQueue()
 		}
 	}
+	rowBytes := engine.ApproxRowBytes(schema.Arity())
 	for si, src := range srcs {
 		si, src := si, src
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
+			defer e.recoverPanic("exchange:ordered-partition producer")
 			defer src.Close()
 			defer func() {
 				for _, q := range queues[si] {
@@ -750,11 +791,32 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int, par
 			for i := range bufs {
 				bufs[i] = make(batch, 0, e.morsel)
 			}
+			// put charges the batch against the memory budget before
+			// queueing it (the consumer's queueCursor releases the charge
+			// on take): the unbounded ordered transport is exactly where a
+			// skewed query's state grows without backpressure, so this is
+			// the governor's most load-bearing charge site.
+			put := func(i int) bool {
+				if err := e.gov.ChargeMem(int64(len(bufs[i])) * rowBytes); err != nil {
+					e.fail(err)
+					return false
+				}
+				queues[si][i].put(bufs[i])
+				st.AddBatch()
+				st.AddPartRows(i, len(bufs[i]))
+				return true
+			}
 			var scratch []byte
 			next := e.pullFunc(src)
 			for {
 				row, ok := next()
 				if !ok {
+					// A failed source means the partitions are missing rows:
+					// report it centrally and drop the trailing buffers.
+					if err := engine.IterErr(src); err != nil {
+						e.fail(err)
+						return
+					}
 					break
 				}
 				scratch = row.AppendKey(scratch[:0], keyIdx)
@@ -773,17 +835,15 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int, par
 					if x.ctx.Err() != nil {
 						return
 					}
-					queues[si][i].put(bufs[i])
-					st.AddBatch()
-					st.AddPartRows(i, len(bufs[i]))
+					if !put(i) {
+						return
+					}
 					bufs[i] = make(batch, 0, e.morsel)
 				}
 			}
 			for i := range bufs {
-				if len(bufs[i]) > 0 {
-					queues[si][i].put(bufs[i])
-					st.AddBatch()
-					st.AddPartRows(i, len(bufs[i]))
+				if len(bufs[i]) > 0 && !put(i) {
+					return
 				}
 			}
 		}()
@@ -792,10 +852,11 @@ func (e *executor) hashPartitionOrdered(srcs []engine.RowIter, keyIdx []int, par
 	for w := range parts {
 		cursors := make([]rowSource, len(srcs))
 		for s := range srcs {
-			cursors[s] = &queueCursor{q: queues[s][w]}
+			cursors[s] = &queueCursor{q: queues[s][w], gov: e.gov, rowBytes: rowBytes}
 		}
 		parts[w] = engine.CheckOrdered("ordered repartition exchange",
-			&orderedMergeIter{ctx: x.ctx, schema: schema, srcs: cursors, onClose: x.release})
+			e.inject(fmt.Sprintf("exchange:ordered-partition:%d", w),
+				&orderedMergeIter{ctx: x.ctx, schema: schema, srcs: cursors, onClose: x.release}))
 	}
 	return parts
 }
@@ -813,13 +874,15 @@ func (e *executor) repartition(src engine.RowIter, parent *engine.OpStats) []eng
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
+		defer e.recoverPanic("exchange:repartition producer")
 		defer close(ch)
 		defer src.Close()
 		e.drainInto(x.ctx, src, ch, st, true)
 	}()
 	parts := make([]engine.RowIter, e.workers)
 	for i := range parts {
-		parts[i] = &chanIter{x: x, schema: schema, cur: chanCursor{ch: ch}}
+		parts[i] = e.inject(fmt.Sprintf("exchange:repartition:%d", i),
+			&chanIter{x: x, schema: schema, cur: chanCursor{ch: ch}})
 	}
 	return parts
 }

@@ -1,0 +1,126 @@
+// Fault-domain tests for the parallel executor: injected panics must be
+// contained at the fragment and root boundaries (a query error, never a
+// process crash or a goroutine leak), and early Close must reap every
+// fragment even while injected errors are tearing the pipeline down
+// from the other side.
+package parallel_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+
+	"snapk/internal/algebra"
+	"snapk/internal/chaos"
+	"snapk/internal/engine"
+	"snapk/internal/engine/parallel"
+	"snapk/internal/tuple"
+)
+
+// panicAt wraps an iterator to panic on the nth Next call. Wrapping
+// hides batch capability on purpose, so the panic unwinds through the
+// per-row pull path of whichever goroutine drives this site.
+type panicAt struct {
+	in engine.RowIter
+	n  int
+	at int
+}
+
+func (it *panicAt) Schema() tuple.Schema { return it.in.Schema() }
+func (it *panicAt) Close()               { it.in.Close() }
+
+func (it *panicAt) Next() (tuple.Tuple, bool) {
+	it.n++
+	if it.n >= it.at {
+		panic("test: injected operator panic")
+	}
+	return it.in.Next()
+}
+
+// panicInjector arms a panic at every site matching prefix.
+func panicInjector(prefix string, at int) engine.IterWrapper {
+	return func(site string, it engine.RowIter) engine.RowIter {
+		if strings.HasPrefix(site, prefix) {
+			return &panicAt{in: it, at: at}
+		}
+		return it
+	}
+}
+
+// drainAll pulls the iterator to end-of-stream and returns its terminal
+// error.
+func drainAll(it engine.RowIter) error {
+	for {
+		if _, ok := it.Next(); !ok {
+			return engine.IterErr(it)
+		}
+	}
+}
+
+// A panic inside a fragment goroutine (here: the scan parts drained by
+// the merge-exchange producers) must surface as the query error through
+// the root Err — not crash the process, not leak a goroutine, and not
+// pass for a clean end of stream.
+func TestInjectedPanicInFragmentContained(t *testing.T) {
+	db := bigPipelineDB(8000)
+	base := runtime.NumGoroutine()
+	it, err := parallel.Exec(context.Background(), db,
+		engine.FilterP{Pred: algebra.Gt(algebra.Col("v"), algebra.IntC(10)), In: engine.ScanP{Name: "l"}},
+		parallel.Options{Workers: 4, MorselSize: 16, Inject: panicInjector("scan:l", 3)})
+	if err != nil {
+		t.Fatalf("build must survive a runtime-only fault: %v", err)
+	}
+	streamErr := drainAll(it)
+	it.Close()
+	if streamErr == nil || !strings.Contains(streamErr.Error(), "panic") {
+		t.Fatalf("fragment panic must surface through Err, got %v", streamErr)
+	}
+	waitForGoroutines(t, base)
+}
+
+// A panic unwinding out of the root pull (the consumer goroutine — here
+// injected on the merge-exchange output) is the consumer-side boundary:
+// guardedNext must convert it into the query error.
+func TestInjectedPanicAtRootContained(t *testing.T) {
+	db := bigPipelineDB(8000)
+	base := runtime.NumGoroutine()
+	it, err := parallel.Exec(context.Background(), db,
+		engine.ScanP{Name: "l"},
+		parallel.Options{Workers: 4, MorselSize: 16, Inject: panicInjector("exchange:merge", 3)})
+	if err != nil {
+		t.Fatalf("build must survive a runtime-only fault: %v", err)
+	}
+	streamErr := drainAll(it)
+	it.Close()
+	if streamErr == nil || !strings.Contains(streamErr.Error(), "panic") {
+		t.Fatalf("root panic must surface through Err, got %v", streamErr)
+	}
+	waitForGoroutines(t, base)
+}
+
+// Early Close racing injected errors and delays: while chaos faults
+// tear the pipeline down from inside, the consumer abandons it from
+// outside after one row. Every fragment must still exit, across seeds
+// and both the ordered and unordered exchange paths (the join plan uses
+// repartition; the scan plan the plain merge).
+func TestEarlyCloseUnderInjectedErrors(t *testing.T) {
+	db := bigPipelineDB(8000)
+	base := runtime.NumGoroutine()
+	for seed := int64(0); seed < 16; seed++ {
+		inj := chaos.New(chaos.Config{Seed: seed, ErrRate: 0.4, DelayRate: 0.3})
+		it, err := parallel.Exec(context.Background(), db, bigPipelinePlan(),
+			parallel.Options{Workers: 4, MorselSize: 16, Inject: inj.Wrapper()})
+		if err != nil {
+			// A fault firing in the build-phase join drain is a legal
+			// construction error; the executor must still have reaped its
+			// fragments.
+			waitForGoroutines(t, base)
+			continue
+		}
+		it.Next() // zero or one row — either way, abandon mid-flight
+		it.Close()
+		it.Close() // idempotent under injection too
+		waitForGoroutines(t, base)
+	}
+}

@@ -43,12 +43,22 @@
 // creation. Canceling it — or closing the returned iterator — tears
 // down every fragment goroutine; Close blocks until all of them have
 // exited and is idempotent.
+//
+// Fault domain: the executor is the query's failure boundary. Every
+// fragment goroutine and the root iterator run behind a recover() that
+// converts a panic into a query error instead of crashing the process;
+// the first error (panic, failed drain, tripped resource limit,
+// cancellation) lands in the executor's central error slot, cancels the
+// execution context — tearing down sibling fragments through the
+// refcounted exchange lifecycle — and surfaces through the root
+// iterator's Err, per the engine's error-carrying iterator protocol.
 package parallel
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -82,6 +92,17 @@ type Options struct {
 	// disables collection entirely — every wrapper is an identity no-op,
 	// so the uninstrumented hot path is unchanged.
 	Stats *engine.OpStats
+	// Gov, when non-nil, is the per-query resource governor: the root
+	// iterator charges emitted rows against its row limit, sweeps and
+	// the hash-join build charge their tracked state against its memory
+	// budget, and the ordered-repartition queues charge their depth.
+	// Tripping a limit fails the query with the governor's typed error.
+	// Nil (the default) disables all charging.
+	Gov *engine.Governor
+	// Inject, when non-nil, wraps the iterator built at each operator
+	// and exchange boundary — the chaos fault-injection hook. Production
+	// queries leave it nil.
+	Inject engine.IterWrapper
 }
 
 // DefaultMorselSize is the scan-morsel / exchange-batch row count used
@@ -90,9 +111,12 @@ type Options struct {
 const DefaultMorselSize = 256
 
 // executor carries the per-Exec state: the cancellable execution
-// context and the WaitGroup tracking every spawned fragment goroutine.
+// context, the WaitGroup tracking every spawned fragment goroutine, and
+// the query's fault-domain state (first-error slot, governor, inject
+// hook).
 type executor struct {
 	ctx     context.Context
+	cancel  context.CancelFunc
 	db      *engine.DB
 	workers int
 	morsel  int
@@ -100,6 +124,76 @@ type executor struct {
 	// batch protocol is disabled (the per-row ablation).
 	batchSize int
 	wg        sync.WaitGroup
+	// qerr holds the first error that failed the query; set through
+	// fail, read per root Next through errOf (one atomic load).
+	qerr     atomic.Pointer[error]
+	gov      *engine.Governor
+	injectFn engine.IterWrapper
+}
+
+// fail records err as the query's terminal error (first one wins) and
+// cancels the execution context, tearing down every sibling fragment
+// through the refcounted exchange lifecycle. Safe from any goroutine;
+// nil is a no-op.
+func (e *executor) fail(err error) {
+	if err == nil {
+		return
+	}
+	e.qerr.CompareAndSwap(nil, &err)
+	e.cancel()
+}
+
+// errOf returns the query's terminal error, nil while healthy.
+func (e *executor) errOf() error {
+	if p := e.qerr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// recoverPanic is the fragment-goroutine panic boundary: deferred at
+// the top of every producer goroutine (and, via the root iterator's
+// guarded Next, at the consumer boundary), it converts a panic into a
+// query error instead of crashing the process. The stack is folded into
+// the error so a contained panic stays diagnosable through Rows.Err.
+func (e *executor) recoverPanic(site string) {
+	if r := recover(); r != nil {
+		e.fail(fmt.Errorf("parallel: panic in %s: %v\n%s", site, r, debug.Stack()))
+	}
+}
+
+// inject applies the chaos fault-injection hook at one operator or
+// exchange boundary; identity when no hook is configured.
+func (e *executor) inject(site string, it engine.RowIter) engine.RowIter {
+	if e.injectFn == nil {
+		return it
+	}
+	return e.injectFn(site, it)
+}
+
+// injectStream applies the inject hook to every physical iterator of s.
+func (e *executor) injectStream(site string, s *pstream) *pstream {
+	if e.injectFn == nil {
+		return s
+	}
+	if s.seq != nil {
+		s.seq = e.injectFn(site, s.seq)
+		return s
+	}
+	for i := range s.parts {
+		s.parts[i] = e.injectFn(fmt.Sprintf("%s:%d", site, i), s.parts[i])
+	}
+	return s
+}
+
+// govern wraps a sweep iterator with memory-budget accounting of its
+// peak state (identity when no governor or the iterator exposes no
+// state). unit pricing uses the stream's row arity.
+func (e *executor) govern(it engine.RowIter) engine.RowIter {
+	if e.gov == nil {
+		return it
+	}
+	return engine.GovernState(it, e.gov, engine.ApproxRowBytes(it.Schema().Arity()))
 }
 
 // pstream is a stream in one of two physical forms: a single sequential
@@ -161,9 +255,19 @@ func Exec(ctx context.Context, db *engine.DB, p engine.Plan, opt Options) (engin
 	if batchSize < 0 {
 		batchSize = 0 // per-row ablation: batch protocol disabled
 	}
-	ectx, cancel := context.WithCancel(ctx)
-	e := &executor{ctx: ectx, db: db, workers: workers, morsel: morsel, batchSize: batchSize}
-	s, err := e.build(p, opt.Stats)
+	var ectx context.Context
+	var cancel context.CancelFunc
+	if d := opt.Gov.Timeout(); d > 0 {
+		// The per-query deadline rides the execution context, so it
+		// tears fragments down exactly like a user cancellation and
+		// surfaces as context.DeadlineExceeded through Err.
+		ectx, cancel = context.WithTimeout(ctx, d)
+	} else {
+		ectx, cancel = context.WithCancel(ctx)
+	}
+	e := &executor{ctx: ectx, cancel: cancel, db: db, workers: workers, morsel: morsel,
+		batchSize: batchSize, gov: opt.Gov, injectFn: opt.Inject}
+	s, err := e.buildSafe(p, opt.Stats)
 	if err != nil {
 		cancel()
 		e.wg.Wait()
@@ -178,6 +282,30 @@ func Exec(ctx context.Context, db *engine.DB, p engine.Plan, opt Options) (engin
 	return &execIter{ctx: ectx, cancel: cancel, e: e, it: root}, nil
 }
 
+// buildSafe is the plan-build phase behind the panic boundary: a panic
+// while compiling the plan (eager hash-join builds and sort enforcers
+// drain whole subplans here) becomes a returned error, and the caller's
+// cancel-and-reap path tears down whatever fragments already started.
+func (e *executor) buildSafe(p engine.Plan, parent *engine.OpStats) (s *pstream, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s, err = nil, fmt.Errorf("parallel: panic in plan build: %v\n%s", r, debug.Stack())
+		}
+	}()
+	s, err = e.build(p, parent)
+	if err == nil {
+		// A build-phase drain may have failed through the central error
+		// slot (producer panic, tripped limit) without the constructor
+		// noticing: surface it now rather than running a doomed query.
+		err = e.errOf()
+		if err != nil {
+			s.close()
+			s = nil
+		}
+	}
+	return s, err
+}
+
 // execIter is the root iterator returned by Exec: it owns the execution
 // context and reaps all fragment goroutines on Close.
 type execIter struct {
@@ -190,11 +318,79 @@ type execIter struct {
 
 func (it *execIter) Schema() tuple.Schema { return it.it.Schema() }
 
+// gate runs the pre-pull checks shared by Next and NextBatch: closed,
+// already-failed, and context state. A context error observed while the
+// iterator is still open is recorded as the query error — cancellation
+// and deadline expiry surface through Err, not as a silent end of
+// stream; an error observed because Close canceled the context is not
+// an error at all.
+func (it *execIter) gate() bool {
+	if it.closed.Load() || it.e.errOf() != nil {
+		return false
+	}
+	if err := it.ctx.Err(); err != nil {
+		if !it.closed.Load() {
+			it.e.fail(err)
+		}
+		return false
+	}
+	return true
+}
+
 func (it *execIter) Next() (tuple.Tuple, bool) {
-	if it.ctx.Err() != nil {
+	if !it.gate() {
 		return nil, false
 	}
+	row, ok := it.guardedNext()
+	if !ok {
+		it.latchEOS()
+		return nil, false
+	}
+	if err := it.e.gov.CountRows(1); err != nil {
+		it.e.fail(err)
+		return nil, false
+	}
+	return row, true
+}
+
+// latchEOS records why a pull came back empty. gate checks the context
+// before each pull, but a cancellation (or chain error) that lands while
+// the pull is blocked inside an exchange surfaces as a clean end of
+// stream from a drained channel — and the consumer, seeing EOS, never
+// pulls again, so gate never re-runs. Without this post-check that is a
+// silent truncation. The closed re-check keeps Close's own cancel from
+// reading as a query error (Close sets closed before canceling).
+func (it *execIter) latchEOS() {
+	if err := engine.IterErr(it.it); err != nil {
+		it.e.fail(err)
+		return
+	}
+	if err := it.ctx.Err(); err != nil && !it.closed.Load() {
+		it.e.fail(err)
+	}
+}
+
+// guardedNext is the consumer-side panic boundary: a panic unwinding
+// out of the root pull (any operator on the sequential path runs on
+// this goroutine) becomes the query error.
+func (it *execIter) guardedNext() (row tuple.Tuple, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			it.e.fail(fmt.Errorf("parallel: panic in query root: %v\n%s", r, debug.Stack()))
+			row, ok = nil, false
+		}
+	}()
 	return it.it.Next()
+}
+
+// Err reports the query's terminal error: the executor's central slot
+// first (producer-side failures, contained panics, limits, cancel),
+// then the root chain's own error-carrying protocol.
+func (it *execIter) Err() error {
+	if err := it.e.errOf(); err != nil {
+		return err
+	}
+	return engine.IterErr(it.it)
 }
 
 // Close cancels the execution context, closes the merged stream and
@@ -219,10 +415,33 @@ type execBatchIter struct {
 }
 
 func (it *execBatchIter) NextBatch(b *engine.RowBatch) bool {
-	if it.ctx.Err() != nil {
+	if !it.gate() {
 		b.Reset()
 		return false
 	}
+	ok := it.guardedNextBatch(b)
+	if !ok {
+		it.latchEOS()
+		return false
+	}
+	if err := it.e.gov.CountRows(int64(b.Len())); err != nil {
+		it.e.fail(err)
+		b.Reset()
+		return false
+	}
+	return true
+}
+
+// guardedNextBatch is the batch form of the consumer-side panic
+// boundary.
+func (it *execBatchIter) guardedNextBatch(b *engine.RowBatch) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			it.e.fail(fmt.Errorf("parallel: panic in query root: %v\n%s", r, debug.Stack()))
+			b.Reset()
+			ok = false
+		}
+	}()
 	return it.bit.NextBatch(b)
 }
 
@@ -300,14 +519,20 @@ func (e *executor) build(p engine.Plan, parent *engine.OpStats) (*pstream, error
 		// subsequence of the stored order.
 		ordered := t.BeginSorted()
 		if e.workers <= 1 {
-			return obsStream(&pstream{seq: engine.NewTableIter(t), schema: t.Schema, ordered: ordered}, st), nil
+			// The sequential path runs entirely on the consumer's
+			// goroutine, so this ctx probe (amortized per batch / per
+			// morsel of rows) is its only mid-stream cancellation point:
+			// blocking drains above it (sort enforcers, hash-join builds)
+			// end early when it fires instead of running to completion.
+			seq := engine.NewCtxIter(e.ctx, engine.NewTableIter(t), e.morsel)
+			return obsStream(e.injectStream("scan:"+n.Name, &pstream{seq: seq, schema: t.Schema, ordered: ordered}), st), nil
 		}
 		ctr := new(atomic.Int64)
 		parts := make([]engine.RowIter, e.workers)
 		for i := range parts {
 			parts[i] = &morselTableIter{t: t, ctr: ctr, size: e.morsel}
 		}
-		return obsStream(&pstream{parts: parts, schema: t.Schema, ordered: ordered}, st), nil
+		return obsStream(e.injectStream("scan:"+n.Name, &pstream{parts: parts, schema: t.Schema, ordered: ordered}), st), nil
 	case engine.FilterP:
 		st := parent.Child("Filter", "")
 		in, err := e.build(n.In, st)
@@ -320,7 +545,7 @@ func (e *executor) build(p engine.Plan, parent *engine.OpStats) (*pstream, error
 		if err != nil {
 			return nil, err
 		}
-		return obsStream(out, st), nil
+		return obsStream(e.injectStream("filter", out), st), nil
 	case engine.ProjectP:
 		st := parent.Child("Project", "")
 		in, err := e.build(n.In, st)
@@ -333,7 +558,7 @@ func (e *executor) build(p engine.Plan, parent *engine.OpStats) (*pstream, error
 		if err != nil {
 			return nil, err
 		}
-		return obsStream(out, st), nil
+		return obsStream(e.injectStream("project", out), st), nil
 	case engine.JoinP:
 		return e.buildJoin(n, parent)
 	case engine.UnionP:
@@ -434,18 +659,18 @@ func (e *executor) buildCoalesce(n engine.CoalesceP, parent *engine.OpStats) (*p
 			parts := e.hashPartitionOrdered(in.sources(), dataIdx(schema), st)
 			out := make([]engine.RowIter, len(parts))
 			for i, part := range parts {
-				out[i] = engine.NewStreamCoalesceIter(part)
+				out[i] = e.govern(engine.NewStreamCoalesceIter(part))
 			}
-			return obsStream(&pstream{parts: out, schema: schema}, st), nil
+			return obsStream(e.injectStream("coalesce", &pstream{parts: out, schema: schema}), st), nil
 		}
 		parts := e.hashPartition(in.sources(), dataIdx(schema), st)
 		out := make([]engine.RowIter, len(parts))
 		for i, part := range parts {
-			out[i] = newLazySweepIter(part, schema, func(t *engine.Table) *engine.Table {
-				return engine.Coalesce(t, n.Impl)
+			out[i] = newLazySweepIter(part, schema, func(t *engine.Table) (*engine.Table, error) {
+				return engine.Coalesce(t, n.Impl), nil
 			})
 		}
-		return obsStream(&pstream{parts: out, schema: schema}, st), nil
+		return obsStream(e.injectStream("coalesce", &pstream{parts: out, schema: schema}), st), nil
 	}
 	if n.Streaming {
 		st := parent.Child("Coalesce", "streaming")
@@ -453,8 +678,8 @@ func (e *executor) buildCoalesce(n engine.CoalesceP, parent *engine.OpStats) (*p
 		if err != nil {
 			return nil, err
 		}
-		it := engine.NewStreamCoalesceIter(e.merge(in, st))
-		return obsStream(&pstream{seq: it, schema: it.Schema()}, st), nil
+		it := e.govern(engine.NewStreamCoalesceIter(e.merge(in, st)))
+		return obsStream(e.injectStream("coalesce", &pstream{seq: it, schema: it.Schema()}), st), nil
 	}
 	st := parent.Child("Coalesce", "blocking")
 	in, err := e.table(n.In, st)
@@ -525,22 +750,22 @@ func (e *executor) buildAgg(n engine.AggP, parent *engine.OpStats) (*pstream, er
 					}
 					return nil, err
 				}
-				out[i] = it
+				out[i] = e.govern(it)
 			}
-			return obsStream(&pstream{parts: out, schema: empty.Schema}, st), nil
+			return obsStream(e.injectStream("agg", &pstream{parts: out, schema: empty.Schema}), st), nil
 		}
 		parts := e.hashPartition(in.sources(), keyIdx, st)
 		out := make([]engine.RowIter, len(parts))
 		for i, part := range parts {
-			out[i] = newLazySweepIter(part, empty.Schema, func(t *engine.Table) *engine.Table {
-				res, err := engine.TemporalAggregate(t, n.GroupBy, n.Aggs, n.PreAgg, dom)
-				// Validated above: errors are schema-determined, so a
-				// failure here is an executor bug.
-				mustValidated("aggregation", err)
-				return res
+			// Errors were validated against an empty input above, so a
+			// failure here is either a failed partition drain or a genuine
+			// executor bug — both propagate through Err instead of yielding
+			// a silently empty partition.
+			out[i] = newLazySweepIter(part, empty.Schema, func(t *engine.Table) (*engine.Table, error) {
+				return engine.TemporalAggregate(t, n.GroupBy, n.Aggs, n.PreAgg, dom)
 			})
 		}
-		return obsStream(&pstream{parts: out, schema: empty.Schema}, st), nil
+		return obsStream(e.injectStream("agg", &pstream{parts: out, schema: empty.Schema}), st), nil
 	}
 	// The single-group streaming sweep needs one begin-ordered stream;
 	// the order-preserving merge exchange provides it even over
@@ -556,7 +781,8 @@ func (e *executor) buildAgg(n engine.AggP, parent *engine.OpStats) (*pstream, er
 		if err != nil {
 			return nil, err
 		}
-		return obsStream(&pstream{seq: it, schema: it.Schema()}, st), nil
+		g := e.govern(it)
+		return obsStream(e.injectStream("agg", &pstream{seq: g, schema: g.Schema()}), st), nil
 	}
 	st := parent.Child("Agg", blockingAggDetail(n))
 	in, err := e.table(n.In, st)
@@ -620,21 +846,30 @@ func (e *executor) buildDiff(n engine.DiffP, parent *engine.OpStats) (*pstream, 
 			out := make([]engine.RowIter, len(lp))
 			for i := range lp {
 				it, err := engine.NewStreamDiffIter(lp[i], rp[i])
-				// Arity compatibility — the constructor's only failure
-				// mode — was validated above.
-				mustValidated("streaming difference", err)
-				out[i] = it
+				if err != nil {
+					// Arity compatibility was validated above, so this is
+					// an executor bug — but it still must tear down cleanly:
+					// the constructor closed lp[i]/rp[i]; release the rest
+					// (the partition goroutines are reaped by Exec's cancel
+					// path) and surface the error instead of panicking.
+					for j := 0; j < i; j++ {
+						out[j].Close()
+					}
+					for j := i + 1; j < len(lp); j++ {
+						lp[j].Close()
+						rp[j].Close()
+					}
+					return nil, err
+				}
+				out[i] = e.govern(it)
 			}
-			return obsStream(&pstream{parts: out, schema: schema}, st), nil
+			return obsStream(e.injectStream("diff", &pstream{parts: out, schema: schema}), st), nil
 		}
-		// Build-time validation: arity compatibility (checked above) is
-		// the only failure mode of TemporalDiff, so the per-partition
-		// closure cannot fail — if it ever does, that is an executor bug
-		// and must be loud, never a silently empty partition.
-		diff := func(lt, rt *engine.Table) *engine.Table {
-			res, err := engine.TemporalDiff(lt, rt)
-			mustValidated("difference", err)
-			return res
+		// Arity compatibility (checked above) is the only failure mode of
+		// TemporalDiff; a failure here still propagates through Err rather
+		// than yielding a silently empty partition.
+		diff := func(lt, rt *engine.Table) (*engine.Table, error) {
+			return engine.TemporalDiff(lt, rt)
 		}
 		lp := e.hashPartition(l.sources(), keyIdx, st)
 		rp := e.hashPartition(r.sources(), keyIdx, st)
@@ -642,7 +877,7 @@ func (e *executor) buildDiff(n engine.DiffP, parent *engine.OpStats) (*pstream, 
 		for i := range lp {
 			out[i] = newLazyDiffIter(lp[i], rp[i], schema, diff)
 		}
-		return obsStream(&pstream{parts: out, schema: schema}, st), nil
+		return obsStream(e.injectStream("diff", &pstream{parts: out, schema: schema}), st), nil
 	}
 	// The streaming merge sweep needs one begin-ordered stream per side;
 	// the order-preserving merge exchange provides it even over multiple
@@ -663,7 +898,8 @@ func (e *executor) buildDiff(n engine.DiffP, parent *engine.OpStats) (*pstream, 
 		if err != nil {
 			return nil, err
 		}
-		return obsStream(&pstream{seq: it, schema: it.Schema()}, st), nil
+		g := e.govern(it)
+		return obsStream(e.injectStream("diff", &pstream{seq: g, schema: g.Schema()}), st), nil
 	}
 	st := parent.Child("Diff", "blocking")
 	l, err := e.table(n.L, st)
@@ -720,7 +956,7 @@ func (e *executor) buildJoin(n engine.JoinP, parent *engine.OpStats) (*pstream, 
 			j.Close()
 			return nil, err
 		}
-		return obsStream(&pstream{seq: j, schema: j.Schema()}, st), nil
+		return obsStream(e.injectStream("join", &pstream{seq: j, schema: j.Schema()}), st), nil
 	}
 	// Drain the build side eagerly (as the sequential engine does); a
 	// canceled context surfaces as an error rather than a silently
@@ -728,6 +964,7 @@ func (e *executor) buildJoin(n engine.JoinP, parent *engine.OpStats) (*pstream, 
 	// explicit span attributes its cost to the join node.
 	var jb *engine.JoinBuild
 	var probe *pstream
+	var buildArity int
 	done := st.Span()
 	if engine.BuildLeftSmaller(e.db.EstimateRows(n.L), e.db.EstimateRows(n.R)) {
 		if st != nil {
@@ -735,28 +972,39 @@ func (e *executor) buildJoin(n engine.JoinP, parent *engine.OpStats) (*pstream, 
 		}
 		jb = prep.BuildLeft(e.merge(l, st))
 		probe = r
+		buildArity = l.schema.Arity()
 	} else {
 		if st != nil {
 			st.Detail = "hash build=right"
 		}
 		jb = prep.Build(e.merge(r, st))
 		probe = l
+		buildArity = r.schema.Arity()
 	}
 	done()
-	if err := e.ctx.Err(); err != nil {
+	// A failed build drain means a truncated hash table: the join must
+	// not run over it. The drain error wins over the bare ctx error (it
+	// is more specific); both fail the build here.
+	if err := engine.FirstErr(jb.Err(), e.ctx.Err()); err != nil {
+		probe.close()
+		return nil, err
+	}
+	// The materialized build side is tracked query state: charge it
+	// against the memory budget before fanning probes out.
+	if err := e.gov.ChargeMem(jb.Rows() * engine.ApproxRowBytes(buildArity)); err != nil {
 		probe.close()
 		return nil, err
 	}
 	if e.workers <= 1 {
 		it := jb.Probe(e.merge(probe, st))
-		return obsStream(&pstream{seq: it, schema: it.Schema()}, st), nil
+		return obsStream(e.injectStream("join", &pstream{seq: it, schema: it.Schema()}), st), nil
 	}
 	pp := e.partition(probe, st)
 	parts := make([]engine.RowIter, len(pp))
 	for i, part := range pp {
 		parts[i] = jb.Probe(part)
 	}
-	return obsStream(&pstream{parts: parts, schema: prep.Schema()}, st), nil
+	return obsStream(e.injectStream("join", &pstream{parts: parts, schema: prep.Schema()}), st), nil
 }
 
 // mapStream wraps every fragment (or the sequential iterator) of in with
@@ -800,21 +1048,9 @@ func (e *executor) table(p engine.Plan, parent *engine.OpStats) (*engine.Table, 
 	}
 	it := e.merge(s, parent)
 	defer it.Close()
-	t := engine.Materialize(it)
-	if err := e.ctx.Err(); err != nil {
+	t, err := engine.MaterializeErr(it)
+	if err := engine.FirstErr(err, e.errOf(), e.ctx.Err()); err != nil {
 		return nil, err
 	}
 	return t, nil
-}
-
-// mustValidated panics with a uniform message when a per-partition
-// operation that was validated at build time fails anyway. The build
-// functions validate every schema-determined failure mode (arity
-// compatibility, aggregate specs) before fanning work out to
-// partitions, so an error here is an executor bug and must be loud,
-// never a silently empty partition.
-func mustValidated(op string, err error) {
-	if err != nil {
-		panic(fmt.Sprintf("parallel: %s over validated partition(s) failed: %v", op, err))
-	}
 }

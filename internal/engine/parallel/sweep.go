@@ -16,31 +16,48 @@ import (
 // The ordered exchange + per-worker streaming sweeps supersede this on
 // begin-sorted input; it remains the blocking ablation baseline.
 //
-// fn must be pre-validated at build time (the compile functions resolve
-// schemas and arities against an empty input before spawning fragments)
-// so it cannot fail at runtime — on an invariant violation it panics
-// rather than returning a silently truncated result.
+// A failed partition drain or a failing fn ends the partition's stream
+// with NO rows — a sweep over a truncated partition would be a silently
+// wrong multiset — and the error propagates through Err per the
+// error-carrying iterator protocol.
 type lazySweepIter struct {
 	in     engine.RowIter
 	schema tuple.Schema
-	fn     func(*engine.Table) *engine.Table
+	fn     func(*engine.Table) (*engine.Table, error)
 	out    engine.RowIter
+	err    error
 }
 
 // newLazySweepIter wraps one partition with a sweep function; schema is
 // the sweep's output schema.
-func newLazySweepIter(in engine.RowIter, schema tuple.Schema, fn func(*engine.Table) *engine.Table) engine.RowIter {
+func newLazySweepIter(in engine.RowIter, schema tuple.Schema, fn func(*engine.Table) (*engine.Table, error)) engine.RowIter {
 	return &lazySweepIter{in: in, schema: schema, fn: fn}
 }
 
 func (it *lazySweepIter) Schema() tuple.Schema { return it.schema }
 
 func (it *lazySweepIter) Next() (tuple.Tuple, bool) {
+	if it.err != nil {
+		return nil, false
+	}
 	if it.out == nil {
-		it.out = engine.NewTableIter(it.fn(engine.Materialize(it.in)))
+		t, err := engine.MaterializeErr(it.in)
+		if err == nil {
+			t, err = it.fn(t)
+		}
+		if err != nil {
+			it.err = err
+			return nil, false
+		}
+		it.out = engine.NewTableIter(t)
 	}
 	return it.out.Next()
 }
+
+// Err reports the partition drain or sweep failure, else delegates to
+// the input (which may have recorded an error this iterator never
+// observed because it was closed before the first Next).
+func (it *lazySweepIter) Err() error { return engine.FirstErr(it.err, engine.IterErr(it.in)) }
 
 // Close releases the input and, when Next already materialized the
 // sweep, the result iterator too.
@@ -53,27 +70,47 @@ func (it *lazySweepIter) Close() {
 
 // lazyDiffIter is the two-input form of lazySweepIter for the fused
 // difference sweep: both sides of one hash partition are materialized
-// on first Next and diffed through fn, which buildDiff pre-validates
-// (arity compatibility is the only failure mode of the diff sweep and
-// is checked before any fragment spawns).
+// on first Next and diffed through fn. A failed drain on either side —
+// or a failing fn — ends the stream with no rows and surfaces through
+// Err.
 type lazyDiffIter struct {
 	l, r   engine.RowIter
 	schema tuple.Schema
-	fn     func(l, r *engine.Table) *engine.Table
+	fn     func(l, r *engine.Table) (*engine.Table, error)
 	out    engine.RowIter
+	err    error
 }
 
-func newLazyDiffIter(l, r engine.RowIter, schema tuple.Schema, fn func(l, r *engine.Table) *engine.Table) engine.RowIter {
+func newLazyDiffIter(l, r engine.RowIter, schema tuple.Schema, fn func(l, r *engine.Table) (*engine.Table, error)) engine.RowIter {
 	return &lazyDiffIter{l: l, r: r, schema: schema, fn: fn}
 }
 
 func (it *lazyDiffIter) Schema() tuple.Schema { return it.schema }
 
 func (it *lazyDiffIter) Next() (tuple.Tuple, bool) {
+	if it.err != nil {
+		return nil, false
+	}
 	if it.out == nil {
-		it.out = engine.NewTableIter(it.fn(engine.Materialize(it.l), engine.Materialize(it.r)))
+		lt, lErr := engine.MaterializeErr(it.l)
+		rt, rErr := engine.MaterializeErr(it.r)
+		if err := engine.FirstErr(lErr, rErr); err != nil {
+			it.err = err
+			return nil, false
+		}
+		t, err := it.fn(lt, rt)
+		if err != nil {
+			it.err = err
+			return nil, false
+		}
+		it.out = engine.NewTableIter(t)
 	}
 	return it.out.Next()
+}
+
+// Err reports the drain or diff failure, else delegates to the inputs.
+func (it *lazyDiffIter) Err() error {
+	return engine.FirstErr(it.err, engine.IterErr(it.l), engine.IterErr(it.r))
 }
 
 // Close releases both inputs and, when Next already materialized the

@@ -15,3 +15,9 @@ func CheckOrdered(op string, in RowIter) RowIter { return in }
 // tag; with it, the returned iterator asserts that yielded rows are
 // never mutated across Next calls and panics naming op on violation.
 func CheckNoAlias(op string, in RowIter) RowIter { return in }
+
+// CheckErrChecked is an identity function without the snapdebug build
+// tag; with it, the returned iterator asserts that a drain reaching
+// end-of-stream consults Err before Close and panics naming op on
+// violation.
+func CheckErrChecked(op string, in RowIter) RowIter { return in }

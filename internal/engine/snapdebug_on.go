@@ -61,6 +61,10 @@ func (it *checkOrderedIter) Next() (tuple.Tuple, bool) {
 
 func (it *checkOrderedIter) Close() { it.in.Close() }
 
+// Err delegates the terminal error: the assertion shim never severs
+// the error-carrying protocol.
+func (it *checkOrderedIter) Err() error { return IterErr(it.in) }
+
 // checkOrderedBatchIter is the batch-capable form of the order checker:
 // wrapping a batch-capable input must not sever the NextBatch chain, so
 // the assertion layer composes with batch execution instead of silently
@@ -139,6 +143,10 @@ func (it *checkNoAliasIter) Close() {
 	it.in.Close()
 }
 
+// Err delegates the terminal error: the assertion shim never severs
+// the error-carrying protocol.
+func (it *checkNoAliasIter) Err() error { return IterErr(it.in) }
+
 // checkNoAliasBatchIter is the batch-capable form of the mutation
 // checker: every row of a delivered batch joins the snapshot ring, and
 // the ring is re-verified before each subsequent NextBatch — which is
@@ -161,6 +169,63 @@ func (it *checkNoAliasBatchIter) NextBatch(b *RowBatch) bool {
 	for _, row := range b.Rows {
 		it.ring[it.n%noAliasWindow] = yieldedRow{live: row, snap: row.Clone()}
 		it.n++
+	}
+	return ok
+}
+
+// CheckErrChecked wraps the stream ROOT with an assertion of the
+// error-carrying protocol's first rule: a consumer that drives the
+// stream to end-of-stream must consult Err before Close. With the tag,
+// an exhausted-then-Closed root whose Err was never called panics
+// naming op — the drain site that would silently swallow a truncation.
+// An early Close (the stream never reported end) is legal and not
+// flagged: abandoning a stream is not the same as mistaking a failed
+// one for complete.
+func CheckErrChecked(op string, in RowIter) RowIter {
+	if bi, ok := in.(BatchIter); ok {
+		return &checkErrCheckedBatchIter{checkErrCheckedIter: checkErrCheckedIter{op: op, in: in}, bin: bi}
+	}
+	return &checkErrCheckedIter{op: op, in: in}
+}
+
+type checkErrCheckedIter struct {
+	op      string
+	in      RowIter
+	eos     bool // the stream reported end-of-stream to the consumer
+	checked bool // Err was consulted
+}
+
+func (it *checkErrCheckedIter) Schema() tuple.Schema { return it.in.Schema() }
+
+func (it *checkErrCheckedIter) Next() (tuple.Tuple, bool) {
+	row, ok := it.in.Next()
+	if !ok {
+		it.eos = true
+	}
+	return row, ok
+}
+
+func (it *checkErrCheckedIter) Err() error {
+	it.checked = true
+	return IterErr(it.in)
+}
+
+func (it *checkErrCheckedIter) Close() {
+	if it.eos && !it.checked {
+		panic(fmt.Sprintf("engine: snapdebug: %s drained to end-of-stream and Closed without checking Err — a truncated stream would pass for complete", it.op))
+	}
+	it.in.Close()
+}
+
+type checkErrCheckedBatchIter struct {
+	checkErrCheckedIter
+	bin BatchIter
+}
+
+func (it *checkErrCheckedBatchIter) NextBatch(b *RowBatch) bool {
+	ok := it.bin.NextBatch(b)
+	if !ok {
+		it.eos = true
 	}
 	return ok
 }

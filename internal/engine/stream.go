@@ -71,28 +71,17 @@ func (it *tableIter) NextBatch(b *RowBatch) bool {
 
 func (it *tableIter) Close() {}
 
+// Err reports no error: a table scan over materialized rows cannot
+// fail mid-stream.
+func (it *tableIter) Err() error { return nil }
+
 // Materialize drains the iterator into a table, batch-at-a-time when
-// the iterator supports it. It does not Close it.
+// the iterator supports it. It does not Close it, and it DISCARDS the
+// stream's terminal error — callers that must distinguish a truncated
+// drain from a complete one use MaterializeErr instead.
 func Materialize(it RowIter) *Table {
-	t := &Table{Schema: it.Schema()}
-	if bi, ok := it.(BatchIter); ok {
-		b := NewRowBatch(DefaultBatchSize)
-		for bi.NextBatch(b) {
-			// Materialization is the ownership hand-off point: the batch's
-			// row slice is copied out before the producer reuses it, and
-			// engine producers never reuse yielded row backing arrays.
-			t.Rows = append(t.Rows, b.Rows...)
-		}
-		return t
-	}
-	for {
-		row, ok := it.Next()
-		if !ok {
-			return t
-		}
-		//lint:ignore rowretain materialization is the ownership hand-off point; engine producers never reuse yielded backing arrays
-		t.Rows = append(t.Rows, row)
-	}
+	t, _ := MaterializeErr(it)
+	return t
 }
 
 // filterIter streams the rows of its input satisfying a predicate —
@@ -152,6 +141,9 @@ func (it *filterIter) NextBatch(out *RowBatch) bool {
 }
 
 func (it *filterIter) Close() { it.in.Close() }
+
+// Err delegates the terminal error to the input stream.
+func (it *filterIter) Err() error { return IterErr(it.in) }
 
 // batchCapOf returns the effective row capacity of an output batch —
 // its own capacity, or the engine default when the caller handed over
@@ -232,6 +224,9 @@ func (it *projectIter) NextBatch(out *RowBatch) bool {
 
 func (it *projectIter) Close() { it.in.Close() }
 
+// Err delegates the terminal error to the input stream.
+func (it *projectIter) Err() error { return IterErr(it.in) }
+
 // unionIter concatenates two union-compatible streams — the pipelined
 // form of UnionAll.
 type unionIter struct {
@@ -286,6 +281,9 @@ func (it *unionIter) Close() {
 	it.r.Close()
 }
 
+// Err reports the first terminal error of either input.
+func (it *unionIter) Err() error { return FirstErr(IterErr(it.l), IterErr(it.r)) }
+
 // hashJoinIter is the pipelined temporal hash join: the build side is
 // drained into a hash table on the extracted equi-key columns at
 // construction; the probe side then streams, so pipeline chains above
@@ -302,6 +300,7 @@ type hashJoinIter struct {
 	res      algebra.Compiled
 	lA, rA   int
 	swapped  bool
+	buildErr error  // terminal error of the (eagerly drained) build side
 	scratch  []byte // reusable probe-key buffer: no string allocation per probe row
 	// probe state: current probe row and its pending bucket suffix.
 	prow   tuple.Tuple
@@ -362,7 +361,17 @@ type JoinBuild struct {
 	prep  *JoinPrep
 	build map[string]*joinBucket
 	left  bool
+	rows  int64 // build rows retained (the governor's memory-charge basis)
+	err   error // terminal error of the build-side drain
 }
+
+// Err reports the terminal error of the build-side drain: a build over
+// a failed input stream is incomplete, and probing it would silently
+// drop matches.
+func (b *JoinBuild) Err() error { return b.err }
+
+// Rows returns the number of rows retained in the build table.
+func (b *JoinBuild) Rows() int64 { return b.rows }
 
 // Build drains the right (build-side) input into a hash table on the
 // equi-key columns and closes it. It must only be called when HasEquiKey
@@ -381,6 +390,7 @@ func (p *JoinPrep) buildSide(in RowIter, left bool) *JoinBuild {
 		keyIdx = p.lIdx
 	}
 	build := make(map[string]*joinBucket)
+	var n int64
 	var scratch []byte
 	src := AsBatchIter(in, DefaultBatchSize)
 	batch := NewRowBatch(DefaultBatchSize)
@@ -399,10 +409,12 @@ func (p *JoinPrep) buildSide(in RowIter, left bool) *JoinBuild {
 			}
 			//lint:ignore rowretain hash-join build side holds rows read-only; engine producers never reuse yielded row backing (only the batch slice is reused, and the row is copied out of it here)
 			b.rows = append(b.rows, row)
+			n++
 		}
 	}
+	err := IterErr(in)
 	in.Close()
-	return &JoinBuild{prep: p, build: build, left: left}
+	return &JoinBuild{prep: p, build: build, left: left, rows: n, err: err}
 }
 
 // Probe returns a streaming probe iterator over the non-built input
@@ -422,6 +434,7 @@ func (b *JoinBuild) Probe(probe RowIter) RowIter {
 		lA:       b.prep.lA,
 		rA:       b.prep.rA,
 		swapped:  b.left,
+		buildErr: b.err,
 	}
 }
 
@@ -456,11 +469,21 @@ func newJoinIterSided(l, r RowIter, pred algebra.Expr, buildLeft bool) (RowIter,
 		return newOverlapJoinIter(l, r, prep.joined, prep.res)
 	}
 	// The build side is fully drained and released by the build; the
-	// probe side stays open until the joint iterator is closed.
+	// probe side stays open until the joint iterator is closed. A build
+	// over a failed stream is incomplete — surface that as a
+	// construction error rather than probing a partial table.
+	var jb *JoinBuild
+	probe := l
 	if buildLeft {
-		return prep.BuildLeft(l).Probe(r), nil
+		jb, probe = prep.BuildLeft(l), r
+	} else {
+		jb = prep.Build(r)
 	}
-	return prep.Build(r).Probe(l), nil
+	if err := jb.Err(); err != nil {
+		probe.Close()
+		return nil, err
+	}
+	return jb.Probe(probe), nil
 }
 
 // BuildLeftSmaller decides hash-join build-side orientation from two
@@ -543,6 +566,9 @@ func (it *hashJoinIter) Next() (tuple.Tuple, bool) {
 }
 
 func (it *hashJoinIter) Close() { it.probe.Close() }
+
+// Err reports the build side's terminal error, then the probe side's.
+func (it *hashJoinIter) Err() error { return FirstErr(it.buildErr, IterErr(it.probe)) }
 
 // ExecStream evaluates a physical plan to a pull-based row stream.
 // Filter, Project, UnionAll and the probe side of the temporal join are
@@ -788,5 +814,5 @@ func (db *DB) streamToTableObs(p Plan, parent *OpStats) (*Table, error) {
 		return nil, err
 	}
 	defer it.Close()
-	return Materialize(it), nil
+	return MaterializeErr(it)
 }

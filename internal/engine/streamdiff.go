@@ -346,3 +346,8 @@ func (it *streamDiffIter) Close() {
 	it.l.Close()
 	it.r.Close()
 }
+
+// Err reports the first terminal error of either input; see
+// streamCoalesceIter.Err for why the sweep's flushed output is only
+// valid when this reports nil.
+func (it *streamDiffIter) Err() error { return FirstErr(IterErr(it.l), IterErr(it.r)) }

@@ -30,6 +30,7 @@ type sortIter struct {
 	rows   []tuple.Tuple
 	i      int
 	loaded bool
+	err    error
 }
 
 // NewSortIter wraps in with the endpoint sort enforcer, taking
@@ -40,11 +41,22 @@ func NewSortIter(in RowIter) RowIter {
 
 func (it *sortIter) Schema() tuple.Schema { return it.in.Schema() }
 
+// load drains and sorts the input on first use. A drain terminated by
+// an error yields NO rows: emitting a sorted prefix of a failed stream
+// would be silent truncation, so the sort surfaces the error and
+// nothing else.
+func (it *sortIter) load() {
+	it.rows, it.err = drainRowsErr(it.in)
+	if it.err != nil {
+		it.rows = nil
+	}
+	SortRowsByEndpoints(it.rows)
+	it.loaded = true
+}
+
 func (it *sortIter) Next() (tuple.Tuple, bool) {
 	if !it.loaded {
-		it.rows = drainRows(it.in)
-		SortRowsByEndpoints(it.rows)
-		it.loaded = true
+		it.load()
 	}
 	if it.i >= len(it.rows) {
 		return nil, false
@@ -55,12 +67,10 @@ func (it *sortIter) Next() (tuple.Tuple, bool) {
 }
 
 // NextBatch re-emits the sorted rows chunk-at-a-time; the drain on
-// first use already reads the child batch-at-a-time via drainRows.
+// first use already reads the child batch-at-a-time via drainRowsErr.
 func (it *sortIter) NextBatch(b *RowBatch) bool {
 	if !it.loaded {
-		it.rows = drainRows(it.in)
-		SortRowsByEndpoints(it.rows)
-		it.loaded = true
+		it.load()
 	}
 	b.Reset()
 	n := len(it.rows) - it.i
@@ -76,6 +86,9 @@ func (it *sortIter) NextBatch(b *RowBatch) bool {
 }
 
 func (it *sortIter) Close() { it.in.Close() }
+
+// Err reports the drain error captured at load time, else the input's.
+func (it *sortIter) Err() error { return FirstErr(it.err, IterErr(it.in)) }
 
 // minHeap is the one binary min-heap behind both streaming sweeps —
 // pending interval ends, pending row exits and the group expiry
@@ -402,6 +415,12 @@ func (it *streamCoalesceIter) NextBatch(out *RowBatch) bool {
 
 func (it *streamCoalesceIter) Close() { it.in.Close() }
 
+// Err delegates the terminal error to the input stream. A failed input
+// looks like end of input to the sweep (it flushes and emits what it
+// has); the delegated error is what tells the root consumer to discard
+// that output.
+func (it *streamCoalesceIter) Err() error { return IterErr(it.in) }
+
 // aggGroup is the per-group state of the streaming pre-aggregated
 // split: incremental accumulators plus the rows whose intervals are
 // still open at the sweep position (pending row exits keyed by
@@ -683,3 +702,8 @@ func (it *streamAggIter) NextBatch(out *RowBatch) bool {
 }
 
 func (it *streamAggIter) Close() { it.in.Close() }
+
+// Err delegates the terminal error to the input stream; see
+// streamCoalesceIter.Err for why the sweep's flushed output is only
+// valid when this reports nil.
+func (it *streamAggIter) Err() error { return IterErr(it.in) }

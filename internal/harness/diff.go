@@ -126,7 +126,11 @@ func runDiffVariant(db, sortedDB *engine.DB, v diffVariant, runs int) (d time.Du
 			return err
 		}
 		defer it.Close()
-		rows = engine.Materialize(it).Len()
+		t, merr := engine.MaterializeErr(it)
+		if merr != nil {
+			return merr
+		}
+		rows = t.Len()
 		if rows == 0 {
 			return fmt.Errorf("empty diff result")
 		}

@@ -73,7 +73,11 @@ func Obs(w io.Writer, sc Scale, rep *Report) error {
 				return err
 			}
 			defer it.Close()
-			rows = engine.Materialize(it).Len()
+			t, merr := engine.MaterializeErr(it)
+			if merr != nil {
+				return merr
+			}
+			rows = t.Len()
 			if rows == 0 {
 				return fmt.Errorf("empty result")
 			}

@@ -56,7 +56,10 @@ func Scaling(w io.Writer, sc Scale, rep *Report) error {
 				return err
 			}
 			defer it.Close()
-			t := engine.Materialize(it)
+			t, merr := engine.MaterializeErr(it)
+			if merr != nil {
+				return merr
+			}
 			if t.Len() == 0 {
 				return fmt.Errorf("scaling: empty pipeline result")
 			}

@@ -127,7 +127,11 @@ func runSweepVariant(db, sortedDB *engine.DB, v sweepVariant, runs int) (d time.
 			return err
 		}
 		defer it.Close()
-		rows = engine.Materialize(it).Len()
+		t, merr := engine.MaterializeErr(it)
+		if merr != nil {
+			return merr
+		}
+		rows = t.Len()
 		if rows == 0 {
 			return fmt.Errorf("empty sweep result")
 		}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrPropagate reports drains that drop the stream's terminal error.
+// Under the error-carrying iterator protocol an iterator that returns
+// EOS may have been truncated by a propagated failure (a canceled
+// context, a tripped governor limit, an exchange producer error); the
+// only way to distinguish a truncated stream from a complete one is to
+// consult Err after the drain. Two shapes violate that:
+//
+//   - a loop that pulls an iterator-typed local (Next or NextBatch) in
+//     a function that never consults that iterator's error — by calling
+//     its Err method, passing it to engine.IterErr/MaterializeErr, or
+//     handing it off to something that can;
+//   - any call to Materialize, which documents that it discards the
+//     stream error — MaterializeErr is the drain for every site where a
+//     truncated result must not pass for a complete one.
+//
+// Like iterclose, the check tracks local variables and parameters only:
+// struct-field drains inside iterator implementations delegate through
+// their own Err method, which the snapdebug CheckErrChecked assertion
+// exercises at run time.
+var ErrPropagate = &Analyzer{
+	Name: "errpropagate",
+	Doc:  "a drain to end-of-stream must consult the iterator's Err; Materialize discards it",
+	Run:  runErrPropagate,
+}
+
+func runErrPropagate(p *Pass) {
+	p.funcBodies(func(decl *ast.FuncDecl) {
+		// Shape 2: Materialize calls on iterator-shaped arguments.
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleeName(call) != "Materialize" || len(call.Args) != 1 {
+				return true
+			}
+			if isClosable(p.typeOf(call.Args[0])) {
+				p.Reportf(call.Pos(),
+					"Materialize discards the stream's terminal error — use MaterializeErr and propagate it, or suppress with a justification")
+			}
+			return true
+		})
+
+		// Shape 1, pass 1: every loop pulling an iterator-typed local
+		// creates an err obligation on that variable. The method receiver
+		// is exempt: a NextBatch that loops over its own Next is
+		// self-delegation — the stream error stays on the same object, and
+		// consulting it is the caller's obligation, not the method's.
+		var recv types.Object
+		if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+			recv = p.Pkg.Info.Defs[decl.Recv.List[0].Names[0]]
+		}
+		type drain struct {
+			pos  token.Pos
+			name string
+		}
+		drained := make(map[types.Object]drain)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			var loop ast.Node
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loop = n
+			default:
+				return true
+			}
+			ast.Inspect(loop, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Next" && sel.Sel.Name != "NextBatch") {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.objOf(id)
+				if obj == nil || obj == recv || !isClosable(obj.Type()) {
+					return true
+				}
+				if _, seen := drained[obj]; !seen {
+					drained[obj] = drain{pos: loop.Pos(), name: id.Name}
+				}
+				return true
+			})
+			return true
+		})
+		if len(drained) == 0 {
+			return
+		}
+
+		// Shape 1, pass 2: classify every use of the obligated variables.
+		// An Err method call discharges; so does any use that hands the
+		// iterator to other code (argument — engine.IterErr(it) and helper
+		// calls alike — return value, composite literal, aliasing), since
+		// responsibility for the stream error travels with the iterator.
+		// Other method calls (Next, Close, Schema) discharge nothing.
+		checked := make(map[types.Object]bool)
+		walkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, ok := drained[obj]; !ok || len(stack) == 0 {
+				return true
+			}
+			switch pn := stack[len(stack)-1].(type) {
+			case *ast.SelectorExpr:
+				if pn.X != ast.Expr(id) {
+					return true
+				}
+				if call, ok := callOf(stack[:len(stack)-1]); ok && call.Fun == pn {
+					if pn.Sel.Name == "Err" {
+						checked[obj] = true
+					}
+					return true
+				}
+				checked[obj] = true // method value escapes
+			case *ast.AssignStmt:
+				for _, lhs := range pn.Lhs {
+					if lhs == ast.Expr(id) {
+						return true // reassignment, not a consuming use
+					}
+				}
+				checked[obj] = true // appears on an RHS: aliased away
+			default:
+				checked[obj] = true
+			}
+			return true
+		})
+
+		for obj, d := range drained {
+			if !checked[obj] {
+				p.Reportf(d.pos,
+					"%s is drained here but its stream error is never consulted — a truncated stream would pass for complete; check %s.Err() or engine.IterErr(%s) after the loop",
+					d.name, d.name, d.name)
+			}
+		}
+	})
+}
+
+// calleeName returns the called function's bare name (for both f(...)
+// and pkg.f(...) / recv.f(...) shapes), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}

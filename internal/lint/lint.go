@@ -37,7 +37,7 @@ type Analyzer struct {
 
 // Analyzers returns the full snaplint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{IterClose, RowRetain, CtxSelect, OrderedChan, KeyAlloc}
+	return []*Analyzer{IterClose, ErrPropagate, RowRetain, CtxSelect, OrderedChan, KeyAlloc}
 }
 
 // Pass carries one analyzer's view of one package and collects its

@@ -26,6 +26,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		pkgPath  string
 	}{
 		{IterClose, "iterclose", "fixture/iterclose"},
+		{ErrPropagate, "errpropagate", "fixture/errpropagate"},
 		{RowRetain, "rowretain", "fixture/rowretain"},
 		{CtxSelect, "ctxselect", "fixture/internal/engine/parallel"},
 		{OrderedChan, "orderedchan", "fixture/orderedchan"},

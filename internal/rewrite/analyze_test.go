@@ -81,6 +81,9 @@ func TestAnalyzeRowCountsMatchCursor(t *testing.T) {
 					}
 					drained++
 				}
+				if err := engine.IterErr(it); err != nil {
+					t.Fatalf("stream error: %v (%s)", err, q)
+				}
 				it.Close()
 				root := opt.Collect.RootOp()
 				if root == nil {

@@ -54,6 +54,9 @@ func drainKeys(t *testing.T, db *engine.DB, q algebra.Query, opt rewrite.Options
 			keys = append(keys, row.String())
 		}
 	}
+	if err := engine.IterErr(it); err != nil {
+		t.Fatalf("stream error: %v (opt %+v, query %s)", err, opt, q)
+	}
 	sort.Strings(keys)
 	return keys
 }

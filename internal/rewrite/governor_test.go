@@ -1,0 +1,117 @@
+// Resource-governor tests at the rewrite layer: each limit (row count,
+// memory budget, deadline) must terminate the query with its typed
+// error through the error-carrying iterator protocol, on both the
+// sequential and the parallel executor.
+package rewrite_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"snapk/internal/algebra"
+	"snapk/internal/engine"
+	"snapk/internal/krel"
+	"snapk/internal/rewrite"
+)
+
+// drainGoverned pulls the stream per-row to end-of-stream, returning
+// the row count and terminal error.
+func drainGoverned(t *testing.T, db *engine.DB, q algebra.Query, opt rewrite.Options) (int64, error) {
+	t.Helper()
+	it, err := rewrite.Stream(context.Background(), db, q, opt)
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	var n int64
+	for {
+		if _, ok := it.Next(); !ok {
+			return n, engine.IterErr(it)
+		}
+		n++
+	}
+}
+
+// The row limit is exact under per-row drive: the governor counts at
+// the root, so exactly RowLimit rows come out before ErrRowLimit —
+// sequential and parallel alike.
+func TestRowLimitExactPerRow(t *testing.T) {
+	db := analyzeLeakDB()
+	q := algebra.Rel{Name: "big"}
+	for _, par := range []int{0, 4} {
+		n, err := drainGoverned(t, db, q, rewrite.Options{
+			Mode:        rewrite.ModeOptimized,
+			Parallelism: par,
+			BatchSize:   -1,
+			Limits:      engine.Limits{RowLimit: 7},
+		})
+		if !errors.Is(err, engine.ErrRowLimit) {
+			t.Fatalf("par=%d: err = %v, want ErrRowLimit", par, err)
+		}
+		if n != 7 {
+			t.Fatalf("par=%d: %d rows delivered before the limit, want exactly 7", par, n)
+		}
+	}
+}
+
+// Under batch drive the limit still terminates the query with the typed
+// error; delivery stops within one batch of the limit.
+func TestRowLimitBatchDrive(t *testing.T) {
+	db := analyzeLeakDB()
+	q := algebra.Rel{Name: "big"}
+	for _, par := range []int{0, 4} {
+		n, err := drainGoverned(t, db, q, rewrite.Options{
+			Mode:        rewrite.ModeOptimized,
+			Parallelism: par,
+			Limits:      engine.Limits{RowLimit: 100},
+		})
+		if !errors.Is(err, engine.ErrRowLimit) {
+			t.Fatalf("par=%d: err = %v, want ErrRowLimit", par, err)
+		}
+		if n > 100 {
+			t.Fatalf("par=%d: %d rows delivered past the limit", par, n)
+		}
+	}
+}
+
+// A one-byte memory budget must trip on the streaming sweep's tracked
+// state (the max_state accounting) with ErrMemBudget — at build time or
+// mid-stream, but never as a clean complete result.
+func TestMemBudgetTripsStreamingSweep(t *testing.T) {
+	db := analyzeLeakDB()
+	q := algebra.Agg{
+		GroupBy: []string{"g"},
+		Aggs:    []algebra.AggSpec{{Fn: krel.CountStar, As: "cnt"}},
+		In:      algebra.Rel{Name: "big"},
+	}
+	for _, par := range []int{0, 4} {
+		_, err := drainGoverned(t, db, q, rewrite.Options{
+			Mode:        rewrite.ModeOptimized,
+			Sweep:       rewrite.SweepStreaming,
+			Parallelism: par,
+			Limits:      engine.Limits{MemBudget: 1},
+		})
+		if !errors.Is(err, engine.ErrMemBudget) {
+			t.Fatalf("par=%d: err = %v, want ErrMemBudget", par, err)
+		}
+	}
+}
+
+// An already-expired deadline surfaces as context.DeadlineExceeded —
+// either refusing to build or ending the stream — on both executors.
+func TestDeadlineSurfaces(t *testing.T) {
+	db := analyzeLeakDB()
+	q := algebra.Rel{Name: "big"}
+	for _, par := range []int{0, 4} {
+		n, err := drainGoverned(t, db, q, rewrite.Options{
+			Mode:        rewrite.ModeOptimized,
+			Parallelism: par,
+			Limits:      engine.Limits{Timeout: time.Nanosecond},
+		})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("par=%d: err = %v (%d rows), want DeadlineExceeded", par, err, n)
+		}
+	}
+}

@@ -101,6 +101,19 @@ type Options struct {
 	// so the hot path is unchanged. Ignored by the materializing executor,
 	// which has no iterators to instrument.
 	Collect *engine.Collector
+	// Limits configures the per-query resource governor: wall-clock
+	// deadline, emitted-row limit and tracked-state memory budget. The
+	// zero value (the default) disables governing entirely. A tripped
+	// limit ends the stream and surfaces the governor's typed error
+	// (engine.ErrRowLimit, engine.ErrMemBudget,
+	// context.DeadlineExceeded) through the iterator's Err. Ignored by
+	// the materializing executor.
+	Limits engine.Limits
+	// Inject, when non-nil, wraps the iterator built at each operator
+	// and exchange boundary — the chaos fault-injection hook
+	// (internal/chaos). Production queries leave it nil. Ignored by the
+	// materializing executor.
+	Inject engine.IterWrapper
 }
 
 // Rewrite reduces a snapshot query to a physical plan over the period
@@ -328,7 +341,11 @@ func Run(db *engine.DB, q algebra.Query, opt Options) (*engine.Table, error) {
 		return nil, err
 	}
 	defer it.Close()
-	return engine.Materialize(it), nil
+	t, err := engine.MaterializeErr(it)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // Stream rewrites q and returns a pull-based row stream over the
@@ -336,7 +353,10 @@ func Run(db *engine.DB, q algebra.Query, opt Options) (*engine.Table, error) {
 // entry point behind snapk.DB.QueryRows. With Options.Parallelism > 1
 // the plan runs on the parallel exchange executor; either way ctx
 // cancellation tears the pipeline (and any fragment goroutines) down.
-// The caller must Close the returned iterator.
+// The returned iterator carries the error-carrying protocol: a consumer
+// that drains it to end-of-stream must check engine.IterErr before
+// trusting the result (the snapdebug build asserts exactly this at the
+// root). The caller must Close the returned iterator.
 func Stream(ctx context.Context, db *engine.DB, q algebra.Query, opt Options) (engine.RowIter, error) {
 	p, err := Rewrite(q, db, opt)
 	if err != nil {
@@ -350,7 +370,17 @@ func Stream(ctx context.Context, db *engine.DB, q algebra.Query, opt Options) (e
 	}
 	// The parallel executor also serves Parallelism <= 1: it degenerates
 	// to the sequential streaming engine wrapped with ctx cancellation.
-	return parallel.Exec(ctx, db, p, parallel.Options{Workers: max(opt.Parallelism, 1), BatchSize: opt.BatchSize, Stats: st})
+	it, err := parallel.Exec(ctx, db, p, parallel.Options{
+		Workers:   max(opt.Parallelism, 1),
+		BatchSize: opt.BatchSize,
+		Stats:     st,
+		Gov:       engine.NewGovernor(opt.Limits),
+		Inject:    opt.Inject,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.CheckErrChecked("rewrite stream root", it), nil
 }
 
 // OutSchema returns the data schema of the result of q on db, mirroring

@@ -196,7 +196,7 @@ func (db *DB) evalAlgebra(q algebra.Query, ap Approach) (*Result, error) {
 	var err error
 	switch ap {
 	case Seq:
-		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeOptimized, Parallelism: db.parallelism})
+		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeOptimized, Parallelism: db.parallelism, Limits: db.limits})
 	case SeqNaive:
 		tbl, err = rewrite.Run(db.eng, q, rewrite.Options{Mode: rewrite.ModeNaive})
 	case SeqMaterialized:

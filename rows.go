@@ -60,6 +60,7 @@ func (db *DB) QueryRows(ctx context.Context, sql string) (*Rows, error) {
 	it, err := rewrite.Stream(ctx, db.eng, q, rewrite.Options{
 		Mode:        rewrite.ModeOptimized,
 		Parallelism: db.parallelism,
+		Limits:      db.limits,
 	})
 	if err != nil {
 		return nil, err
@@ -92,10 +93,12 @@ func (r *Rows) Next() bool {
 		r.done = true
 		r.cur = nil
 		r.flushEmitted()
-		// Distinguish a natural end of stream from a canceled pipeline at
-		// the moment the stream ends, so a cancel issued after full
-		// consumption does not retroactively become an error.
-		r.err = r.ctx.Err()
+		// The pipeline carries its own terminal error (the error-carrying
+		// iterator protocol): cancellation, a tripped resource limit, a
+		// failed operator or a contained panic all surface here, while a
+		// naturally complete stream reports nil — so a cancel issued after
+		// full consumption never retroactively becomes an error.
+		r.err = engine.IterErr(r.it)
 		return false
 	}
 	//lint:ignore rowretain the cursor row is exposed read-only via Scan/Values and replaced on the next Next
@@ -134,8 +137,11 @@ func (r *Rows) flushEmitted() {
 	}
 }
 
-// Err returns the error that ended iteration early — currently only
-// context cancellation — or nil after a natural end of stream.
+// Err returns the error that ended iteration early — context
+// cancellation, a deadline (context.DeadlineExceeded), a tripped
+// resource limit (ErrRowLimit, ErrMemBudget), a failed operator or a
+// contained panic — or nil after a natural end of stream. Like
+// database/sql, always check Err after Next returns false.
 func (r *Rows) Err() error {
 	return r.err
 }
@@ -170,6 +176,12 @@ func (r *Rows) Values() []any {
 // into *float64 is supported. It must only be called after a successful
 // Next.
 func (r *Rows) Scan(dest ...any) error {
+	// database/sql semantics: once the stream has failed, every Scan
+	// reports the stream error — a consumer that ignores Next's false
+	// return cannot mistake a truncated result for a complete one.
+	if r.err != nil {
+		return r.err
+	}
 	if r.closed {
 		return fmt.Errorf("snapk: Scan called on closed Rows")
 	}

@@ -50,7 +50,28 @@ type DB struct {
 	// parallelism is the worker count used by Seq query evaluation and
 	// QueryRows; <= 1 means sequential.
 	parallelism int
+	// limits is the per-query resource-governor configuration applied to
+	// Seq query evaluation and QueryRows; the zero value disables it.
+	limits QueryLimits
 }
+
+// QueryLimits configures the per-query resource governor: a wall-clock
+// Timeout, a RowLimit on emitted result rows, and a MemBudget in bytes
+// over tracked operator state (sweep state, hash-join build sides,
+// exchange queue depth). Zero fields disable the corresponding limit;
+// the zero value disables governing entirely.
+type QueryLimits = engine.Limits
+
+// Typed resource-governor errors, re-exported so callers can errors.Is
+// against Rows.Err (a deadline surfaces as context.DeadlineExceeded).
+var (
+	// ErrRowLimit ends a query whose result exceeded the configured
+	// row limit.
+	ErrRowLimit = engine.ErrRowLimit
+	// ErrMemBudget ends a query whose tracked operator state exceeded
+	// the configured memory budget.
+	ErrMemBudget = engine.ErrMemBudget
+)
 
 // New returns an empty database over the time domain [minTime, maxTime).
 // Time points are opaque integers; map them to hours, days or
@@ -67,6 +88,17 @@ func New(minTime, maxTime int64) *DB {
 // multiset-identical at every setting. It returns db for chaining.
 func (db *DB) SetParallelism(n int) *DB {
 	db.parallelism = n
+	return db
+}
+
+// SetQueryLimits installs per-query resource limits enforced on every
+// subsequent Seq evaluation (Query, QueryWith) and streaming cursor
+// (QueryRows): a tripped limit fails that query — Query returns the
+// governor's typed error, a cursor ends its stream and reports it
+// through Rows.Err — without affecting the database or other queries.
+// The zero value removes all limits. It returns db for chaining.
+func (db *DB) SetQueryLimits(l QueryLimits) *DB {
+	db.limits = l
 	return db
 }
 
