@@ -16,6 +16,7 @@
 //	snapbench -exp obs        EXPLAIN ANALYZE collector overhead, off vs on
 //	snapbench -exp batch      batch-at-a-time (NextBatch) drive vs the per-row Volcano ablation
 //	snapbench -exp chaos      resource-governor overhead, ungoverned vs governed (limits never trip)
+//	snapbench -exp opt        cost-aware planner knob ablation (pushdown/pruning/pre-sizing/adaptive workers)
 //	snapbench -exp all        everything above
 //
 // -quick shrinks datasets for a fast smoke run; -runs sets the number of
@@ -51,7 +52,7 @@ type config struct {
 func parseFlags(args []string, out io.Writer) (config, error) {
 	fs := flag.NewFlagSet("snapbench", flag.ContinueOnError)
 	fs.SetOutput(out)
-	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|parstream|diff|obs|batch|chaos|all")
+	exp := fs.String("exp", "all", "experiment: fig1|table1|fig5|table2|table3emp|table3tpc|ablation|scaling|sweep|parstream|diff|obs|batch|chaos|opt|all")
 	quick := fs.Bool("quick", false, "use small datasets (smoke run)")
 	runs := fs.Int("runs", 0, "repetitions per measurement (0 = scale default)")
 	jsonPath := fs.String("json", "", "write per-experiment medians as JSON to this path")
@@ -92,6 +93,7 @@ func experiments(w io.Writer, sc harness.Scale, rep *harness.Report) []experimen
 		{"obs", func() error { return harness.Obs(w, sc, rep) }},
 		{"batch", func() error { return harness.Batch(w, sc, rep) }},
 		{"chaos", func() error { return harness.Chaos(w, sc, rep) }},
+		{"opt", func() error { return harness.Opt(w, sc, rep) }},
 	}
 }
 

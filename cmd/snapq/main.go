@@ -14,6 +14,8 @@
 //	snapq -data employees -query join-1 -approach seq-stream  # forced streaming sweeps
 //	snapq -data employees -query agg-1 -approach par-stream  # parallel streaming sweeps (ordered exchange)
 //	snapq -data employees -query join-1 -stream -limit 0   # stream rows as they arrive
+//	snapq -data employees -query agg-1 -window 100,200   # timeslice: clip the result to [100, 200)
+//	snapq -data employees -query join-1 -opt -window 100,200 -explain   # cost-aware planner + its decisions
 package main
 
 import (
@@ -55,6 +57,8 @@ type config struct {
 	Trace    string
 	Stream   bool
 	Out      string
+	Window   string
+	Opt      bool
 }
 
 // parseFlags parses the command line into a config; separated from run
@@ -77,6 +81,8 @@ func parseFlags(args []string, out io.Writer) (config, error) {
 	fs.StringVar(&cfg.Trace, "trace", "", "write the executed query's operator spans as Chrome-trace JSON to this file (implies -analyze)")
 	fs.BoolVar(&cfg.Stream, "stream", false, "print rows as the pipeline produces them instead of materializing and sorting (seq approaches only)")
 	fs.StringVar(&cfg.Out, "out", "", "write the result as CSV to this file instead of printing")
+	fs.StringVar(&cfg.Window, "window", "", "restrict the query to the time window begin,end (timeslice: row intervals are clipped)")
+	fs.BoolVar(&cfg.Opt, "opt", false, "enable the cost-aware planner (pushdown, zone-map pruning, hash pre-sizing, adaptive workers)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -136,22 +142,48 @@ func runQuery(cfg config, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	window, err := parseWindow(cfg.Window)
+	if err != nil {
+		return err
+	}
+	// plan layers the planner flags over an approach's base options.
+	plan := func(opt rewrite.Options) rewrite.Options {
+		opt.Window = window
+		if cfg.Opt {
+			opt.Planner = rewrite.AllKnobs()
+		}
+		return opt
+	}
 	if cfg.Explain {
-		return explainQuery(db, q, ap, stdout)
+		return explainQuery(db, q, ap, plan, stdout)
 	}
 	if cfg.Analyze || cfg.Trace != "" {
-		return analyzeQuery(db, q, ap, cfg.Trace, stdout)
+		return analyzeQuery(db, q, ap, plan, cfg.Trace, stdout)
 	}
 	if cfg.Stream {
 		opt, err := streamOptions(ap)
 		if err != nil {
 			return err
 		}
-		return streamRows(db, q, opt, cfg.Limit, stdout)
+		return streamRows(db, q, plan(opt), cfg.Limit, stdout)
 	}
-	res, err := harness.Run(db, q, ap)
-	if err != nil {
-		return err
+	var res *engine.Table
+	if window.Valid() || cfg.Opt {
+		// The planner flags only exist on the rewriting pipeline — the
+		// native baselines have no planner to configure.
+		opt, err := streamOptions(ap)
+		if err != nil {
+			return err
+		}
+		res, err = rewrite.Run(db, q, plan(opt))
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err = harness.Run(db, q, ap)
+		if err != nil {
+			return err
+		}
 	}
 	if cfg.Out != "" {
 		f, err := os.Create(cfg.Out)
@@ -238,25 +270,51 @@ func parseApproach(s string) (harness.Approach, error) {
 	}
 }
 
+// parseWindow parses a begin,end -window value; empty means no window
+// (the zero interval).
+func parseWindow(s string) (interval.Interval, error) {
+	if s == "" {
+		return interval.Interval{}, nil
+	}
+	var b, e int64
+	if _, err := fmt.Sscanf(s, "%d,%d", &b, &e); err != nil || b >= e {
+		return interval.Interval{}, fmt.Errorf("bad -window %q (want begin,end with begin < end)", s)
+	}
+	return interval.New(b, e), nil
+}
+
 // explainQuery prints the static EXPLAIN of the query under the given
 // approach: the compact rewritten plan, then the annotated operator
 // tree — sweep modes, sort properties, estimated cardinalities, and the
 // fragment/exchange placement the parallel executor would choose at the
-// approach's worker count.
-func explainQuery(db *engine.DB, q algebra.Query, ap harness.Approach, w io.Writer) error {
+// approach's worker count — and, when the planner made any, the
+// physical decisions with their reasons (build side, pre-sizing,
+// pruning, worker count).
+func explainQuery(db *engine.DB, q algebra.Query, ap harness.Approach, plan func(rewrite.Options) rewrite.Options, w io.Writer) error {
 	opt, err := streamOptions(ap)
 	if err != nil {
 		return err
 	}
-	p, err := rewrite.Rewrite(q, db, opt)
+	opt = plan(opt)
+	p, dec, err := rewrite.PlanQuery(q, db, opt)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, p)
 	fmt.Fprintln(w)
 	n := db.ExplainPlan(p)
-	parallel.AnnotatePlacement(db, p, n, max(opt.Parallelism, 1))
+	workers := max(opt.Parallelism, 1)
+	if dec.Workers > 0 {
+		workers = min(workers, dec.Workers)
+	}
+	parallel.AnnotatePlacement(db, p, n, workers)
 	fmt.Fprint(w, n.Render())
+	if len(dec.Notes) > 0 {
+		fmt.Fprintln(w, "\nplanner decisions:")
+		for _, note := range dec.Notes {
+			fmt.Fprintf(w, "  %s\n", note)
+		}
+	}
 	fmt.Fprintf(w, "\nprocess: %s\n", obs.Default.Snapshot())
 	return nil
 }
@@ -266,11 +324,12 @@ func explainQuery(db *engine.DB, q algebra.Query, ap harness.Approach, w io.Writ
 // prints the measured per-operator tree plus the process-wide registry
 // line. A non-empty tracePath additionally exports the collected spans
 // as Chrome-trace JSON (view with chrome://tracing or ui.perfetto.dev).
-func analyzeQuery(db *engine.DB, q algebra.Query, ap harness.Approach, tracePath string, w io.Writer) error {
+func analyzeQuery(db *engine.DB, q algebra.Query, ap harness.Approach, plan func(rewrite.Options) rewrite.Options, tracePath string, w io.Writer) error {
 	opt, err := streamOptions(ap)
 	if err != nil {
 		return err
 	}
+	opt = plan(opt)
 	col := engine.NewCollector()
 	opt.Collect = col
 	it, err := rewrite.Stream(context.Background(), db, q, opt)

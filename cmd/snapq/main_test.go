@@ -185,6 +185,109 @@ func TestRunExplainParallelPlacement(t *testing.T) {
 	}
 }
 
+// -opt -explain must print the planner's decision notes — why each
+// physical choice was made — alongside the annotated tree.
+func TestRunExplainPlannerDecisions(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-data", "factory", "-explain", "-opt", "-window", "4,12",
+		"-sql", "SEQ VT (SELECT w.name FROM works w JOIN assign a ON w.skill = a.skill)",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"planner decisions:",
+		"prune=works (zone-map, window [4, 12))",
+		"prune=assign (zone-map, window [4, 12))",
+		"build=right (est ",
+		"presize=",
+		"Window [[4, 12) prune]", // the pushed, prunable windows in the tree
+		"est_rows=",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("planner explain lacks %q:\n%s", want, out.String())
+		}
+	}
+	// The adaptive note appears under a parallel approach.
+	out.Reset()
+	errb.Reset()
+	code = run([]string{
+		"-data", "factory", "-explain", "-opt", "-window", "4,12", "-approach", "seq-par",
+		"-sql", "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "workers=1 (est ") {
+		t.Fatalf("parallel planner explain lacks the adaptive-workers note:\n%s", out.String())
+	}
+	// Without -opt, no decisions section is printed.
+	out.Reset()
+	errb.Reset()
+	code = run([]string{
+		"-data", "factory", "-explain",
+		"-sql", "SEQ VT (SELECT count(*) AS cnt FROM works)",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "planner decisions:") {
+		t.Fatalf("plain explain must not print a decisions section:\n%s", out.String())
+	}
+}
+
+// -window restricts the executed query; -opt must not change its rows.
+func TestRunWindowedQuery(t *testing.T) {
+	query := func(extra ...string) string {
+		var out, errb bytes.Buffer
+		args := append([]string{
+			"-data", "factory", "-window", "4,12",
+			"-sql", "SEQ VT (SELECT count(*) AS cnt FROM works WHERE skill = 'SP')",
+		}, extra...)
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	plain := query()
+	// Figure 1b clipped to [4, 12): the windowed result is non-trivial
+	// and everything lies inside the window.
+	for _, want := range []string{"(1, 4, 8)", "(2, 8, 10)", "(1, 10, 12)", "(3 rows)"} {
+		if !strings.Contains(plain, want) {
+			t.Fatalf("windowed result lacks %q:\n%s", want, plain)
+		}
+	}
+	if got := query("-opt"); got != plain {
+		t.Fatalf("-opt changed the windowed result:\n%s\nvs\n%s", got, plain)
+	}
+	if got := query("-opt", "-approach", "seq-par"); got != plain {
+		t.Fatalf("-opt under seq-par changed the windowed result:\n%s\nvs\n%s", got, plain)
+	}
+}
+
+func TestRunBadWindowErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-data", "factory", "-window", "bogus",
+		"-sql", "SEQ VT (SELECT count(*) AS cnt FROM works)",
+	}, &out, &errb)
+	if code == 0 {
+		t.Fatal("a malformed -window must exit non-zero")
+	}
+	if !strings.Contains(errb.String(), "bad -window") {
+		t.Fatalf("diagnostic missing: %s", errb.String())
+	}
+	errb.Reset()
+	code = run([]string{
+		"-data", "factory", "-window", "12,4",
+		"-sql", "SEQ VT (SELECT count(*) AS cnt FROM works)",
+	}, &out, &errb)
+	if code == 0 {
+		t.Fatal("an inverted -window must exit non-zero")
+	}
+}
+
 // -analyze must execute the query, print the measured operator tree with
 // exact row counts, and -trace must export well-formed Chrome-trace
 // JSON alongside it.

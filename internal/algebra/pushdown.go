@@ -1,0 +1,19 @@
+package algebra
+
+// This file is the expression-analysis surface the temporal planner
+// (package rewrite) uses for its pushdown legality checks. The planner
+// operates below the algebra — on physical plans over period encodings —
+// so it cannot reuse the Query-level select pushdown in optimize.go
+// directly; it needs the same conjunct and column-reference analyses as
+// exported primitives.
+
+// Conjuncts flattens a predicate's top-level AND tree into its
+// conjuncts. A predicate with no top-level AND is its own single
+// conjunct.
+func Conjuncts(e Expr) []Expr { return conjuncts(e) }
+
+// ColsSatisfy reports whether every column reference in e satisfies ok.
+// Unknown expression forms report false — the conservative answer for
+// legality checks: a predicate the analysis cannot see through must not
+// be moved.
+func ColsSatisfy(e Expr, ok func(string) bool) bool { return allCols(e, ok) }

@@ -87,6 +87,12 @@ func (db *DB) ExplainPlan(p Plan) *ExplainNode {
 	case SortP:
 		n.Op, n.Detail = "Sort", "endpoint enforcer"
 		n.Children = []*ExplainNode{db.ExplainPlan(t.In)}
+	case WindowP:
+		n.Op, n.Detail = "Window", t.T.String()
+		if t.Prune {
+			n.Detail += " prune"
+		}
+		n.Children = []*ExplainNode{db.ExplainPlan(t.In)}
 	default:
 		n.Op = fmt.Sprintf("%T", p)
 	}
@@ -125,7 +131,18 @@ func (db *DB) explainJoinDetail(t JoinP) string {
 	}
 	strategy := "overlap-sweep"
 	if prep.HasEquiKey() {
-		if BuildLeftSmaller(db.EstimateRows(t.L), db.EstimateRows(t.R)) {
+		// A planner-pinned build side wins over the executors' own
+		// estimate-based pick — EXPLAIN reports what will actually run.
+		var buildLeft bool
+		switch t.Build {
+		case BuildLeftSide:
+			buildLeft = true
+		case BuildRightSide:
+			buildLeft = false
+		default:
+			buildLeft = BuildLeftSmaller(db.EstimateRows(t.L), db.EstimateRows(t.R))
+		}
+		if buildLeft {
 			strategy = "hash build=left"
 		} else {
 			strategy = "hash build=right"
@@ -178,6 +195,8 @@ func (db *DB) PlanDataSchema(p Plan) (tuple.Schema, error) {
 	case CoalesceP:
 		return db.PlanDataSchema(t.In)
 	case SortP:
+		return db.PlanDataSchema(t.In)
+	case WindowP:
 		return db.PlanDataSchema(t.In)
 	default:
 		return tuple.Schema{}, fmt.Errorf("engine: unknown plan node %T", p)

@@ -59,6 +59,64 @@ func TestExplainSweepModes(t *testing.T) {
 	}
 }
 
+// Every EXPLAIN node carries est_rows: exact on scans, heuristic but
+// present above them, and -1 only when a table is unknown.
+func TestExplainEstRowsOnEveryNode(t *testing.T) {
+	db := explainDB()
+	plan := engine.CoalesceP{
+		In: engine.JoinP{
+			L:    engine.FilterP{Pred: algebra.Eq(algebra.Col("k"), algebra.IntC(1)), In: engine.ScanP{Name: "un"}},
+			R:    engine.WindowP{T: interval.New(5, 15), In: engine.ScanP{Name: "so"}},
+			Pred: algebra.Eq(algebra.Col("k"), algebra.Col("r.k")),
+		},
+	}
+	var walk func(n *engine.ExplainNode, path string)
+	walk = func(n *engine.ExplainNode, path string) {
+		if n.EstRows < 0 {
+			t.Fatalf("node %s%s lacks est_rows", path, n.Op)
+		}
+		for _, c := range n.Children {
+			walk(c, path+n.Op+"/")
+		}
+	}
+	walk(db.ExplainPlan(plan), "")
+	// Non-leaf estimates reflect the operators, not just the scan counts:
+	// the window keeps a fraction of the 20 stored rows.
+	root := db.ExplainPlan(plan)
+	win := root.Children[0].Children[1]
+	if win.Op != "Window" {
+		t.Fatalf("explain tree shape changed: %+v", win)
+	}
+	if win.EstRows <= 0 || win.EstRows >= 20 {
+		t.Fatalf("window est_rows = %d, want in (0, 20)", win.EstRows)
+	}
+	// Unknown tables surface as the -1 sentinel, not a fake estimate.
+	if got := db.ExplainPlan(engine.ScanP{Name: "missing"}).EstRows; got != -1 {
+		t.Fatalf("unknown-table est_rows = %d, want -1", got)
+	}
+}
+
+// The Window node explains with its interval and, when the physical pass
+// marked it, the prune annotation.
+func TestExplainWindowNode(t *testing.T) {
+	db := explainDB()
+	T := interval.New(5, 15)
+	n := db.ExplainPlan(engine.WindowP{T: T, In: engine.ScanP{Name: "so"}})
+	if n.Op != "Window" || n.Detail != T.String() {
+		t.Fatalf("window node = %q [%q], want Window [%s]", n.Op, n.Detail, T)
+	}
+	if len(n.Children) != 1 || n.Children[0].Op != "Scan" {
+		t.Fatalf("window must have the scan child: %+v", n)
+	}
+	if !n.Ordered {
+		t.Fatal("clip over a begin-sorted scan preserves the order property")
+	}
+	pruned := db.ExplainPlan(engine.WindowP{T: T, In: engine.ScanP{Name: "so"}, Prune: true})
+	if !strings.Contains(pruned.Detail, "prune") {
+		t.Fatalf("pruned window must render the prune annotation, got %q", pruned.Detail)
+	}
+}
+
 func TestExplainJoinStrategy(t *testing.T) {
 	db := explainDB()
 	equi := engine.JoinP{
@@ -78,6 +136,18 @@ func TestExplainJoinStrategy(t *testing.T) {
 	}
 	if d := db.ExplainPlan(sweep).Detail; !strings.Contains(d, "overlap-sweep") {
 		t.Fatalf("non-equi join must explain as the overlap sweep, got %q", d)
+	}
+	// A planner-pinned build side overrides the size heuristic in the
+	// explained detail.
+	for _, c := range []struct {
+		side engine.BuildSide
+		want string
+	}{{engine.BuildLeftSide, "hash build=left"}, {engine.BuildRightSide, "hash build=right"}} {
+		pinned := equi
+		pinned.Build = c.side
+		if d := db.ExplainPlan(pinned).Detail; !strings.Contains(d, c.want) {
+			t.Fatalf("pinned build side must explain as %q, got %q", c.want, d)
+		}
 	}
 }
 
@@ -99,7 +169,8 @@ func TestExplainRender(t *testing.T) {
 		"Sort [endpoint enforcer]",
 		"Filter [",
 		"Scan [un]",
-		"└─ ", // tree drawing
+		"est_rows=20", // the scan's exact cardinality, rendered
+		"└─ ",         // tree drawing
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("rendered EXPLAIN lacks %q:\n%s", want, out)

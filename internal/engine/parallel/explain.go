@@ -124,6 +124,15 @@ func annotatePlacement(db *engine.DB, p engine.Plan, n *engine.ExplainNode, work
 		annotatePlacement(db, t.In, child(0), workers)
 		n.Placement = "sequential materialization boundary"
 		return false, true
+	case engine.WindowP:
+		// Window wraps its input fragments in place (mapStream), so it
+		// inherits the child's partitioning; clipping preserves begin
+		// order. On the pruned path the child is still a scan — its
+		// morsel/sequential annotation stays accurate, the prune only
+		// shrinks the row range the morsel counters divide.
+		parted, ordered = annotatePlacement(db, t.In, child(0), workers)
+		n.Placement = fragmentsOrSequential(parted, workers)
+		return parted, ordered
 	default:
 		return false, false
 	}

@@ -511,28 +511,40 @@ func (e *executor) build(p engine.Plan, parent *engine.OpStats) (*pstream, error
 		if err != nil {
 			return nil, err
 		}
-		st := parent.Child("Scan", n.Name)
-		// Cached table metadata makes this an O(1) probe on the load
-		// paths. A begin-sorted table yields begin-sorted fragments:
-		// every morsel scan claims strictly increasing row ranges from
-		// the shared cursor, so each fragment is an order-preserving
-		// subsequence of the stored order.
-		ordered := t.BeginSorted()
-		if e.workers <= 1 {
-			// The sequential path runs entirely on the consumer's
-			// goroutine, so this ctx probe (amortized per batch / per
-			// morsel of rows) is its only mid-stream cancellation point:
-			// blocking drains above it (sort enforcers, hash-join builds)
-			// end early when it fires instead of running to completion.
-			seq := engine.NewCtxIter(e.ctx, engine.NewTableIter(t), e.morsel)
-			return obsStream(e.injectStream("scan:"+n.Name, &pstream{seq: seq, schema: t.Schema, ordered: ordered}), st), nil
+		return e.scanStream(t, n.Name, parent.Child("Scan", n.Name)), nil
+	case engine.WindowP:
+		st := parent.Child("Window", n.T.String())
+		var in *pstream
+		if scan, ok := n.In.(engine.ScanP); ok && n.Prune {
+			// Zone-map prune before the morsel split: a scan whose endpoint
+			// envelope is disjoint from the window is skipped outright, and
+			// a begin-sorted scan is cut to the prefix that can overlap it —
+			// the morsel counters then divide only the surviving rows.
+			t, err := e.db.Table(scan.Name)
+			if err != nil {
+				return nil, err
+			}
+			hi, skip := engine.PruneWindowScan(t, n.T)
+			if skip {
+				t = &engine.Table{Schema: t.Schema}
+			} else {
+				t = t.Prefix(hi)
+			}
+			in = e.scanStream(t, scan.Name, st.Child("Scan", scan.Name))
+		} else {
+			var err error
+			in, err = e.build(n.In, st)
+			if err != nil {
+				return nil, err
+			}
 		}
-		ctr := new(atomic.Int64)
-		parts := make([]engine.RowIter, e.workers)
-		for i := range parts {
-			parts[i] = &morselTableIter{t: t, ctr: ctr, size: e.morsel}
+		out, err := e.mapStream(in, func(it engine.RowIter) (engine.RowIter, error) {
+			return engine.NewWindowIter(it, n.T), nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		return obsStream(e.injectStream("scan:"+n.Name, &pstream{parts: parts, schema: t.Schema, ordered: ordered}), st), nil
+		return obsStream(e.injectStream("window", out), st), nil
 	case engine.FilterP:
 		st := parent.Child("Filter", "")
 		in, err := e.build(n.In, st)
@@ -962,22 +974,34 @@ func (e *executor) buildJoin(n engine.JoinP, parent *engine.OpStats) (*pstream, 
 	// canceled context surfaces as an error rather than a silently
 	// truncated hash table. The drain happens outside any Next, so an
 	// explicit span attributes its cost to the join node.
+	// The planner may have pinned the build side (and a pre-sizing hint)
+	// on the plan node; with BuildAuto the executor keeps its own
+	// estimate-based pick.
+	var buildLeft bool
+	switch n.Build {
+	case engine.BuildLeftSide:
+		buildLeft = true
+	case engine.BuildRightSide:
+		buildLeft = false
+	default:
+		buildLeft = engine.BuildLeftSmaller(e.db.EstimateRows(n.L), e.db.EstimateRows(n.R))
+	}
 	var jb *engine.JoinBuild
 	var probe *pstream
 	var buildArity int
 	done := st.Span()
-	if engine.BuildLeftSmaller(e.db.EstimateRows(n.L), e.db.EstimateRows(n.R)) {
+	if buildLeft {
 		if st != nil {
 			st.Detail = "hash build=left"
 		}
-		jb = prep.BuildLeft(e.merge(l, st))
+		jb = prep.BuildLeftSized(e.merge(l, st), n.BuildHint)
 		probe = r
 		buildArity = l.schema.Arity()
 	} else {
 		if st != nil {
 			st.Detail = "hash build=right"
 		}
-		jb = prep.Build(e.merge(r, st))
+		jb = prep.BuildSized(e.merge(r, st), n.BuildHint)
 		probe = l
 		buildArity = r.schema.Arity()
 	}
@@ -1005,6 +1029,32 @@ func (e *executor) buildJoin(n engine.JoinP, parent *engine.OpStats) (*pstream, 
 		parts[i] = jb.Probe(part)
 	}
 	return obsStream(e.injectStream("join", &pstream{parts: parts, schema: prep.Schema()}), st), nil
+}
+
+// scanStream builds the scan side of a pstream over a stored (or
+// pruned-prefix) table: the shared construction of the ScanP case and
+// the zone-map-pruned windowed scan. Cached table metadata makes the
+// order probe O(1) on the load paths. A begin-sorted table yields
+// begin-sorted fragments: every morsel scan claims strictly increasing
+// row ranges from the shared cursor, so each fragment is an
+// order-preserving subsequence of the stored order.
+func (e *executor) scanStream(t *engine.Table, name string, st *engine.OpStats) *pstream {
+	ordered := t.BeginSorted()
+	if e.workers <= 1 {
+		// The sequential path runs entirely on the consumer's
+		// goroutine, so this ctx probe (amortized per batch / per
+		// morsel of rows) is its only mid-stream cancellation point:
+		// blocking drains above it (sort enforcers, hash-join builds)
+		// end early when it fires instead of running to completion.
+		seq := engine.NewCtxIter(e.ctx, engine.NewTableIter(t), e.morsel)
+		return obsStream(e.injectStream("scan:"+name, &pstream{seq: seq, schema: t.Schema, ordered: ordered}), st)
+	}
+	ctr := new(atomic.Int64)
+	parts := make([]engine.RowIter, e.workers)
+	for i := range parts {
+		parts[i] = &morselTableIter{t: t, ctr: ctr, size: e.morsel}
+	}
+	return obsStream(e.injectStream("scan:"+name, &pstream{parts: parts, schema: t.Schema, ordered: ordered}), st)
 }
 
 // mapStream wraps every fragment (or the sequential iterator) of in with

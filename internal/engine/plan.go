@@ -33,11 +33,29 @@ type ProjectP struct {
 	In    Plan
 }
 
+// BuildSide fixes the hash-join build side. BuildAuto (the zero value)
+// keeps the executors' own estimate-based selection; the physical
+// planner pass (package rewrite) pins a side so the decision is made
+// once, with statistics, and EXPLAIN can report why.
+type BuildSide uint8
+
+const (
+	BuildAuto BuildSide = iota
+	BuildLeftSide
+	BuildRightSide
+)
+
 // JoinP is the temporal join pattern of Fig 4: predicate ∧ overlap with
-// period intersection.
+// period intersection. Build and BuildHint are physical annotations set
+// by the planner's cost pass: Build pins the hash-join build side and
+// BuildHint pre-sizes the build hash table to the estimated build-side
+// row count (0 = no hint). Both are ignored by the overlap-sweep
+// fallback and never affect results.
 type JoinP struct {
-	L, R Plan
-	Pred algebra.Expr
+	L, R      Plan
+	Pred      algebra.Expr
+	Build     BuildSide
+	BuildHint int64
 }
 
 // UnionP is UNION ALL.
@@ -84,6 +102,27 @@ type CoalesceP struct {
 // streaming sweep operators require.
 type SortP struct{ In Plan }
 
+// WindowP is the timeslice operator τ_T over period encodings: every
+// row's validity interval is clipped to the window T, and rows not
+// overlapping T are dropped. Snapshot-reducibility lets the planner's
+// pushdown pass (package rewrite, which documents the per-operator
+// legality rules) move it from the plan root toward the scans. Clipping
+// takes max(begin, T.Begin), which is non-decreasing for begin-sorted
+// input, so WindowP preserves the interval-endpoint sort property.
+//
+// A WindowP node always clips — an invalid T yields the empty result;
+// "no window" is expressed by not inserting the node. Prune permits the
+// executors to apply the endpoint zone-map check when the node sits
+// directly over a stored-table scan: a scan whose min/max endpoint
+// envelope is disjoint from T is skipped outright, and a begin-sorted
+// scan stops at the first begin ≥ T.End. It is set by the physical
+// planner pass and never required for correctness.
+type WindowP struct {
+	T     interval.Interval
+	Prune bool
+	In    Plan
+}
+
 func (ScanP) planNode()     {}
 func (FilterP) planNode()   {}
 func (ProjectP) planNode()  {}
@@ -93,6 +132,7 @@ func (DiffP) planNode()     {}
 func (AggP) planNode()      {}
 func (CoalesceP) planNode() {}
 func (SortP) planNode()     {}
+func (WindowP) planNode()   {}
 
 func (p ScanP) String() string   { return p.Name }
 func (p FilterP) String() string { return fmt.Sprintf("Filter[%s](%s)", p.Pred, p.In) }
@@ -128,6 +168,9 @@ func (p CoalesceP) String() string {
 	return fmt.Sprintf("Coalesce(%s)", p.In)
 }
 func (p SortP) String() string { return fmt.Sprintf("SortByEndpoints(%s)", p.In) }
+func (p WindowP) String() string {
+	return fmt.Sprintf("Window[%s](%s)", p.T, p.In)
+}
 
 // CountCoalesce returns the number of coalesce operators in the plan,
 // used by the §9 ablation to report plan shape.
@@ -150,6 +193,8 @@ func CountCoalesce(p Plan) int {
 	case CoalesceP:
 		return 1 + CountCoalesce(n.In)
 	case SortP:
+		return CountCoalesce(n.In)
+	case WindowP:
 		return CountCoalesce(n.In)
 	default:
 		return 0
@@ -189,41 +234,14 @@ func BeginOrderedWith(p Plan, scanSorted func(string) bool) bool {
 		return BeginOrderedWith(n.In, scanSorted)
 	case ProjectP:
 		return BeginOrderedWith(n.In, scanSorted)
+	case WindowP:
+		// Clipping maps begin to max(begin, T.Begin) — monotone, so a
+		// begin-sorted input stays begin-sorted.
+		return BeginOrderedWith(n.In, scanSorted)
 	case SortP:
 		return true
 	default:
 		return false
-	}
-}
-
-// EstimateRows returns the number of rows p will produce when that is
-// statically known from stored table cardinalities (scans and the
-// order/cardinality-preserving operators above them), or -1 when it is
-// not. It drives size-based build-side selection for the temporal hash
-// join; estimates are upper bounds for Filter, which is good enough for
-// picking the smaller build side.
-func (db *DB) EstimateRows(p Plan) int64 {
-	switch n := p.(type) {
-	case ScanP:
-		t, err := db.Table(n.Name)
-		if err != nil {
-			return -1
-		}
-		return int64(t.Len())
-	case FilterP:
-		return db.EstimateRows(n.In)
-	case ProjectP:
-		return db.EstimateRows(n.In)
-	case SortP:
-		return db.EstimateRows(n.In)
-	case UnionP:
-		l, r := db.EstimateRows(n.L), db.EstimateRows(n.R)
-		if l < 0 || r < 0 {
-			return -1
-		}
-		return l + r
-	default:
-		return -1
 	}
 }
 
@@ -342,6 +360,12 @@ func (db *DB) Exec(p Plan) (*Table, error) {
 		// clone carried the input's metadata, which the sort must update.
 		out.SortByEndpoints()
 		return out, nil
+	case WindowP:
+		in, err := db.Exec(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return ClipWindow(in, n.T), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", p)
 	}

@@ -1,0 +1,248 @@
+package engine
+
+// Tests for the planner's statistics layer: the cached per-table
+// interval statistics (values, invalidation discipline, the O(1)
+// endpoint-bounds metadata path) and the plan-wide cardinality
+// estimator that consumes them.
+
+import (
+	"testing"
+
+	"snapk/internal/algebra"
+	"snapk/internal/interval"
+	"snapk/internal/krel"
+	"snapk/internal/tuple"
+)
+
+func statsTable() *Table {
+	t := NewTable(tuple.NewSchema("k", "v"))
+	// 8 rows, 4 distinct data tuples, begins 0..7, all length 4.
+	for i := int64(0); i < 8; i++ {
+		t.Append(tuple.Tuple{tuple.Int(i % 4), tuple.Int(i % 4)}, interval.New(i, i+4), 1)
+	}
+	return t
+}
+
+func TestTableStatsValues(t *testing.T) {
+	tb := statsTable()
+	s := tb.Stats()
+	if s.Rows != 8 || s.DistinctData != 4 {
+		t.Fatalf("rows=%d distinct=%d, want 8/4", s.Rows, s.DistinctData)
+	}
+	if s.MinBegin != 0 || s.MaxEnd != 11 {
+		t.Fatalf("envelope [%d, %d), want [0, 11)", s.MinBegin, s.MaxEnd)
+	}
+	if s.AvgLen != 4 {
+		t.Fatalf("AvgLen = %v, want 4", s.AvgLen)
+	}
+	var histSum int64
+	for _, c := range s.Hist {
+		histSum += c
+	}
+	if histSum != s.Rows {
+		t.Fatalf("histogram counts %d begins, want %d", histSum, s.Rows)
+	}
+	// Selectivity sanity: the whole envelope keeps everything, a disjoint
+	// window nothing, a left slice something in between.
+	if got := s.WindowSelectivity(interval.New(0, 11)); got != 1 {
+		t.Fatalf("full-envelope selectivity = %v, want 1", got)
+	}
+	if got := s.WindowSelectivity(interval.New(50, 60)); got != 0 {
+		t.Fatalf("disjoint-window selectivity = %v, want 0", got)
+	}
+	part := s.WindowSelectivity(interval.New(0, 3))
+	if part <= 0 || part >= 1 {
+		t.Fatalf("partial-window selectivity = %v, want in (0, 1)", part)
+	}
+}
+
+func TestTableStatsEmptyTable(t *testing.T) {
+	tb := NewTable(tuple.NewSchema("k"))
+	s := tb.Stats()
+	if s.Rows != 0 {
+		t.Fatalf("empty table stats claim %d rows", s.Rows)
+	}
+	if _, ok := s.Bounds(); ok {
+		t.Fatal("empty table must not report an envelope")
+	}
+	if _, ok := tb.EndpointBounds(); ok {
+		t.Fatal("EndpointBounds on an empty table must report ok=false")
+	}
+}
+
+// Stats are cached until a mutating method drops them; the computed
+// value itself is immutable.
+func TestTableStatsInvalidation(t *testing.T) {
+	tb := statsTable()
+	s1 := tb.Stats()
+	if tb.Stats() != s1 {
+		t.Fatal("repeated Stats calls must return the cached pointer")
+	}
+	// Row-permuting methods keep the cache: every statistic is a multiset
+	// property.
+	tb.SortByEndpoints()
+	if tb.Stats() != s1 {
+		t.Fatal("SortByEndpoints must keep the stats cache")
+	}
+	tb.Append(tuple.Tuple{tuple.Int(9), tuple.Int(9)}, interval.New(20, 30), 1)
+	s2 := tb.Stats()
+	if s2 == s1 {
+		t.Fatal("Append must drop the stats cache")
+	}
+	if s2.Rows != 9 || s2.MaxEnd != 30 || s2.DistinctData != 5 {
+		t.Fatalf("recomputed stats rows=%d maxEnd=%d distinct=%d, want 9/30/5", s2.Rows, s2.MaxEnd, s2.DistinctData)
+	}
+	tb.SetRows(tb.Rows[:2])
+	if tb.Stats() == s2 {
+		t.Fatal("SetRows must drop the stats cache")
+	}
+	s3 := tb.Stats()
+	tb.InvalidateMeta()
+	if tb.Stats() == s3 {
+		t.Fatal("InvalidateMeta must drop the stats cache")
+	}
+}
+
+// EndpointBounds answers from the incrementally maintained metadata on
+// the Append load path — no O(n) statistics pass. Proven with the same
+// corruption trick as the sortedness tests: a direct Rows write the
+// metadata cannot see leaves the recorded envelope in force.
+func TestEndpointBoundsUsesMetadata(t *testing.T) {
+	tb := statsTable()
+	if tb.meta.bounds != propTrue {
+		t.Fatal("Append loads must maintain the bounds metadata")
+	}
+	env, ok := tb.EndpointBounds()
+	if !ok || env != interval.New(0, 11) {
+		t.Fatalf("EndpointBounds = %v, %v; want [0, 11)", env, ok)
+	}
+	widened := clipRow(tb.Rows[0], interval.New(-50, 90))
+	tb.Rows[0] = widened // direct write, no invalidation
+	if env, _ := tb.EndpointBounds(); env != interval.New(0, 11) {
+		t.Fatalf("metadata miss: EndpointBounds rescanned, got %v", env)
+	}
+	tb.InvalidateMeta()
+	if env, _ := tb.EndpointBounds(); env != interval.New(-50, 90) {
+		t.Fatalf("after InvalidateMeta, EndpointBounds must see the new envelope, got %v", env)
+	}
+}
+
+func TestCloneCarriesStats(t *testing.T) {
+	tb := statsTable()
+	s := tb.Stats()
+	if tb.Clone().Stats() != s {
+		t.Fatal("Clone must share the stats of the shared rows")
+	}
+}
+
+func estimateDB() *DB {
+	db := NewDB(interval.NewDomain(0, 1000))
+	big := db.CreateTable("big", tuple.NewSchema("k", "v"))
+	// 100 rows over 10 distinct data tuples (i%5 is determined by i%10).
+	for i := int64(0); i < 100; i++ {
+		big.Append(tuple.Tuple{tuple.Int(i % 10), tuple.Int(i % 5)}, interval.New(i, i+5), 1)
+	}
+	small := db.CreateTable("small", tuple.NewSchema("k", "w"))
+	for i := int64(0); i < 10; i++ {
+		small.Append(tuple.Tuple{tuple.Int(i), tuple.Int(i)}, interval.New(i*3, i*3+8), 1)
+	}
+	return db
+}
+
+func TestEstimateRowsPerNode(t *testing.T) {
+	db := estimateDB()
+	big, small := ScanP{Name: "big"}, ScanP{Name: "small"}
+
+	if got := db.EstimateRows(big); got != 100 {
+		t.Fatalf("scan estimate %d, want exact 100", got)
+	}
+	if got := db.EstimateRows(ScanP{Name: "missing"}); got != -1 {
+		t.Fatalf("unknown table estimate %d, want -1", got)
+	}
+
+	filter := FilterP{Pred: algebra.Eq(algebra.Col("k"), algebra.IntC(3)), In: big}
+	f := db.EstimateRows(filter)
+	if f <= 0 || f >= 100 {
+		t.Fatalf("filter estimate %d, want in (0, 100)", f)
+	}
+	// A zero-selectivity estimate over a non-empty input clamps to 1:
+	// rounding to zero would make every plan above it look free.
+	if got := db.EstimateRows(FilterP{Pred: algebra.BoolC(false), In: big}); got != 1 {
+		t.Fatalf("FALSE filter estimate %d, want the clamp floor 1", got)
+	}
+
+	if got := db.EstimateRows(ProjectP{Exprs: []algebra.NamedExpr{{Name: "k", E: algebra.Col("k")}}, In: big}); got != 100 {
+		t.Fatalf("project estimate %d, want pass-through 100", got)
+	}
+	if got := db.EstimateRows(UnionP{L: big, R: small}); got != 110 {
+		t.Fatalf("union estimate %d, want 110", got)
+	}
+	if got := db.EstimateRows(DiffP{L: big, R: small}); got != 100 {
+		t.Fatalf("diff estimate %d, want the left bound 100", got)
+	}
+	if got := db.EstimateRows(CoalesceP{In: big}); got != 100 {
+		t.Fatalf("coalesce estimate %d, want the input bound 100", got)
+	}
+
+	// Equi join: |L|·|R| / max(d_L, d_R) = 100·10/10.
+	equi := JoinP{L: big, R: small, Pred: algebra.Eq(algebra.Col("k"), algebra.Col("r.k"))}
+	if got := db.EstimateRows(equi); got != 100 {
+		t.Fatalf("equi-join estimate %d, want 100", got)
+	}
+	// Overlap sweep: a fixed fraction of the cross product.
+	sweep := JoinP{L: big, R: small, Pred: algebra.BoolC(true)}
+	if got := db.EstimateRows(sweep); got != 100 {
+		t.Fatalf("sweep-join estimate %d, want 100 (10%% of 1000)", got)
+	}
+	// A join over an unknown table is unknown.
+	if got := db.EstimateRows(JoinP{L: big, R: ScanP{Name: "missing"}, Pred: algebra.BoolC(true)}); got != -1 {
+		t.Fatalf("join over unknown table estimate %d, want -1", got)
+	}
+
+	// Window: selectivity from the endpoint histogram, clamped to [1, in].
+	w := db.EstimateRows(WindowP{T: interval.New(0, 20), In: big})
+	if w <= 0 || w >= 100 {
+		t.Fatalf("window estimate %d, want in (0, 100)", w)
+	}
+	if got := db.EstimateRows(WindowP{T: interval.New(500, 600), In: big}); got != 1 {
+		t.Fatalf("disjoint-window estimate %d, want the clamp floor 1", got)
+	}
+
+	// Grouped aggregation: bounded by distinct-key stats (10 keys → at
+	// most 2·10 segment runs… the estimator may clamp lower, but never
+	// above 2·distinct).
+	agg := AggP{GroupBy: []string{"k"}, Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "c"}}, In: big}
+	if got := db.EstimateRows(agg); got <= 0 || got > 20 {
+		t.Fatalf("grouped-agg estimate %d, want in (0, 20]", got)
+	}
+	// Global aggregation: at most 2·rows+1 segments, capped by the domain.
+	global := AggP{Aggs: []algebra.AggSpec{{Fn: krel.CountStar, As: "c"}}, In: big}
+	if got := db.EstimateRows(global); got != 201 {
+		t.Fatalf("global-agg estimate %d, want 201", got)
+	}
+}
+
+// Estimates propagate through operator chains: a window below a filter
+// below a coalesce still reaches the base table's statistics.
+func TestEstimateRowsChain(t *testing.T) {
+	db := estimateDB()
+	chain := CoalesceP{In: FilterP{
+		Pred: algebra.Eq(algebra.Col("k"), algebra.IntC(1)),
+		In:   WindowP{T: interval.New(0, 50), In: ScanP{Name: "big"}},
+	}}
+	got := db.EstimateRows(chain)
+	if got <= 0 || got >= 100 {
+		t.Fatalf("chained estimate %d, want in (0, 100)", got)
+	}
+	// est_rows lands on every explain node of the same chain.
+	n := db.ExplainPlan(chain)
+	for node, depth := n, 0; ; depth++ {
+		if node.EstRows < 0 {
+			t.Fatalf("explain node %s at depth %d lacks est_rows", node.Op, depth)
+		}
+		if len(node.Children) == 0 {
+			break
+		}
+		node = node.Children[0]
+	}
+}

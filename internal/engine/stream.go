@@ -376,20 +376,35 @@ func (b *JoinBuild) Rows() int64 { return b.rows }
 // Build drains the right (build-side) input into a hash table on the
 // equi-key columns and closes it. It must only be called when HasEquiKey
 // reports true.
-func (p *JoinPrep) Build(r RowIter) *JoinBuild { return p.buildSide(r, false) }
+func (p *JoinPrep) Build(r RowIter) *JoinBuild { return p.buildSide(r, false, 0) }
 
 // BuildLeft drains the LEFT input as the build side instead — the
 // size-based build-side selection path when the left input is known to
 // be smaller. The probe iterator then consumes the right input; output
 // column order is unaffected.
-func (p *JoinPrep) BuildLeft(l RowIter) *JoinBuild { return p.buildSide(l, true) }
+func (p *JoinPrep) BuildLeft(l RowIter) *JoinBuild { return p.buildSide(l, true, 0) }
 
-func (p *JoinPrep) buildSide(in RowIter, left bool) *JoinBuild {
+// BuildSized is Build with the hash table pre-sized for roughly hint
+// build-side rows (≤ 0 = no hint). The hint is the planner's cardinality
+// estimate: a good one removes the map's incremental rehash/grow
+// allocations during the build drain, a bad one costs at most the
+// overshoot's memory. Never affects results.
+func (p *JoinPrep) BuildSized(r RowIter, hint int64) *JoinBuild { return p.buildSide(r, false, hint) }
+
+// BuildLeftSized is BuildLeft with the pre-sizing hint of BuildSized.
+func (p *JoinPrep) BuildLeftSized(l RowIter, hint int64) *JoinBuild {
+	return p.buildSide(l, true, hint)
+}
+
+func (p *JoinPrep) buildSide(in RowIter, left bool, hint int64) *JoinBuild {
 	keyIdx := p.rIdx
 	if left {
 		keyIdx = p.lIdx
 	}
-	build := make(map[string]*joinBucket)
+	if hint < 0 {
+		hint = 0
+	}
+	build := make(map[string]*joinBucket, hint)
 	var n int64
 	var scratch []byte
 	src := AsBatchIter(in, DefaultBatchSize)
@@ -446,17 +461,17 @@ func (b *JoinBuild) Probe(probe RowIter) RowIter {
 // inputs: consumed or failed children are closed here, so the caller
 // only ever closes the returned iterator.
 func newJoinIter(l, r RowIter, pred algebra.Expr) (RowIter, error) {
-	return newJoinIterSided(l, r, pred, false)
+	return newJoinIterSided(l, r, pred, false, 0)
 }
 
 // newJoinIterBuildLeft is newJoinIter with the LEFT input as build side
 // — chosen by plan-level size-based build-side selection when the left
 // input is estimated smaller.
 func newJoinIterBuildLeft(l, r RowIter, pred algebra.Expr) (RowIter, error) {
-	return newJoinIterSided(l, r, pred, true)
+	return newJoinIterSided(l, r, pred, true, 0)
 }
 
-func newJoinIterSided(l, r RowIter, pred algebra.Expr, buildLeft bool) (RowIter, error) {
+func newJoinIterSided(l, r RowIter, pred algebra.Expr, buildLeft bool, hint int64) (RowIter, error) {
 	lData := tuple.Schema{Cols: l.Schema().Cols[:l.Schema().Arity()-2]}
 	rData := tuple.Schema{Cols: r.Schema().Cols[:r.Schema().Arity()-2]}
 	prep, err := PrepareJoin(lData, rData, pred)
@@ -475,9 +490,9 @@ func newJoinIterSided(l, r RowIter, pred algebra.Expr, buildLeft bool) (RowIter,
 	var jb *JoinBuild
 	probe := l
 	if buildLeft {
-		jb, probe = prep.BuildLeft(l), r
+		jb, probe = prep.BuildLeftSized(l, hint), r
 	} else {
-		jb = prep.Build(r)
+		jb = prep.BuildSized(r, hint)
 	}
 	if err := jb.Err(); err != nil {
 		probe.Close()
@@ -626,18 +641,23 @@ func (db *DB) ExecStreamObs(p Plan, parent *OpStats) (RowIter, error) {
 			return nil, err
 		}
 		// The hash-join build side drains at construction, outside any
-		// Next: attribute it to the join node via an explicit span.
-		buildLeft := BuildLeftSmaller(db.EstimateRows(n.L), db.EstimateRows(n.R))
+		// Next: attribute it to the join node via an explicit span. The
+		// planner may have pinned the build side on the plan node; with
+		// BuildAuto the executor keeps its own estimate-based pick.
+		var buildLeft bool
+		switch n.Build {
+		case BuildLeftSide:
+			buildLeft = true
+		case BuildRightSide:
+			buildLeft = false
+		default:
+			buildLeft = BuildLeftSmaller(db.EstimateRows(n.L), db.EstimateRows(n.R))
+		}
 		if st != nil {
 			st.Detail = joinDetail(l.Schema(), r.Schema(), n.Pred, buildLeft)
 		}
 		done := st.Span()
-		var it RowIter
-		if buildLeft {
-			it, err = newJoinIterBuildLeft(l, r, n.Pred)
-		} else {
-			it, err = newJoinIter(l, r, n.Pred)
-		}
+		it, err := newJoinIterSided(l, r, n.Pred, buildLeft, n.BuildHint)
 		done()
 		if err != nil {
 			return nil, err
@@ -747,6 +767,31 @@ func (db *DB) ExecStreamObs(p Plan, parent *OpStats) (RowIter, error) {
 		// sortIter drains and sorts inside its first Next, so the ObsIter
 		// timing captures the enforcement cost without an explicit span.
 		return NewObsIter(NewSortIter(in), st), nil
+	case WindowP:
+		st := parent.Child("Window", n.T.String())
+		// The zone-map prune applies when the window sits directly over a
+		// stored-table scan: skip the scan entirely when the endpoint
+		// envelope is disjoint from T, and stop a begin-sorted scan at the
+		// first row with begin ≥ T.End.
+		if scan, ok := n.In.(ScanP); ok && n.Prune {
+			t, err := db.Table(scan.Name)
+			if err != nil {
+				return nil, err
+			}
+			hi, skip := PruneWindowScan(t, n.T)
+			if skip {
+				t = &Table{Schema: t.Schema}
+			} else {
+				t = t.Prefix(hi)
+			}
+			scanIt := NewObsIter(NewTableIter(t), st.Child("Scan", scan.Name))
+			return NewObsIter(NewWindowIter(scanIt, n.T), st), nil
+		}
+		in, err := db.ExecStreamObs(n.In, st)
+		if err != nil {
+			return nil, err
+		}
+		return NewObsIter(NewWindowIter(in, n.T), st), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown plan node %T", p)
 	}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"snapk/internal/interval"
 	"snapk/internal/period"
@@ -68,6 +69,13 @@ type tableMeta struct {
 	sorted    propState
 	lastBegin interval.Time // begin of the last appended row; valid when sorted == propTrue and Rows is non-empty
 	coalesced propState
+	// bounds tracks whether minBegin/maxEnd describe the stored rows —
+	// the interval-endpoint zone map, maintained incrementally by Append
+	// next to the sortedness metadata so windowed-scan pruning is O(1)
+	// on the load paths. Only meaningful when Rows is non-empty.
+	bounds   propState
+	minBegin interval.Time
+	maxEnd   interval.Time
 }
 
 // Table is a SQL period relation: a multiset of period-encoded rows.
@@ -76,13 +84,17 @@ type Table struct {
 	Schema tuple.Schema
 	Rows   []tuple.Tuple
 	meta   tableMeta
+	// stats caches the lazily computed interval statistics (stats.go).
+	// Atomic so concurrent planners can share one table without locks;
+	// mutators drop it via Store(nil).
+	stats atomic.Pointer[TableStats]
 }
 
 // NewTable returns an empty period relation for the given data schema.
 // An empty table is trivially begin-sorted and coalesced, so metadata
 // tracking starts in the known state and Append maintains it.
 func NewTable(data tuple.Schema) *Table {
-	return &Table{Schema: PeriodSchema(data), meta: tableMeta{sorted: propTrue, coalesced: propTrue}}
+	return &Table{Schema: PeriodSchema(data), meta: tableMeta{sorted: propTrue, coalesced: propTrue, bounds: propTrue}}
 }
 
 // DataArity returns the number of non-period columns.
@@ -116,7 +128,16 @@ func (t *Table) Append(data tuple.Tuple, iv interval.Interval, mult int64) {
 			t.meta.sorted = propFalse
 		}
 	}
+	if t.meta.bounds == propTrue {
+		if len(t.Rows) == 0 || iv.Begin < t.meta.minBegin {
+			t.meta.minBegin = iv.Begin
+		}
+		if len(t.Rows) == 0 || iv.End > t.meta.maxEnd {
+			t.meta.maxEnd = iv.End
+		}
+	}
 	t.meta.coalesced = propUnknown
+	t.stats.Store(nil)
 	row := make(tuple.Tuple, 0, len(data)+2)
 	row = append(row, data...)
 	row = append(row, tuple.Int(iv.Begin), tuple.Int(iv.End))
@@ -134,24 +155,31 @@ func (t *Table) Append(data tuple.Tuple, iv interval.Interval, mult int64) {
 func (t *Table) SetRows(rows []tuple.Tuple) {
 	t.Rows = rows
 	t.meta = tableMeta{}
+	t.stats.Store(nil)
 }
 
 // InvalidateMeta drops the cached physical-property metadata. Code that
 // has written the exported Rows slice directly (rather than through
 // Append, Sort, SortByEndpoints or SetRows) must call it before the
 // table is used by the planner again.
-func (t *Table) InvalidateMeta() { t.meta = tableMeta{} }
+func (t *Table) InvalidateMeta() {
+	t.meta = tableMeta{}
+	t.stats.Store(nil)
+}
 
 // Len returns the number of rows (counting duplicates).
 func (t *Table) Len() int { return len(t.Rows) }
 
 // Clone returns a shallow copy of the table (rows are shared; rows are
 // treated as immutable by all operators). Cached metadata is copied:
-// it describes the shared row slice.
+// it describes the shared row slice. Cached statistics carry over too —
+// they are immutable once computed and describe the same multiset.
 func (t *Table) Clone() *Table {
 	rows := make([]tuple.Tuple, len(t.Rows))
 	copy(rows, t.Rows)
-	return &Table{Schema: t.Schema, Rows: rows, meta: t.meta}
+	out := &Table{Schema: t.Schema, Rows: rows, meta: t.meta}
+	out.stats.Store(t.stats.Load())
+	return out
 }
 
 // Sort orders rows by data key, then by interval endpoints — the

@@ -1,0 +1,129 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"snapk/internal/algebra"
+	"snapk/internal/engine"
+	"snapk/internal/obs"
+)
+
+// This file is the planner entry point: the phased replacement for the
+// rule-only rewriter. PlanQuery runs four explicit phases —
+//
+//	1. logical rewrite   — the REWR reduction (rewrite.go), preceded by
+//	                       the algebraic select pushdown when enabled
+//	2. pushdown          — moves the time window τ_T below the REWR
+//	                       operators where the temporal algebra allows
+//	                       (pushdown.go documents the per-rule legality
+//	                       conditions)
+//	3. statistics        — per-table interval statistics (engine/stats.go),
+//	                       computed lazily and cached on the tables; the
+//	                       planner consumes them through engine.DB's
+//	                       EstimateRows
+//	4. physical          — stats-driven choices: hash-join build side and
+//	                       pre-sizing, zone-map scan pruning, adaptive
+//	                       worker count (physical.go)
+//
+// Every phase beyond the logical rewrite is gated by a PlannerKnobs
+// flag, so each optimization is independently ablatable and the
+// all-knobs-off plan is byte-identical to the rule-only rewriter's
+// output.
+
+// PlannerKnobs enables the cost-aware planner phases individually —
+// the ablation switches of the `snapbench -exp opt` study. The zero
+// value disables them all.
+type PlannerKnobs struct {
+	// Pushdown moves the time window (Options.Window) below the REWR
+	// operators toward the scans, and applies the algebraic selection
+	// pushdown (algebra.Optimize) before the rewrite — the plan-level
+	// and query-level halves of the same phase.
+	Pushdown bool
+	// Prune permits the zone-map check on windowed scans: a stored table
+	// whose endpoint envelope is disjoint from the window is skipped
+	// outright, and a begin-sorted scan stops at the first row that
+	// cannot overlap it — before the parallel executor's morsel split.
+	Prune bool
+	// PreSize pre-sizes hash-join build tables from the estimated
+	// build-side cardinality, removing incremental map growth during the
+	// build drain.
+	PreSize bool
+	// AdaptiveWorkers narrows Options.Parallelism when the estimated
+	// result cardinality doesn't justify the requested worker count.
+	AdaptiveWorkers bool
+}
+
+// AllKnobs returns PlannerKnobs with every phase enabled — the
+// all-on configuration of the ablation study.
+func AllKnobs() PlannerKnobs {
+	return PlannerKnobs{Pushdown: true, Prune: true, PreSize: true, AdaptiveWorkers: true}
+}
+
+// Decisions records what the planner chose and why: the worker-count
+// override (0 = keep Options.Parallelism) and one human-readable note
+// per physical decision, printed by `snapq -explain` so ablation runs
+// are diagnosable.
+type Decisions struct {
+	// Workers is the adaptive worker count; 0 means no override.
+	Workers int
+	// Notes explains each decision, e.g. "build=left (est 1200 < 50000)".
+	Notes []string
+}
+
+func (d *Decisions) note(format string, args ...any) {
+	d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
+}
+
+// PlanQuery reduces a snapshot query to a physical plan through the
+// planner's phases and returns the plan together with the record of
+// physical decisions taken. cat must resolve the data schemas of the
+// base relations referenced by q; statistics-driven phases additionally
+// need cat to be an *engine.DB (otherwise they are skipped — there are
+// no stored rows to measure).
+func PlanQuery(q algebra.Query, cat algebra.Catalog, opt Options) (engine.Plan, *Decisions, error) {
+	if _, err := algebra.OutSchema(q, cat); err != nil {
+		return nil, nil, err
+	}
+	obs.Default.QueriesRun.Add(1)
+	dec := &Decisions{}
+
+	// Phase 1: logical rewrite. The algebraic select pushdown runs first
+	// when enabled (legacy Options.Pushdown or the planner's knob): its
+	// rules are bag-algebra identities, so the rewritten plan computes
+	// the same unique encoding.
+	if opt.Pushdown || opt.Planner.Pushdown {
+		oq, err := algebra.Optimize(q, cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		q = oq
+	}
+	rw := newRewriter(cat, opt)
+	p, err := rw.rewr(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opt.Mode == ModeOptimized && !opt.SkipFinalCoalesce {
+		p = rw.coalesceOp(p)
+	}
+
+	// Phase 2: window placement. Without the pushdown knob the window
+	// clips once at the root — the semantics baseline; with it, the
+	// pushdown phase moves it toward the scans.
+	if opt.Window.Valid() {
+		if opt.Planner.Pushdown {
+			p = rw.pushWindow(p, opt.Window, dec)
+		} else {
+			p = engine.WindowP{T: opt.Window, In: p}
+		}
+	}
+
+	// Phases 3+4: statistics (lazily computed and cached on the stored
+	// tables) feed the physical pass. Gated on any knob being set so the
+	// knobs-off plan stays byte-identical to the rule-only rewriter's.
+	if opt.Planner != (PlannerKnobs{}) && rw.db != nil {
+		p = rw.applyPhysical(p, dec)
+		rw.adaptiveWorkers(p, dec)
+	}
+	return p, dec, nil
+}

@@ -21,6 +21,7 @@ import (
 	"snapk/internal/algebra"
 	"snapk/internal/engine"
 	"snapk/internal/engine/parallel"
+	"snapk/internal/interval"
 	"snapk/internal/obs"
 	"snapk/internal/tuple"
 )
@@ -73,6 +74,20 @@ type Options struct {
 	// REWR is snapshot-reducible, the optimized plan computes the same
 	// unique encoding.
 	Pushdown bool
+	// Window restricts the query to the time window [Begin, End): the
+	// timeslice τ_T, applied with clip semantics (row validity intervals
+	// are intersected with the window; rows not overlapping it are
+	// dropped). The zero value — an invalid interval — means no
+	// restriction. Without Planner.Pushdown the window is applied once at
+	// the plan root; with it the pushdown phase moves it toward the scans
+	// under the legality rules documented in pushdown.go.
+	Window interval.Interval
+	// Planner enables the phased cost-aware planner's knobs (pushdown,
+	// zone-map pruning, hash pre-sizing, adaptive worker count), each
+	// independently ablatable. The zero value disables every phase beyond
+	// the logical rewrite, leaving plans byte-identical to the rule-only
+	// rewriter's output. See PlannerKnobs.
+	Planner PlannerKnobs
 	// Materialize executes the plan on the node-at-a-time materializing
 	// executor (engine.DB.Exec) instead of the default streaming iterator
 	// engine (engine.DB.ExecStream). Kept as the ablation baseline for
@@ -118,28 +133,12 @@ type Options struct {
 
 // Rewrite reduces a snapshot query to a physical plan over the period
 // encoding (the commuting diagram of Eq. 1). cat must resolve the data
-// schemas of the base relations referenced by q.
+// schemas of the base relations referenced by q. It is PlanQuery with
+// the planner's decision record discarded — the entry point for callers
+// that only need the plan.
 func Rewrite(q algebra.Query, cat algebra.Catalog, opt Options) (engine.Plan, error) {
-	if _, err := algebra.OutSchema(q, cat); err != nil {
-		return nil, err
-	}
-	obs.Default.QueriesRun.Add(1)
-	if opt.Pushdown {
-		oq, err := algebra.Optimize(q, cat)
-		if err != nil {
-			return nil, err
-		}
-		q = oq
-	}
-	rw := newRewriter(cat, opt)
-	p, err := rw.rewr(q)
-	if err != nil {
-		return nil, err
-	}
-	if opt.Mode == ModeOptimized && !opt.SkipFinalCoalesce {
-		p = rw.coalesceOp(p)
-	}
-	return p, nil
+	p, _, err := PlanQuery(q, cat, opt)
+	return p, err
 }
 
 // rewriter carries the per-Rewrite state: the options and memoized
@@ -358,7 +357,7 @@ func Run(db *engine.DB, q algebra.Query, opt Options) (*engine.Table, error) {
 // trusting the result (the snapdebug build asserts exactly this at the
 // root). The caller must Close the returned iterator.
 func Stream(ctx context.Context, db *engine.DB, q algebra.Query, opt Options) (engine.RowIter, error) {
-	p, err := Rewrite(q, db, opt)
+	p, dec, err := PlanQuery(q, db, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -368,10 +367,17 @@ func Stream(ctx context.Context, db *engine.DB, q algebra.Query, opt Options) (e
 	if opt.Collect != nil {
 		st = opt.Collect.Root.Child("result", "")
 	}
+	// The adaptive-workers decision only ever narrows the requested
+	// parallelism: small estimated results don't pay worker startup and
+	// exchange fan-in for rows that aren't there.
+	workers := max(opt.Parallelism, 1)
+	if dec.Workers > 0 {
+		workers = min(workers, dec.Workers)
+	}
 	// The parallel executor also serves Parallelism <= 1: it degenerates
 	// to the sequential streaming engine wrapped with ctx cancellation.
 	it, err := parallel.Exec(ctx, db, p, parallel.Options{
-		Workers:   max(opt.Parallelism, 1),
+		Workers:   workers,
 		BatchSize: opt.BatchSize,
 		Stats:     st,
 		Gov:       engine.NewGovernor(opt.Limits),

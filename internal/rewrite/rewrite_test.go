@@ -106,12 +106,15 @@ func TestTheorem81CommutingDiagram(t *testing.T) {
 	// order-preserving exchange, blocking ablation) must close the same
 	// diagram — Sweep and Parallelism compose freely. The loop below
 	// additionally runs each (database, query) pair over unsorted AND
-	// begin-sorted stored tables, so the grid is
-	// executor × sweep × parallelism × sortedness.
+	// begin-sorted stored tables, and each sweep × parallelism cell with
+	// the cost-aware planner knobs off AND all on, so the grid is
+	// executor × sweep × parallelism × sortedness × planner.
 	var opts []rewrite.Options
 	for _, par := range []int{0, 2, 4} {
 		for _, sw := range []rewrite.SweepMode{rewrite.SweepAuto, rewrite.SweepStreaming, rewrite.SweepBlocking} {
-			opts = append(opts, rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: sw, Parallelism: par})
+			for _, knobs := range []rewrite.PlannerKnobs{{}, rewrite.AllKnobs()} {
+				opts = append(opts, rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: sw, Parallelism: par, Planner: knobs})
+			}
 		}
 	}
 	opts = append(opts,
@@ -162,7 +165,9 @@ func TestDiffGridEquivalence(t *testing.T) {
 	var opts []rewrite.Options
 	for _, par := range []int{0, 2, 4} {
 		for _, sw := range []rewrite.SweepMode{rewrite.SweepAuto, rewrite.SweepStreaming, rewrite.SweepBlocking} {
-			opts = append(opts, rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: sw, Parallelism: par})
+			for _, knobs := range []rewrite.PlannerKnobs{{}, rewrite.AllKnobs()} {
+				opts = append(opts, rewrite.Options{Mode: rewrite.ModeOptimized, Sweep: sw, Parallelism: par, Planner: knobs})
+			}
 		}
 	}
 	opts = append(opts,
